@@ -1,0 +1,53 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the paper-reported value next to the measured one, so the *shape*
+claims (who wins, by what factor, where crossovers fall) are auditable at
+a glance.  Absolute virtual-time numbers are not expected to match the
+authors' Xeon testbed (DESIGN.md §1).
+"""
+
+import pytest
+
+from repro.apps import LittledServer, MinxServer
+from repro.kernel import Kernel
+from repro.workloads import ApacheBench
+
+
+def print_table(title: str, headers, rows) -> None:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def make_minx(kernel=None, autostart=True, **kwargs):
+    kernel = kernel or Kernel()
+    server = MinxServer(kernel, **kwargs)
+    if autostart:
+        server.start()
+    return kernel, server
+
+
+def make_littled(kernel=None, autostart=True, **kwargs):
+    kernel = kernel or Kernel()
+    server = LittledServer(kernel, **kwargs)
+    if autostart:
+        server.start()
+    return kernel, server
+
+
+def server_busy_per_request(kernel, server, requests: int) -> float:
+    result = ApacheBench(kernel, server).run(requests)
+    assert result.failures == 0, \
+        f"workload failed: {result} alarms={server.alarms.alarms}"
+    return result.busy_per_request_ns
+
+
+@pytest.fixture
+def table():
+    return print_table

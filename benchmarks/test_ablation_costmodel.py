@@ -1,0 +1,95 @@
+"""Ablation: cost-model sensitivity.
+
+The reproduction's performance claims ride on one calibrated
+:class:`CostModel`.  This bench perturbs its two most influential
+constants and checks the paper's *qualitative* conclusions survive:
+
+* heap-scan slot cost x0.25 / x4 — Table 2's "heap scan dominates" and
+  Figure 7's server overhead ordering must hold across the sweep;
+* rendezvous cost x0.25 / x4 — nbench stays low-overhead and Neural Net
+  stays the worst case (its overhead is interception-frequency-driven,
+  not constant-driven).
+"""
+
+import pytest
+
+from repro.apps.nbench import NbenchHarness
+from repro.machine.costs import CostModel, DEFAULT_COSTS
+from repro.workloads import ApacheBench
+
+from conftest import make_minx, print_table
+
+REQUESTS = 10
+
+
+def minx_overhead(costs: CostModel) -> float:
+    kernel, vanilla = make_minx()
+    vanilla.process.costs = costs           # cost model is read per charge
+    base = ApacheBench(kernel, vanilla).run(REQUESTS).busy_per_request_ns
+
+    kernel2, server = make_minx(autostart=False, smvx=True,
+                                protect="minx_http_process_request_line")
+    server.process.costs = costs
+    server.monitor.costs = costs
+    server.start()
+    busy = ApacheBench(kernel2, server).run(REQUESTS).busy_per_request_ns
+    return busy / base - 1
+
+
+@pytest.fixture(scope="module")
+def heap_scan_sweep():
+    sweep = {}
+    for factor in (0.25, 1.0, 4.0):
+        costs = DEFAULT_COSTS.scaled(
+            heap_scan_slot_ns=int(DEFAULT_COSTS.heap_scan_slot_ns * factor))
+        sweep[factor] = minx_overhead(costs)
+    return sweep
+
+
+def test_heap_scan_sensitivity_report(heap_scan_sweep):
+    rows = [(f"x{factor}", f"{overhead * 100:.0f}%")
+            for factor, overhead in sorted(heap_scan_sweep.items())]
+    print_table("Ablation — minx sMVX overhead vs heap-scan slot cost",
+                ("heap_scan_slot_ns factor", "overhead"), rows)
+
+
+def test_overhead_monotone_in_scan_cost(heap_scan_sweep):
+    values = [heap_scan_sweep[f] for f in (0.25, 1.0, 4.0)]
+    assert values[0] < values[1] < values[2]
+
+
+def test_qualitative_conclusions_robust(heap_scan_sweep):
+    """Even at a quarter of the calibrated scan cost, per-request variant
+    creation keeps sMVX far from native on servers — the paper's
+    'cannot ultimately outperform ReMon' conclusion is not an artifact
+    of one constant."""
+    assert heap_scan_sweep[0.25] > 0.8      # still ~2x native
+    assert heap_scan_sweep[4.0] < 12.0      # and not absurd at 4x
+
+
+def test_nbench_shape_robust_to_rendezvous_cost():
+    """Neural Net stays the suite's worst case across rendezvous-cost
+    perturbations (its overhead is frequency-driven)."""
+    for factor in (0.25, 4.0):
+        costs = DEFAULT_COSTS.scaled(
+            rendezvous_ns=int(DEFAULT_COSTS.rendezvous_ns * factor))
+        harness = NbenchHarness(runs=1, costs=costs)
+        numeric = harness.run_workload(0)
+        neural = harness.run_workload(8)
+        assert neural.overhead > numeric.overhead, factor
+
+
+def test_costmodel_scaled_and_dict():
+    scaled = DEFAULT_COSTS.scaled(rendezvous_ns=999)
+    assert scaled.rendezvous_ns == 999
+    assert DEFAULT_COSTS.rendezvous_ns != 999      # frozen original
+    table = scaled.as_dict()
+    assert table["rendezvous_ns"] == 999
+    assert "heap_scan_slot_ns" in table
+
+
+def test_costmodel_sweep_benchmark(benchmark):
+    costs = DEFAULT_COSTS.scaled(heap_scan_slot_ns=100)
+    overhead = benchmark.pedantic(lambda: minx_overhead(costs),
+                                  iterations=1, rounds=2)
+    assert overhead > 0

@@ -1,0 +1,101 @@
+"""Ablation: where should the annotation go?
+
+Quantifies the paper's guidance (§3.4 "Application domains", §5):
+protecting functions "directly in the control loop... repetitively
+incur[s] the overhead from process duplication and pointer updates", and
+a region that misses the vulnerable path detects nothing.  We sweep the
+annotation root over minx and report, per choice:
+
+* throughput overhead (Figure 7's metric),
+* libc calls replicated (Figure 8's metric),
+* whether the CVE-2013-2028 attack is caught (the security payoff).
+"""
+
+import pytest
+
+from repro.attacks import run_exploit
+from repro.workloads import ApacheBench
+
+from conftest import make_minx, print_table
+
+REQUESTS = 15
+
+SWEEP = (
+    ("minx_process_events_and_timers", "whole event loop"),
+    ("minx_http_process_request_line", "tainted root (paper's choice)"),
+    ("minx_http_handler", "mid-subtree"),
+    ("minx_http_log_access", "outside the attack path"),
+)
+
+
+def measure(root):
+    kernel, vanilla = make_minx()
+    base = ApacheBench(kernel, vanilla).run(REQUESTS).busy_per_request_ns
+
+    kernel2, protected = make_minx(smvx=True, protect=root)
+    result = ApacheBench(kernel2, protected).run(REQUESTS)
+    assert result.failures == 0
+    overhead = result.busy_per_request_ns / base - 1
+    calls = protected.monitor.stats.leader_calls
+
+    kernel3, victim = make_minx(smvx=True, protect=root)
+    outcome = run_exploit(victim)
+    return {"overhead": overhead, "calls": calls,
+            "detected": outcome.divergence_detected,
+            "exploited": outcome.directory_created}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {root: measure(root) for root, _ in SWEEP}
+
+
+def test_region_choice_report(sweep):
+    rows = []
+    for root, label in SWEEP:
+        data = sweep[root]
+        rows.append((
+            label, root,
+            f"{data['overhead'] * 100:.0f}%",
+            data["calls"],
+            "caught" if data["detected"] else
+            ("EXPLOITED" if data["exploited"] else "missed"),
+        ))
+    print_table("Ablation — annotation placement on minx",
+                ("placement", "root", "overhead", "libc calls replicated",
+                 "CVE-2013-2028"), rows)
+
+
+def test_paper_choice_is_the_sweet_spot(sweep):
+    """The tainted root costs less than whole-loop protection while still
+    catching the exploit — the paper's trade-off argument."""
+    loop = sweep["minx_process_events_and_timers"]
+    tainted = sweep["minx_http_process_request_line"]
+    assert tainted["detected"] and loop["detected"]
+    assert tainted["calls"] < loop["calls"]
+    assert tainted["overhead"] <= loop["overhead"] * 1.1
+
+
+def test_wrong_placement_is_a_false_negative(sweep):
+    """§5's warning made concrete: annotating outside the attack path
+    means the payload 'touch[es] functions beyond the protected code
+    region (a false negative in exploit detection)'."""
+    wrong = sweep["minx_http_log_access"]
+    assert not wrong["detected"]
+    assert wrong["exploited"]
+    # and it's cheap, which is exactly the trap
+    assert wrong["overhead"] < \
+        sweep["minx_http_process_request_line"]["overhead"]
+
+
+def test_mid_subtree_catches_but_replicates_less(sweep):
+    mid = sweep["minx_http_handler"]
+    assert mid["detected"]
+    assert mid["calls"] < \
+        sweep["minx_http_process_request_line"]["calls"]
+
+
+def test_region_choice_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure("minx_http_handler"), iterations=1, rounds=2)
+    assert result["detected"]

@@ -1,0 +1,125 @@
+"""Ablation: pointer-scan strategy (paper §3.4 + §5 future work).
+
+The paper combines static alias analysis with runtime scanning and names
+the full heap scan as the dominant cost.  This ablation quantifies the
+design space on littled:
+
+* full scan (the paper's strawman default),
+* alias-assisted ``.data`` scan (only statically known pointer slots),
+* the §5 thought experiment: how much of mvx_start() would remain if the
+  heap scan were replaced by an indirection table (scan cost -> 0).
+"""
+
+import pytest
+
+from repro.analysis.alias import analyze_image_pointers
+from repro.core import attach_smvx, AlarmLog, build_smvx_stub_image
+from repro.apps.littled import LittledServer, build_littled_image
+from repro.kernel import Kernel
+from repro.libc import build_libc_image
+from repro.process import GuestProcess
+
+from conftest import print_table
+
+WARM_ALLOCS = 32
+
+
+def variant_report(alias: bool):
+    kernel = Kernel()
+    server = LittledServer(kernel, smvx=False)
+    alias_info = analyze_image_pointers(server.image) if alias else None
+    monitor = attach_smvx(server.process, server.loaded,
+                          alarm_log=AlarmLog(), alias_info=alias_info)
+    server.start()
+    for _ in range(WARM_ALLOCS):
+        server.process.heap.malloc(2048)
+    thread = server.process.main_thread()
+    monitor.region_start(thread, "server_main_loop", [])
+    report = monitor.last_variant_report
+    server.process.guest_call(thread,
+                              server.process.resolve("server_main_loop"))
+    monitor.region_end(thread)
+    return report
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {"full": variant_report(alias=False),
+            "alias": variant_report(alias=True)}
+
+
+def _cost(report):
+    relocation = report.relocation
+    data = sum(s.time_ns for s in relocation.scans
+               if s.region in (".data", ".bss", ".got.plt"))
+    heap = relocation.scan_named("heap")
+    heap_ns = heap.time_ns if heap else 0.0
+    return {
+        "data_ns": data,
+        "heap_ns": heap_ns,
+        "dup_ns": report.duplication_ns,
+        "total_ns": data + heap_ns + report.duplication_ns
+        + report.clone_ns,
+        "data_slots": sum(s.slots_scanned for s in relocation.scans
+                          if s.region == ".data"),
+    }
+
+
+def test_ablation_report(reports):
+    full = _cost(reports["full"])
+    alias = _cost(reports["alias"])
+    indirection_total = alias["total_ns"] - alias["heap_ns"]
+    rows = [
+        ("full scan (paper default)", f"{full['total_ns'] / 1000:,.1f}",
+         f"{full['data_ns'] / 1000:,.1f}", f"{full['heap_ns'] / 1000:,.1f}"),
+        ("alias-assisted .data scan", f"{alias['total_ns'] / 1000:,.1f}",
+         f"{alias['data_ns'] / 1000:,.1f}",
+         f"{alias['heap_ns'] / 1000:,.1f}"),
+        ("+ indirection table (heap scan -> 0, §5)",
+         f"{indirection_total / 1000:,.1f}", "", "0.0"),
+    ]
+    print_table("Ablation — mvx_start() cost by pointer-scan strategy "
+                "(littled, us)",
+                ("strategy", "total", "data scan", "heap scan"), rows)
+
+
+def test_alias_narrows_data_scan(reports):
+    full = _cost(reports["full"])
+    alias = _cost(reports["alias"])
+    # the static pass pins down exactly the link-time pointer slots;
+    # everything else in .data no longer needs visiting
+    assert alias["data_slots"] < full["data_slots"]
+    assert alias["data_ns"] < full["data_ns"]
+    # but .bss and the heap scans are untouched (their pointer population
+    # is created at runtime) — which is why the paper's Table 2 costs
+    # survive the static assist
+    assert alias["heap_ns"] == pytest.approx(full["heap_ns"], rel=0.02)
+
+
+def test_alias_scan_is_still_correct():
+    """The narrowed scan must relocate every pointer that matters: a run
+    with alias info serves identically and diverges never."""
+    from repro.workloads import ApacheBench
+    kernel = Kernel()
+    server = LittledServer(kernel, smvx=False)
+    alias_info = analyze_image_pointers(server.image)
+    attach_smvx(server.process, server.loaded, alarm_log=server.alarms,
+                alias_info=alias_info)
+    server.process.app_config = {"protect": "server_main_loop"}
+    server.start()
+    result = ApacheBench(kernel, server).run(5)
+    assert result.status_counts == {200: 5}
+    assert not server.alarms.triggered
+
+
+def test_heap_scan_dominates_at_scale(reports):
+    """The §5 motivation: the heap scan is the piece worth engineering
+    away (it dominates the data scan once the heap is warm)."""
+    full = _cost(reports["full"])
+    assert full["heap_ns"] > full["dup_ns"]
+
+
+def test_ablation_benchmark(benchmark):
+    report = benchmark.pedantic(lambda: variant_report(alias=True),
+                                iterations=1, rounds=3)
+    assert report.relocation is not None

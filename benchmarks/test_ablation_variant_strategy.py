@@ -1,0 +1,94 @@
+"""Ablation: variant-creation strategy (paper §4.1 future work, §5).
+
+Compares three ways of making the follower on minx's per-request region:
+
+* **shift** — the paper's prototype: non-overlapping addresses, full
+  pointer scan (Table 2's costs on every region entry);
+* **shift + reuse** — our implementation of the paper's pre-scan/
+  pre-update suggestion (dirty-page refresh);
+* **aligned** — the paper's envisioned compiler-diversity strategy:
+  same function addresses, trap-diversified interiors, *zero* pointer
+  relocation.
+
+All three must catch CVE-2013-2028; they differ in what mvx_start costs.
+"""
+
+import pytest
+
+from repro.attacks import run_exploit
+from repro.workloads import ApacheBench
+
+from conftest import make_minx, print_table
+
+REQUESTS = 15
+ROOT = "minx_http_process_request_line"
+
+CONFIGS = (
+    ("shift (paper prototype)", {"variant_strategy": "shift"}),
+    ("shift + dirty-page reuse (§5 pre-scan)",
+     {"variant_strategy": "shift", "reuse_variants": True}),
+    ("aligned interiors (§5 compiler diversity)",
+     {"variant_strategy": "aligned"}),
+)
+
+
+def measure(config):
+    kernel, vanilla = make_minx()
+    base = ApacheBench(kernel, vanilla).run(REQUESTS).busy_per_request_ns
+
+    kernel2, server = make_minx(smvx=True, protect=ROOT, **config)
+    result = ApacheBench(kernel2, server).run(REQUESTS)
+    assert result.failures == 0 and not server.alarms.triggered
+
+    kernel3, victim = make_minx(smvx=True, protect=ROOT, **config)
+    outcome = run_exploit(victim)
+    return {
+        "overhead": result.busy_per_request_ns / base - 1,
+        "pointers": server.monitor.last_variant_report
+        .relocation.total_pointers,
+        "detected": outcome.attack_detected_and_blocked,
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {name: measure(config) for name, config in CONFIGS}
+
+
+def test_strategy_report(sweep):
+    rows = []
+    for name, _ in CONFIGS:
+        data = sweep[name]
+        rows.append((name, f"{data['overhead'] * 100:.0f}%",
+                     data["pointers"],
+                     "caught" if data["detected"] else "MISSED"))
+    print_table("Ablation — variant-creation strategy on minx "
+                "(per-request region)",
+                ("strategy", "overhead", "pointers relocated",
+                 "CVE-2013-2028"), rows)
+
+
+def test_all_strategies_detect(sweep):
+    assert all(data["detected"] for data in sweep.values())
+
+
+def test_cost_ordering(sweep):
+    """aligned < reuse < fresh shift, as §5 predicts."""
+    shift = sweep["shift (paper prototype)"]["overhead"]
+    reuse = sweep["shift + dirty-page reuse (§5 pre-scan)"]["overhead"]
+    aligned = sweep["aligned interiors (§5 compiler diversity)"]["overhead"]
+    assert aligned < reuse < shift
+
+
+def test_aligned_needs_no_relocation(sweep):
+    assert sweep["aligned interiors (§5 compiler diversity)"]["pointers"] == 0
+    assert sweep["shift (paper prototype)"]["pointers"] > 0
+
+
+def test_strategy_benchmark(benchmark):
+    def aligned_run():
+        kernel, server = make_minx(smvx=True, protect=ROOT,
+                                   variant_strategy="aligned")
+        return ApacheBench(kernel, server).run(5)
+    result = benchmark.pedantic(aligned_run, iterations=1, rounds=3)
+    assert result.failures == 0

@@ -1,0 +1,134 @@
+"""§4.1 "CPU cycles saved from selective MVX".
+
+Paper: perf + flame graphs show the outermost tainted function consumes
+60.8% of Nginx's cycles (``ngx_http_process_request_line``) and 70% of
+Lighttpd's (``server_main_loop``); replicating only those subtrees puts
+sMVX's CPU consumption at ~160% / ~170% of vanilla versus a traditional
+MVX system's 200%.
+"""
+
+import pytest
+
+from repro.analysis.perf import FunctionProfiler
+from repro.workloads import ApacheBench
+
+from conftest import make_littled, make_minx, print_table
+
+REQUESTS = 10
+
+PAPER = {
+    "minx (nginx)": {"fraction": 0.608, "smvx_cpu": 1.60},
+    "littled (lighttpd)": {"fraction": 0.70, "smvx_cpu": 1.70},
+}
+
+
+def profile_fraction(factory, root):
+    """Flame-graph measurement of the protected root's cycle share.
+
+    The profiler attaches before initialization so the denominator covers
+    the whole run — the paper's flame graphs likewise span the full
+    profiled process, which is why server_main_loop is 70% of Lighttpd,
+    not 100% (initialization isn't inside the loop)."""
+    kernel, server = factory(autostart=False)
+    profiler = FunctionProfiler(server.process).attach()
+    server.start()
+    ApacheBench(kernel, server).run(REQUESTS)
+    profiler.detach()
+    return profiler, profiler.inclusive_fraction(root)
+
+
+def measured_cpu_ratio(factory, protect):
+    """Actual leader+follower CPU under sMVX, relative to vanilla CPU."""
+    kernel, vanilla = factory()
+    ApacheBench(kernel, vanilla).run(REQUESTS)
+    vanilla_cpu = vanilla.process.total_cpu_ns()
+
+    kernel2, protected = factory(smvx=True, protect=protect)
+    ApacheBench(kernel2, protected).run(REQUESTS)
+    follower_cpu = protected.process._retired_follower_ns
+    # replication ratio: what fraction of a full second variant the
+    # follower actually executed
+    return 1.0 + follower_cpu / vanilla_cpu
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    profiler, fraction = profile_fraction(
+        make_minx, "minx_http_process_request_line")
+    out["minx (nginx)"] = {
+        "fraction": fraction,
+        "cpu": 1.0 + fraction,         # the paper's arithmetic
+        "measured_cpu": measured_cpu_ratio(
+            make_minx, "minx_http_process_request_line"),
+        "profiler": profiler,
+    }
+    profiler, fraction = profile_fraction(make_littled, "server_main_loop")
+    out["littled (lighttpd)"] = {
+        "fraction": fraction,
+        "cpu": 1.0 + fraction,
+        "measured_cpu": measured_cpu_ratio(make_littled,
+                                           "server_main_loop"),
+        "profiler": profiler,
+    }
+    return out
+
+
+def test_cpu_cycles_report(results):
+    rows = []
+    for name, data in results.items():
+        paper = PAPER[name]
+        rows.append((
+            name,
+            f"{data['fraction'] * 100:.1f}%",
+            f"{paper['fraction'] * 100:.1f}%",
+            f"{data['cpu'] * 100:.0f}%",
+            f"{data['measured_cpu'] * 100:.0f}%",
+            f"{paper['smvx_cpu'] * 100:.0f}%",
+            "200%",
+        ))
+    print_table(
+        "§4.1 CPU cycles — protected-root share and replication cost",
+        ("server", "root share", "paper share", "sMVX CPU (1+share)",
+         "sMVX CPU (measured)", "paper", "traditional MVX"),
+        rows)
+
+
+def test_cpu_fraction_shapes(results):
+    minx = results["minx (nginx)"]
+    littled = results["littled (lighttpd)"]
+    # the paper's profile: nginx's request-line subtree ~60.8%,
+    # lighttpd's main loop ~70% (and higher than nginx's root)
+    assert 0.45 <= minx["fraction"] <= 0.75
+    assert 0.55 <= littled["fraction"] <= 0.92
+    assert littled["fraction"] > minx["fraction"]
+
+
+def test_cpu_savings_vs_traditional_mvx(results):
+    """Both derivations beat whole-program replication's 200%."""
+    for data in results.values():
+        assert data["cpu"] < 2.0
+        assert data["measured_cpu"] < 2.0
+        assert data["measured_cpu"] > 1.1      # real replication happened
+
+
+def test_cpu_flame_graph_structure(results):
+    profiler = results["minx (nginx)"]["profiler"]
+    flame = profiler.flame_graph()
+    assert flame.total_ns > 0
+    folded = profiler.folded_stacks()
+    assert any("minx_http_process_request_line" in line for line in folded)
+    # the request-line subtree contains the handler chain
+    assert any("minx_http_process_request_line;" in line and
+               "minx_http_handler" in line for line in folded)
+
+
+def test_cpu_profile_benchmark(benchmark):
+    def profile_run():
+        kernel, server = make_minx()
+        with FunctionProfiler(server.process) as profiler:
+            ApacheBench(kernel, server).run(5)
+        return profiler.inclusive_fraction(
+            "minx_http_process_request_line")
+    fraction = benchmark.pedantic(profile_run, iterations=1, rounds=3)
+    assert fraction > 0

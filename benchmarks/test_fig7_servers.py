@@ -1,0 +1,112 @@
+"""Figure 7: Nginx and Lighttpd performance under sMVX vs ReMon.
+
+Paper: "With sMVX, we achieve a 266% overhead for Nginx and a 223%
+overhead for Lighttpd" (normalized HTTP throughput, ab on loopback,
+0.1 ms latency, 4 KB page); ReMon's bars sit somewhat lower because it
+intercepts *system calls* while sMVX intercepts libc calls — "For Nginx,
+there will be about 5.4 libc calls issued over one system call, while
+that ratio rises to 7.8 for Lighttpd" (the figure's secondary axis).
+"""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.mvx import ReMonMvx
+from repro.workloads import ApacheBench
+
+from conftest import make_littled, make_minx, print_table, \
+    server_busy_per_request
+
+REQUESTS = 40
+
+PAPER = {
+    "minx (nginx)": {"smvx": 2.66, "ratio": 5.4},
+    "littled (lighttpd)": {"smvx": 2.23, "ratio": 7.8},
+}
+
+
+def measure_server(factory, protect):
+    kernel, vanilla = factory()
+    vanilla_busy = server_busy_per_request(kernel, vanilla, REQUESTS)
+    ratio = vanilla.process.libc_syscall_ratio()
+
+    kernel2, protected = factory(smvx=True, protect=protect)
+    smvx_busy = server_busy_per_request(kernel2, protected, REQUESTS)
+    assert not protected.alarms.triggered
+
+    kernel3 = Kernel()
+    _, remon_server = (kernel3, None)
+    kernel3, remon_server = factory(kernel3)
+    remon = ReMonMvx(remon_server.process).attach()
+    remon_busy = server_busy_per_request(kernel3, remon_server, REQUESTS)
+    remon.detach()
+
+    return {
+        "vanilla_ns": vanilla_busy,
+        "smvx_overhead": smvx_busy / vanilla_busy - 1,
+        "remon_overhead": remon_busy / vanilla_busy - 1,
+        "ratio": ratio,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "minx (nginx)": measure_server(
+            make_minx, "minx_http_process_request_line"),
+        "littled (lighttpd)": measure_server(
+            make_littled, "server_main_loop"),
+    }
+
+
+def test_fig7_report(results):
+    rows = []
+    for name, data in results.items():
+        paper = PAPER[name]
+        rows.append((
+            name,
+            f"{data['smvx_overhead'] * 100:.0f}%",
+            f"{paper['smvx'] * 100:.0f}%",
+            f"{data['remon_overhead'] * 100:.0f}%",
+            f"{data['ratio']:.2f}",
+            f"{paper['ratio']:.1f}",
+        ))
+    print_table(
+        "Figure 7 — server overhead (sMVX vs ReMon) + libc:syscall ratio",
+        ("server", "sMVX meas", "sMVX paper", "ReMon meas",
+         "ratio meas", "ratio paper"),
+        rows)
+
+    minx = results["minx (nginx)"]
+    littled = results["littled (lighttpd)"]
+
+    # overhead magnitudes near the paper's bars
+    assert 2.0 <= minx["smvx_overhead"] <= 3.3      # paper: 2.66
+    assert 1.6 <= littled["smvx_overhead"] <= 2.9   # paper: 2.23
+    # ReMon is comparable but lower (syscall- vs libc-granularity)
+    for data in results.values():
+        assert data["remon_overhead"] < data["smvx_overhead"]
+        assert data["remon_overhead"] > 0.5         # still a heavy MVX
+    # the ratio ordering that explains the gap
+    assert littled["ratio"] > minx["ratio"] > 1.0
+
+
+def test_fig7_minx_request_benchmark(benchmark):
+    kernel, server = make_minx(smvx=True,
+                               protect="minx_http_process_request_line")
+    ab = ApacheBench(kernel, server)
+
+    def one_request():
+        result = ab.run(1)
+        assert result.failures == 0
+    benchmark.pedantic(one_request, iterations=1, rounds=10)
+
+
+def test_fig7_littled_request_benchmark(benchmark):
+    kernel, server = make_littled(smvx=True, protect="server_main_loop")
+    ab = ApacheBench(kernel, server)
+
+    def one_request():
+        result = ab.run(1)
+        assert result.failures == 0
+    benchmark.pedantic(one_request, iterations=1, rounds=10)

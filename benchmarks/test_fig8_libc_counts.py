@@ -1,0 +1,104 @@
+"""Figure 8: number of libc calls within the protected region, per choice
+of protected root function.
+
+Paper: protecting ``main()`` replicates ~8.83M PLT calls over a 100k-
+request workload; moving the root down the call graph monotonically cuts
+the calls the monitor must emulate, bottoming out around 100k (~1 per
+request) at the tainted leaf functions.
+
+We sweep minx's protectable roots (event loop -> request line -> ... ->
+leaves), measure intercepted in-region calls over a scaled workload, and
+report both the raw counts and the 100k-request extrapolation (DESIGN.md
+§4 documents the scaling).
+"""
+
+import pytest
+
+from repro.apps.minx import PROTECTABLE, TAINTED_FUNCTIONS
+
+from conftest import make_minx, print_table, server_busy_per_request
+from repro.workloads import ApacheBench
+
+REQUESTS = 25
+PAPER_REQUESTS = 100_000
+
+#: sweep order: from the outermost root (== whole program; the event loop
+#: is main()'s working body) down to leaf functions.
+SWEEP = (
+    "minx_process_events_and_timers",      # ~ main()
+    "minx_http_wait_request_handler",
+    "minx_http_process_request_line",      # the tainted root
+    "minx_http_process_request_headers",
+    "minx_http_handler",
+    "minx_http_header_filter",
+    "minx_http_log_access",
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_counts():
+    counts = {}
+    for root in SWEEP:
+        kernel, server = make_minx(smvx=True, protect=root)
+        result = ApacheBench(kernel, server).run(REQUESTS)
+        assert result.failures == 0, (root, server.alarms.alarms)
+        counts[root] = server.monitor.stats.leader_calls
+    return counts
+
+
+def test_fig8_report(sweep_counts):
+    rows = []
+    for root in SWEEP:
+        count = sweep_counts[root]
+        per_request = count / REQUESTS
+        extrapolated = per_request * PAPER_REQUESTS
+        tainted = "tainted" if root in TAINTED_FUNCTIONS else ""
+        rows.append((root, count, f"{per_request:.1f}",
+                     f"{extrapolated:,.0f}", tainted))
+    rows.append(("(paper: main())", "", "", "8,826,795", ""))
+    rows.append(("(paper: tainted leaves)", "", "", "100,000", "tainted"))
+    print_table(
+        f"Figure 8 — libc calls within the protected region "
+        f"({REQUESTS} requests, extrapolated to {PAPER_REQUESTS:,})",
+        ("protected root", "in-region calls", "per request",
+         "per 100k requests", ""),
+        rows)
+
+
+def test_fig8_monotone_decrease(sweep_counts):
+    """Shrinking the protected call graph strictly reduces the libc calls
+    the monitor must emulate (the figure's core shape)."""
+    series = [sweep_counts[root] for root in SWEEP]
+    for wider, narrower in zip(series, series[1:]):
+        assert wider >= narrower, (SWEEP, series)
+    # and the full sweep spans at least one order of magnitude
+    assert series[0] >= 10 * series[-1]
+
+
+def test_fig8_tainted_roots_need_fewer_calls(sweep_counts):
+    """The purple-triangle claim: the taint-identified functions need far
+    fewer PLT calls duplicated than protecting main()."""
+    whole = sweep_counts["minx_process_events_and_timers"]
+    tainted_root = sweep_counts["minx_http_process_request_line"]
+    assert tainted_root < whole
+    assert tainted_root <= 0.8 * whole
+
+
+def test_fig8_all_protectable_roots_serve_correctly():
+    """Every sweep point still serves requests correctly (lockstep holds
+    wherever the annotation is placed)."""
+    for root in SWEEP:
+        kernel, server = make_minx(smvx=True, protect=root)
+        result = ApacheBench(kernel, server).run(3)
+        assert result.status_counts == {200: 3}, root
+        assert not server.alarms.triggered, root
+
+
+def test_fig8_sweep_benchmark(benchmark):
+    def measure_one_root():
+        kernel, server = make_minx(
+            smvx=True, protect="minx_http_process_request_line")
+        ApacheBench(kernel, server).run(5)
+        return server.monitor.stats.leader_calls
+    count = benchmark.pedantic(measure_one_root, iterations=1, rounds=3)
+    assert count > 0

@@ -1,0 +1,162 @@
+"""§4.1 "Memory consumption saved from selective MVX".
+
+Paper (pmap RSS after 10 HTTP requests):
+
+* Nginx (1 master + 1 worker) under sMVX: 3208 KB (1708 + 1500)
+  vs two vanilla copies: 6392 KB (1704 + 1492 + 1704 + 1492)
+* Lighttpd under sMVX: 1372 KB vs two vanilla copies: 2720 KB (1360 x 2)
+
+i.e. ~49% less memory: the follower variant is transient (created per
+region, destroyed at mvx_end), so steady-state RSS is essentially one
+instance, while traditional MVX keeps two full instances resident.
+"""
+
+import pytest
+
+from repro.analysis.pmap import format_pmap, rss_kb, rss_report
+from repro.apps import LittledServer, MinxServer
+from repro.kernel import Kernel
+from repro.mvx import spawn_duplicate
+from repro.workloads import ApacheBench
+
+from conftest import print_table
+
+REQUESTS = 10
+
+PAPER_KB = {
+    "minx (nginx)": {"smvx": 3208, "traditional": 6392},
+    "littled (lighttpd)": {"smvx": 1372, "traditional": 2720},
+}
+
+
+def _serve(kernel, server):
+    result = ApacheBench(kernel, server).run(REQUESTS)
+    assert result.failures == 0
+
+
+def minx_deployment(kernel, smvx: bool, suffix: str):
+    """1 master + 1 worker, like the paper's Nginx configuration."""
+    master = MinxServer(kernel, port=18000, name=f"minx-master-{suffix}",
+                        heap_pages=96, smvx=False)
+    worker = MinxServer(kernel, port=18001, name=f"minx-worker-{suffix}",
+                        heap_pages=64, smvx=smvx,
+                        protect="minx_http_process_request_line"
+                        if smvx else None)
+    worker.start()
+    _serve(kernel, worker)
+    return [master.process, worker.process], worker
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+
+    # --- minx: sMVX (1 master + 1 worker, monitor in the worker) ---
+    kernel = Kernel()
+    smvx_procs, worker = minx_deployment(kernel, smvx=True, suffix="smvx")
+    assert not worker.alarms.triggered
+    smvx_total = sum(rss_kb(p) for p in smvx_procs)
+
+    # --- minx: traditional MVX = two full vanilla deployments ---
+    kernel2 = Kernel()
+    copy1, w1 = minx_deployment(kernel2, smvx=False, suffix="a")
+    kernel3 = Kernel()
+    copy2, w2 = minx_deployment(kernel3, smvx=False, suffix="b")
+    trad_total = sum(rss_kb(p) for p in copy1 + copy2)
+    out["minx (nginx)"] = {
+        "smvx": smvx_total, "traditional": trad_total,
+        "parts_smvx": [rss_kb(p) for p in smvx_procs],
+        "parts_trad": [rss_kb(p) for p in copy1 + copy2],
+        "worker": worker,
+    }
+
+    # --- littled ---
+    kernel4 = Kernel()
+    littled_smvx = LittledServer(kernel4, smvx=True,
+                                 protect="server_main_loop",
+                                 heap_pages=64, name="littled-smvx")
+    littled_smvx.start()
+    _serve(kernel4, littled_smvx)
+    kernel5 = Kernel()
+    littled_a = LittledServer(kernel5, heap_pages=64, name="littled-a")
+    littled_a.start()
+    _serve(kernel5, littled_a)
+    littled_b = spawn_duplicate(LittledServer, kernel5, port=9081,
+                                heap_pages=64, name="littled-b")
+    littled_b.start()
+    out["littled (lighttpd)"] = {
+        "smvx": rss_kb(littled_smvx.process),
+        "traditional": rss_kb(littled_a.process)
+        + rss_kb(littled_b.process),
+        "parts_smvx": [rss_kb(littled_smvx.process)],
+        "parts_trad": [rss_kb(littled_a.process),
+                       rss_kb(littled_b.process)],
+        "worker": littled_smvx,
+    }
+    return out
+
+
+def test_rss_report(measurements):
+    rows = []
+    for name, data in measurements.items():
+        paper = PAPER_KB[name]
+        saving = 1 - data["smvx"] / data["traditional"]
+        paper_saving = 1 - paper["smvx"] / paper["traditional"]
+        rows.append((
+            name,
+            f"{data['smvx']:,.0f} KB",
+            f"{paper['smvx']:,} KB",
+            f"{data['traditional']:,.0f} KB",
+            f"{paper['traditional']:,} KB",
+            f"{saving * 100:.0f}%",
+            f"{paper_saving * 100:.0f}%",
+        ))
+    print_table(
+        "§4.1 RSS after 10 requests — sMVX vs two vanilla copies",
+        ("deployment", "sMVX meas", "sMVX paper", "2x vanilla meas",
+         "2x vanilla paper", "saving", "paper saving"),
+        rows)
+
+
+def test_rss_saving_near_half(measurements):
+    """The paper's 49%-less-memory claim: the follower is transient, so
+    sMVX's steady state is ~one instance vs traditional MVX's two."""
+    for name, data in measurements.items():
+        saving = 1 - data["smvx"] / data["traditional"]
+        assert 0.38 <= saving <= 0.55, (name, saving)
+
+
+def test_rss_follower_memory_is_transient(measurements):
+    """During a region RSS grows by the follower's footprint; after
+    teardown it returns to baseline — the mechanism behind the ~49%."""
+    from repro.core import DivergenceKind, DivergenceReport
+    worker = measurements["minx (nginx)"]["worker"]
+    proc = worker.process
+    monitor = worker.monitor
+    baseline = proc.space.resident_bytes()
+    thread = proc.main_thread()
+    monitor.region_start(thread, "minx_http_process_request_line", [0])
+    in_region = proc.space.resident_bytes()
+    assert in_region > baseline + 4096       # follower copies resident
+    monitor.abort_region(DivergenceReport(DivergenceKind.MONITOR,
+                                          detail="bench teardown"))
+    assert proc.space.resident_bytes() == baseline
+
+
+def test_rss_breakdown_mentions_expected_regions(measurements):
+    worker = measurements["minx (nginx)"]["worker"]
+    report = rss_report(worker.process)
+    tags = set(report)
+    assert any("minx:.text" in t for t in tags)
+    assert "heap" in tags
+    assert any(t.startswith("smvx:") for t in tags)
+    listing = format_pmap(worker.process)
+    assert "total" in listing
+
+
+def test_rss_measurement_benchmark(benchmark):
+    kernel = Kernel()
+    server = MinxServer(kernel, heap_pages=64)
+    server.start()
+    kb = benchmark(lambda: rss_kb(server.process))
+    assert kb > 0

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Resource comparison: sMVX vs whole-program MVX (paper §4.1).
+
+Runs minx three ways — vanilla, under sMVX with the tainted root
+protected, and under a ReMon-style whole-program monitor — then prints
+the throughput overhead, CPU replication, and memory picture side by
+side, plus the nbench Figure 6 series.
+
+Run:  python examples/resource_comparison.py
+"""
+
+from repro.analysis.pmap import rss_kb
+from repro.apps.minx import MinxServer
+from repro.apps.nbench import NbenchHarness
+from repro.kernel import Kernel
+from repro.mvx import ReMonMvx, spawn_duplicate
+from repro.workloads import ApacheBench
+
+REQUESTS = 15
+
+
+def run_minx(smvx=False, remon=False):
+    kernel = Kernel()
+    server = MinxServer(kernel, smvx=smvx,
+                        protect="minx_http_process_request_line"
+                        if smvx else None)
+    baseline = ReMonMvx(server.process).attach() if remon else None
+    server.start()
+    result = ApacheBench(kernel, server).run(REQUESTS)
+    assert result.failures == 0
+    return kernel, server, baseline, result
+
+
+def main():
+    print("=== server throughput (busy time per request) ===")
+    _, vanilla, _, r_vanilla = run_minx()
+    _, smvx, _, r_smvx = run_minx(smvx=True)
+    _, remon_srv, remon, r_remon = run_minx(remon=True)
+    base = r_vanilla.busy_per_request_ns
+    print(f"vanilla: {base / 1000:8.1f} us/request")
+    print(f"sMVX:    {r_smvx.busy_per_request_ns / 1000:8.1f} us/request "
+          f"({(r_smvx.busy_per_request_ns / base - 1) * 100:.0f}% overhead; "
+          f"paper: 266%)")
+    print(f"ReMon:   {r_remon.busy_per_request_ns / 1000:8.1f} us/request "
+          f"({(r_remon.busy_per_request_ns / base - 1) * 100:.0f}% overhead)")
+
+    print("\n=== CPU replication ===")
+    follower = smvx.process._retired_follower_ns
+    leader = smvx.process.counter.total_ns
+    print(f"sMVX follower executed {follower / leader * 100:.0f}% of the "
+          f"leader's cycles (paper: ~60%; whole-program MVX: 100%)")
+    print(f"ReMon follower mirrors {remon.follower_counter.total_ns /remon_srv.process.counter.total_ns * 100:.0f}% "
+          f"of its leader")
+
+    print("\n=== memory (RSS) ===")
+    smvx_rss = rss_kb(smvx.process)
+    kernel = Kernel()
+    copy_a = spawn_duplicate(MinxServer, kernel, port=8080, name="a")
+    copy_a.start()
+    copy_b = spawn_duplicate(MinxServer, kernel, port=9080, name="b")
+    copy_b.start()
+    traditional = rss_kb(copy_a.process) + rss_kb(copy_b.process)
+    print(f"sMVX instance:        {smvx_rss:8.0f} KB")
+    print(f"two vanilla copies:   {traditional:8.0f} KB")
+    print(f"saving:               {(1 - smvx_rss / traditional) * 100:.0f}% "
+          f"(paper: ~49%)")
+
+    print("\n=== nbench (Figure 6) ===")
+    harness = NbenchHarness(runs=1)
+    total = 0.0
+    for index in range(10):
+        result = harness.run_workload(index)
+        total += result.overhead
+        print(f"{result.name:18s} {result.overhead * 100:6.2f}%")
+    print(f"{'AVERAGE':18s} {total / 10 * 100:6.2f}%  (paper: ~7%)")
+
+
+if __name__ == "__main__":
+    main()

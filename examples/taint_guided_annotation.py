@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The semi-automatic annotation workflow of paper §3.2.
+
+1. run the application under the taint engine (libdft analogue) with the
+   ab workload, marking network input as the taint source;
+2. fuzz it (scout analogue) to widen coverage and watch the sensitive-
+   function count grow (Figure 9);
+3. map the tainted access sites to function symbols (the r2pipe step) and
+   pick the outermost candidate from the call graph;
+4. separately, discover authentication code by diffing the execution
+   traces of a successful vs failed login;
+5. protect the chosen root and verify the annotated run.
+
+Run:  python examples/taint_guided_annotation.py
+"""
+
+from repro.analysis.callgraph import build_callgraph
+from repro.apps.minx import MinxServer
+from repro.kernel import Kernel
+from repro.taint import TaintEngine, first_divergent_function
+from repro.taint.authdiff import collect_trace
+from repro.taint.report import build_report
+from repro.workloads import ApacheBench, UrlFuzzer
+
+
+def drive(kernel, server, raw):
+    sock = kernel.network.connect(server.port)
+    sock.send(raw)
+    server.pump()
+    while True:
+        chunk = sock.recv_wait(8192)
+        if isinstance(chunk, int) or chunk == b"":
+            break
+    sock.close()
+    server.pump()
+
+
+def main():
+    kernel = Kernel()
+    server = MinxServer(kernel)
+    server.start()
+
+    print("step 1: taint analysis under the ab workload")
+    engine = TaintEngine(server.process).attach()
+    ApacheBench(kernel, server).run(10)
+    report = build_report(engine, server.loaded)
+    print(f"  tainted bytes: {engine.tainted_count()}")
+    print(f"  sensitive functions (ab): {report.count}")
+
+    print("\nstep 2: scout-style fuzzing widens coverage")
+    fuzzer = UrlFuzzer(seed=0x5EED)
+    for bucket, count in (("1min", 10), ("5min", 30), ("30min", 80)):
+        for method, path, body in fuzzer.batch(count):
+            drive(kernel, server, fuzzer.request_bytes(method, path, body))
+        report = build_report(engine, server.loaded)
+        print(f"  after {bucket:>5} of fuzzing: {report.count} functions")
+    engine.detach()
+
+    print("\nstep 3: candidates -> outermost root via the call graph")
+    print(report.dump_function_names())
+    graph = build_callgraph(server.image)
+    candidates = report.sensitive_functions
+    outermost = [name for name in candidates
+                 if not (graph.callers(name) & candidates)]
+    root = "minx_http_process_request_line"
+    print(f"  outermost tainted candidates: {sorted(outermost)}")
+    print(f"  chosen protected root: {root}")
+    print(f"  its subtree: {sorted(graph.subtree(root))}")
+
+    print("\nstep 4: auth-code discovery by trace diffing")
+    def login(secret):
+        return lambda: drive(
+            kernel, server,
+            b"GET /admin HTTP/1.1\r\nHost: x\r\n"
+            b"Authorization: " + secret + b"\r\n\r\n")
+    good = collect_trace(server.process, login(b"secret123"))
+    bad = collect_trace(server.process, login(b"nope"))
+    print(f"  first divergent function: "
+          f"{first_divergent_function(good, bad)}")
+
+    print("\nstep 5: run with the chosen annotation")
+    kernel2 = Kernel()
+    protected = MinxServer(kernel2, smvx=True, protect=root)
+    protected.start()
+    result = ApacheBench(kernel2, protected).run(5)
+    print(f"  protected run: {result.status_counts}, "
+          f"alarms={len(protected.alarms.alarms)}")
+
+
+if __name__ == "__main__":
+    main()

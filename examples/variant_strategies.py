@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Variant-creation strategies side by side (paper §4.1/§5).
+
+Runs minx's per-request protected region three ways and fires the
+CVE-2013-2028 exploit at each:
+
+  1. shift           — the paper's prototype (pointer scan every region);
+  2. shift + reuse   — §5's pre-scan/pre-update, implemented as parked
+                       followers with dirty-page refresh;
+  3. aligned         — §5's envisioned compiler-diversity strategy:
+                       identical addresses, trap-diversified interiors,
+                       zero pointer relocation.
+
+Run:  python examples/variant_strategies.py
+"""
+
+from repro.apps.minx import MinxServer
+from repro.attacks import run_exploit
+from repro.kernel import Kernel
+from repro.workloads import ApacheBench
+
+ROOT = "minx_http_process_request_line"
+REQUESTS = 12
+
+CONFIGS = (
+    ("shift (paper prototype)", {}),
+    ("shift + dirty-page reuse", {"reuse_variants": True}),
+    ("aligned interiors", {"variant_strategy": "aligned"}),
+)
+
+
+def main():
+    kernel = Kernel()
+    vanilla = MinxServer(kernel)
+    vanilla.start()
+    base = ApacheBench(kernel, vanilla).run(REQUESTS).busy_per_request_ns
+    print(f"vanilla baseline: {base / 1000:.1f} us/request\n")
+
+    print(f"{'strategy':32s} {'us/request':>11s} {'overhead':>9s} "
+          f"{'ptrs relocated':>15s}  CVE-2013-2028")
+    print("-" * 86)
+    for label, config in CONFIGS:
+        k = Kernel()
+        server = MinxServer(k, smvx=True, protect=ROOT, **config)
+        server.start()
+        result = ApacheBench(k, server).run(REQUESTS)
+        assert result.failures == 0 and not server.alarms.triggered
+        busy = result.busy_per_request_ns
+        pointers = server.monitor.last_variant_report \
+            .relocation.total_pointers
+
+        k2 = Kernel()
+        victim = MinxServer(k2, smvx=True, protect=ROOT, **config)
+        victim.start()
+        outcome = run_exploit(victim)
+        verdict = ("caught: " + outcome.detail[:40]
+                   if outcome.divergence_detected else "MISSED")
+        print(f"{label:32s} {busy / 1000:11.1f} "
+              f"{(busy / base - 1) * 100:8.0f}% {pointers:15d}  {verdict}")
+
+    print("\nAll three diversifications detect the exploit; they differ "
+          "only in what mvx_start() costs.")
+
+
+if __name__ == "__main__":
+    main()

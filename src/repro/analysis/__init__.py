@@ -1,0 +1,21 @@
+"""Analysis tooling: call graphs, perf-style profiling, pmap-style RSS,
+alias analysis, and the ROP gadget scanner."""
+
+from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.alias import AliasAnalysis, analyze_image_pointers
+from repro.analysis.perf import FunctionProfiler, FlameNode
+from repro.analysis.pmap import rss_kb, rss_report
+from repro.analysis.gadgets import Gadget, find_gadgets
+
+__all__ = [
+    "AliasAnalysis",
+    "CallGraph",
+    "FlameNode",
+    "FunctionProfiler",
+    "Gadget",
+    "analyze_image_pointers",
+    "build_callgraph",
+    "find_gadgets",
+    "rss_kb",
+    "rss_report",
+]

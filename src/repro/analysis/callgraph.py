@@ -1,0 +1,142 @@
+"""Static call-graph construction over program images.
+
+The sMVX variant loader needs to know, given the protected root function,
+which functions the follower variant must contain — the root's call-graph
+subtree (paper Figure 2: protecting ``func2()`` replicates ``subfunc1``,
+``subfunc2``, ``subsubfunc2``).
+
+Edges come from two sources:
+
+* **ISA functions** — genuine static analysis: disassemble the function
+  body and resolve every direct ``CALL``/``JMP`` displacement to the
+  symbol containing its target;
+* **HL functions** — the callee list declared at image-build time (the
+  hybrid-model analogue of compiler-emitted call info).
+
+Libc imports appear as ``name@plt`` leaf nodes, so the graph also answers
+"which libc functions can this subtree reach".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SymbolNotFound
+from repro.loader.image import ProgramImage, Symbol
+from repro.machine.disasm import disassemble_bytes
+from repro.machine.isa import Op
+
+
+@dataclass
+class CallGraph:
+    """Adjacency over function names (``callee@plt`` for libc imports)."""
+
+    image_name: str
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def callees(self, name: str) -> Set[str]:
+        return set(self.edges.get(name, ()))
+
+    def callers(self, name: str) -> Set[str]:
+        return {caller for caller, callees in self.edges.items()
+                if name in callees}
+
+    def subtree(self, root: str) -> Set[str]:
+        """Transitive closure of callees from ``root`` (root included),
+        restricted to defined functions (PLT leaves excluded)."""
+        if root not in self.edges:
+            raise SymbolNotFound(root)
+        seen: Set[str] = set()
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            if current in seen or current.endswith("@plt"):
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, ()))
+        return seen
+
+    def libc_reachable(self, root: str) -> Set[str]:
+        """Libc imports reachable from ``root``'s subtree."""
+        reachable: Set[str] = set()
+        for func in self.subtree(root):
+            for callee in self.edges.get(func, ()):
+                if callee.endswith("@plt"):
+                    reachable.add(callee[:-len("@plt")])
+        return reachable
+
+    def roots(self) -> Set[str]:
+        called = {c for callees in self.edges.values() for c in callees}
+        return {name for name in self.edges
+                if name not in called and not name.endswith("@plt")}
+
+
+def _isa_call_targets(image: ProgramImage, sym: Symbol) -> Set[str]:
+    """Disassemble one ISA function and resolve direct branch targets."""
+    text = image.sections[".text"]
+    body = text[sym.offset:sym.offset + sym.size]
+    targets: Set[str] = set()
+    for addr, instr in disassemble_bytes(body, base=sym.offset):
+        if instr.op not in (Op.CALL, Op.JMP):
+            continue
+        target_offset = addr + 16 + instr.imm   # next-instruction relative
+        resolved = _symbol_containing(image, target_offset)
+        if resolved is not None and resolved.name != sym.name:
+            targets.add(resolved.name)
+    return targets
+
+
+def _symbol_containing(image: ProgramImage,
+                       text_like_offset: int) -> Optional[Symbol]:
+    """Map a base-relative offset to the function containing it.
+
+    Handles both ``.text`` offsets and ``.plt`` offsets (PLT entries live
+    after ``.text`` in the image layout, and intra-image displacement math
+    already accounts for the section bases).
+    """
+    layout = {name: (off, size) for name, off, size
+              in image.section_layout()}
+    for sym in image.symbols:
+        if sym.kind != "func":
+            continue
+        base = layout[sym.section][0] if sym.section in layout else 0
+        # ISA displacements were computed against section-relative
+        # addresses inside .text; PLT symbols need the section offset.
+        if sym.section == ".text":
+            start = sym.offset
+        elif sym.section == ".plt":
+            start = (layout[".plt"][0] - layout[".text"][0]) + sym.offset
+        else:
+            continue
+        if start <= text_like_offset < start + sym.size:
+            return sym
+    return None
+
+
+def build_callgraph(image: ProgramImage) -> CallGraph:
+    graph = CallGraph(image.name)
+    hl_by_name = {hl.name: hl for hl in image.hl_functions}
+    for sym in image.function_symbols():
+        if sym.section != ".text":
+            continue
+        if sym.name in hl_by_name:
+            declared = hl_by_name[sym.name].calls
+            resolved = set()
+            for callee in declared:
+                if image.has_symbol(callee):
+                    resolved.add(callee)
+                elif callee in image.plt_imports:
+                    resolved.add(f"{callee}@plt")
+                else:
+                    # undeclared external: keep the name; subtree() skips it
+                    resolved.add(callee)
+            graph.edges[sym.name] = resolved
+        else:
+            graph.edges[sym.name] = _isa_call_targets(image, sym)
+    return graph
+
+
+def protected_function_set(image: ProgramImage, root: str) -> Set[str]:
+    """The set of defined functions the follower variant must contain."""
+    return build_callgraph(image).subtree(root)

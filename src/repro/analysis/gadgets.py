@@ -1,0 +1,94 @@
+"""ROP gadget scanner (the Ropper / ROPGadget analogue, paper §4.2).
+
+Scans executable pages for instruction sequences ending in ``RET`` and
+classifies the useful shapes: ``pop <reg>; ret`` (argument loaders) and
+short arithmetic gadgets.  The paper's exploit uses exactly three gadgets
+— load a string pointer into ``%rdi``, pop an integer into ``%rsi``, and
+jump to ``mkdir``'s PLT entry — and the attack builder in
+``repro.attacks.rop`` consumes this scanner's output.
+
+Because our ISA is fixed-width, gadgets are instruction-aligned suffixes
+(DESIGN.md notes this divergence from variable-width x86, where misaligned
+decodings add more gadgets; the attack only needs the aligned ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.machine.disasm import executable_words
+from repro.machine.isa import INSTR_SIZE, Instruction, Op
+from repro.machine.memory import AddressSpace
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """A candidate gadget: instructions ending in RET."""
+
+    address: int
+    instructions: Tuple[Instruction, ...]
+
+    @property
+    def text(self) -> str:
+        return " ; ".join(instr.text() for instr in self.instructions)
+
+    @property
+    def length(self) -> int:
+        return len(self.instructions)
+
+
+def find_gadgets(space: AddressSpace, max_len: int = 3,
+                 region: Optional[Tuple[int, int]] = None) -> List[Gadget]:
+    """All instruction-aligned suffixes of length <= max_len ending in RET.
+
+    ``region=(start, end)`` restricts the scan (e.g. to the application's
+    .text, mirroring how an attacker analyzes the distributed binary but
+    cannot read the randomized, execute-only monitor)."""
+    decoded: Dict[int, Instruction] = {}
+    for addr, instr in executable_words(space):
+        if region is not None and not region[0] <= addr < region[1]:
+            continue
+        decoded[addr] = instr
+
+    gadgets: List[Gadget] = []
+    for addr, instr in decoded.items():
+        if instr.op != Op.RET:
+            continue
+        for length in range(1, max_len + 1):
+            start = addr - (length - 1) * INSTR_SIZE
+            chain = []
+            valid = True
+            for i in range(length):
+                candidate = decoded.get(start + i * INSTR_SIZE)
+                if candidate is None:
+                    valid = False
+                    break
+                # control flow mid-gadget would divert before the RET
+                if i < length - 1 and candidate.op in (
+                        Op.JMP, Op.JMP_R, Op.JMP_M, Op.CALL, Op.CALL_R,
+                        Op.RET, Op.HLT, Op.HLCALL):
+                    valid = False
+                    break
+                chain.append(candidate)
+            if valid:
+                gadgets.append(Gadget(start, tuple(chain)))
+    return gadgets
+
+
+def find_pop_reg_ret(gadgets: Iterable[Gadget], reg: str) -> Optional[Gadget]:
+    """The classic argument-loading gadget: ``pop <reg> ; ret``."""
+    for gadget in gadgets:
+        if (gadget.length == 2
+                and gadget.instructions[0].op == Op.POP_R
+                and gadget.instructions[0].reg1 == reg
+                and gadget.instructions[1].op == Op.RET):
+            return gadget
+    return None
+
+
+def find_ret(gadgets: Iterable[Gadget]) -> Optional[Gadget]:
+    for gadget in gadgets:
+        if gadget.length == 1:
+            return gadget
+    return None

@@ -1,0 +1,104 @@
+"""HTTP parsing helpers for guest code.
+
+These operate on *guest memory* through a :class:`GuestContext` and charge
+compute work, so everything the servers do is visible to the MMU (taint
+tracking, MPK checks) and the cycle accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.process.context import GuestContext
+
+CRLF = b"\r\n"
+
+
+def find_bytes(ctx: GuestContext, buf: int, length: int,
+               needle: bytes, start: int = 0) -> int:
+    """Index of ``needle`` in guest bytes ``[buf, buf+length)``, or -1."""
+    data = ctx.read(buf, length) if length > 0 else b""
+    ctx.charge(max(1, length // 16))
+    index = data.find(needle, start)
+    return index
+
+
+def read_line(ctx: GuestContext, buf: int, length: int,
+              start: int) -> Tuple[Optional[bytes], int]:
+    """Read one CRLF-terminated line starting at offset ``start``.
+
+    Returns ``(line_without_crlf, next_offset)`` or ``(None, start)`` if
+    no full line is available yet.
+    """
+    data = ctx.read(buf + start, max(length - start, 0))
+    ctx.charge(max(1, len(data) // 16))
+    end = data.find(CRLF)
+    if end < 0:
+        return None, start
+    return data[:end], start + end + 2
+
+
+def parse_hex(ctx: GuestContext, raw: bytes) -> int:
+    """Parse a hex chunk-size token into a raw unsigned 64-bit value.
+
+    Faithful to the CVE-2013-2028 ingredient: values >= 2**63 are happily
+    produced here and only later *misinterpreted* as signed by the caller.
+    """
+    ctx.charge(len(raw) + 1)
+    value = 0
+    for byte in raw:
+        if 0x30 <= byte <= 0x39:
+            digit = byte - 0x30
+        elif 0x61 <= byte <= 0x66:
+            digit = byte - 0x61 + 10
+        elif 0x41 <= byte <= 0x46:
+            digit = byte - 0x41 + 10
+        else:
+            break
+        value = (value * 16 + digit) & (2 ** 64 - 1)
+    return value
+
+
+def parse_decimal(ctx: GuestContext, raw: bytes) -> int:
+    ctx.charge(len(raw) + 1)
+    value = 0
+    negative = raw[:1] == b"-"
+    for byte in raw[1:] if negative else raw:
+        if not 0x30 <= byte <= 0x39:
+            break
+        value = value * 10 + (byte - 0x30)
+    return -value if negative else value
+
+
+def itoa(value: int) -> bytes:
+    """Host-side int -> ASCII (the guest charges for the copy it writes)."""
+    return str(int(value)).encode()
+
+
+def header_value(ctx: GuestContext, buf: int, length: int,
+                 name: bytes) -> Optional[bytes]:
+    """Find a header's value (case-insensitive name match)."""
+    data = ctx.read(buf, length)
+    ctx.charge(max(1, length // 8))
+    lower = data.lower()
+    needle = b"\r\n" + name.lower() + b":"
+    index = lower.find(needle)
+    if index < 0:
+        return None
+    start = index + len(needle)
+    end = lower.find(b"\r\n", start)
+    if end < 0:
+        end = length
+    return data[start:end].strip()
+
+
+def http_date(ctx: GuestContext, tm_fields) -> bytes:
+    """Format an RFC-1123-ish date from a TmStruct."""
+    ctx.charge(16)
+    days = (b"Sun", b"Mon", b"Tue", b"Wed", b"Thu", b"Fri", b"Sat")
+    months = (b"Jan", b"Feb", b"Mar", b"Apr", b"May", b"Jun", b"Jul",
+              b"Aug", b"Sep", b"Oct", b"Nov", b"Dec")
+    return b"%s, %02d %s %d %02d:%02d:%02d GMT" % (
+        days[tm_fields.tm_wday % 7], tm_fields.tm_mday,
+        months[tm_fields.tm_mon % 12], tm_fields.tm_year + 1900,
+        tm_fields.tm_hour, tm_fields.tm_min, tm_fields.tm_sec)

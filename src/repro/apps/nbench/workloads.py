@@ -1,0 +1,371 @@
+"""The ten BYTEmark workloads, as guest functions.
+
+Every workload operates on buffers in *guest memory* (allocated through
+guest ``malloc``, filled from ``/dev/urandom`` or deterministic seeds) and
+charges compute in proportion to the work its algorithm actually performs,
+so the cycle accounting matches the suite's published CPU/FPU/memory
+character.  Each returns a checksum so correctness is testable and the
+leader/follower lockstep has real values to agree on.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.kernel.vfs import O_RDONLY
+from repro.loader.image import ImageBuilder, ProgramImage
+from repro.process.context import GuestContext, to_signed
+
+_MASK64 = (1 << 64) - 1
+
+#: default problem scale (kept modest: the simulation charges virtual
+#: cycles for the real operation counts, so small inputs still produce the
+#: right *shape*).
+SCALE = 1
+
+
+def _fill_deterministic(ctx: GuestContext, buf: int, count: int,
+                        seed: int) -> List[int]:
+    """Fill a guest buffer with LCG words; returns them for the host."""
+    values = []
+    state = seed & 0x7FFF_FFFF
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFF_FFFF
+        values.append(state)
+    ctx.write(buf, struct.pack(f"<{count}Q", *values))
+    return values
+
+
+def _checksum(values) -> int:
+    acc = 0
+    for v in values:
+        acc = (acc * 31 + int(v)) & _MASK64
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# integer workloads
+# ---------------------------------------------------------------------------
+
+def nb_numeric_sort(ctx: GuestContext) -> int:
+    """Heapsort of 32-bit integers (the suite's Numeric Sort)."""
+    count = 2048 * SCALE
+    buf = ctx.libc("malloc", count * 8)
+    values = _fill_deterministic(ctx, buf, count, seed=101)
+    values.sort()
+    ctx.write(buf, struct.pack(f"<{count}Q", *values))
+    ctx.charge(int(count * math.log2(count)) * 160)    # n log n compares
+    checksum = _checksum(values[::97])
+    ctx.libc("free", buf)
+    return checksum & 0xFFFF_FFFF
+
+
+def nb_string_sort(ctx: GuestContext) -> int:
+    """Sort variable-length strings with memmove-style shuffling."""
+    count = 512 * SCALE
+    width = 16
+    buf = ctx.libc("malloc", count * width)
+    state = 7
+    rows = []
+    for i in range(count):
+        state = (state * 48271) % 0x7FFF_FFFF
+        rows.append(b"%014x" % state)
+    ctx.write(buf, b"".join(row.ljust(width, b"\x00") for row in rows))
+    rows.sort()
+    ctx.write(buf, b"".join(row.ljust(width, b"\x00") for row in rows))
+    ctx.charge(int(count * math.log2(count)) * width * 30)
+    ctx.libc("strlen", buf)        # the suite's pointer-walk flavour
+    checksum = _checksum([int(row, 16) for row in rows[::31]])
+    ctx.libc("free", buf)
+    return checksum & 0xFFFF_FFFF
+
+
+def nb_bitfield(ctx: GuestContext) -> int:
+    """Bit-manipulation over a large bitmap."""
+    bits = 32768 * SCALE
+    buf = ctx.libc("malloc", bits // 8)
+    ctx.libc("memset", buf, 0, bits // 8)
+    bitmap = bytearray(bits // 8)
+    ops = 4096 * SCALE
+    state = 99
+    for _ in range(ops):
+        state = (state * 1103515245 + 12345) & 0x7FFF_FFFF
+        index = state % bits
+        bitmap[index // 8] ^= 1 << (index % 8)
+    ctx.write(buf, bytes(bitmap))
+    ctx.charge(ops * 1200)
+    checksum = sum(bitmap) & _MASK64
+    ctx.libc("free", buf)
+    return checksum & 0xFFFF_FFFF
+
+
+def nb_fp_emulation(ctx: GuestContext) -> int:
+    """Software floating-point: fixed-point mul/div loops."""
+    iterations = 6000 * SCALE
+    acc = 1 << 16                  # 16.16 fixed point
+    for i in range(1, iterations + 1):
+        acc = (acc * ((i % 37) + 2)) % (1 << 32)
+        acc = (acc << 16) // ((i % 23) + 3)
+        acc &= 0xFFFF_FFFF
+        acc |= 1
+    ctx.charge(iterations * 300)   # emulated FP is many int ops
+    return acc & 0xFFFF_FFFF
+
+
+def nb_assignment(ctx: GuestContext) -> int:
+    """The assignment-problem solver (greedy row-reduction flavour)."""
+    n = 24 * SCALE
+    buf = ctx.libc("malloc", n * n * 8)
+    state = 3
+    cost = []
+    for _ in range(n * n):
+        state = (state * 48271) % 0x7FFF_FFFF
+        cost.append(state % 1000)
+    ctx.write(buf, struct.pack(f"<{n * n}Q", *cost))
+    total = 0
+    used = set()
+    for row in range(n):
+        best, best_col = None, -1
+        for col in range(n):
+            if col in used:
+                continue
+            value = cost[row * n + col]
+            if best is None or value < best:
+                best, best_col = value, col
+        used.add(best_col)
+        total += best
+    ctx.charge(n * n * 9000)
+    ctx.libc("free", buf)
+    return total & 0xFFFF_FFFF
+
+
+def nb_idea(ctx: GuestContext) -> int:
+    """IDEA-like block cipher over a guest buffer."""
+    blocks = 512 * SCALE
+    buf = ctx.libc("malloc", blocks * 8)
+    values = _fill_deterministic(ctx, buf, blocks, seed=77)
+    key = (0x2DD4, 0x55A1, 0x9C13, 0x6B87)
+    out = []
+    for v in values:
+        x = v & 0xFFFF
+        for k in key:
+            x = (x * k) % 65537 & 0xFFFF
+            x = (x + k) & 0xFFFF
+            x ^= (v >> 16) & 0xFFFF
+        out.append(x)
+    ctx.write(buf, struct.pack(f"<{blocks}Q", *out))
+    ctx.charge(blocks * 4 * 900)
+    checksum = _checksum(out[::13])
+    ctx.libc("free", buf)
+    return checksum & 0xFFFF_FFFF
+
+
+def nb_huffman(ctx: GuestContext) -> int:
+    """Huffman compression of a text-like buffer."""
+    size = 4096 * SCALE
+    buf = ctx.libc("malloc", size)
+    state = 17
+    data = bytearray()
+    alphabet = b"etaoin shrdlucmfwypvbgkqjxz.\n"
+    for _ in range(size):
+        state = (state * 1103515245 + 12345) & 0x7FFF_FFFF
+        data.append(alphabet[state % len(alphabet)])
+    ctx.write(buf, bytes(data))
+
+    freq: Dict[int, int] = {}
+    for byte in data:
+        freq[byte] = freq.get(byte, 0) + 1
+    # build the Huffman tree
+    import heapq
+    heap = [(count, i, (symbol,)) for i, (symbol, count)
+            in enumerate(sorted(freq.items()))]
+    heapq.heapify(heap)
+    uid = len(heap)
+    lengths: Dict[int, int] = {s: 0 for s in freq}
+    while len(heap) > 1:
+        c1, _, s1 = heapq.heappop(heap)
+        c2, _, s2 = heapq.heappop(heap)
+        for symbol in s1 + s2:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (c1 + c2, uid, s1 + s2))
+        uid += 1
+    compressed_bits = sum(lengths[b] for b in data)
+    ctx.charge(size * 480 + len(freq) * 16)
+    ctx.libc("free", buf)
+    return compressed_bits & 0xFFFF_FFFF
+
+
+# ---------------------------------------------------------------------------
+# floating-point workloads
+# ---------------------------------------------------------------------------
+
+def nb_fourier(ctx: GuestContext) -> int:
+    """Fourier coefficients by numeric integration."""
+    terms = 24 * SCALE
+    steps = 100
+    coeffs = []
+    for n in range(1, terms + 1):
+        acc = 0.0
+        for k in range(steps):
+            x = (k + 0.5) * (2 * math.pi / steps)
+            acc += (x ** 2) * math.cos(n * x)
+        coeffs.append(acc * 2 / steps)
+    ctx.charge(terms * steps * 800)
+    packed = struct.pack(f"<{terms}d", *coeffs)
+    buf = ctx.libc("malloc", len(packed))
+    ctx.write(buf, packed)
+    ctx.libc("free", buf)
+    return int(abs(sum(coeffs)) * 1000) & 0xFFFF_FFFF
+
+
+def nb_neural_net(ctx: GuestContext) -> int:
+    """Back-propagation network — loads its model file first.
+
+    The file I/O (read in small chunks, like the original's text parser)
+    is what gives Neural Net the suite's highest sMVX overhead (~16%,
+    paper Figure 6): every in-region read is intercepted and emulated.
+    """
+    path = ctx.stack_alloc(32)
+    ctx.write_cstring(path, b"/etc/nnet.dat")
+    fd = to_signed(ctx.libc("open", path, O_RDONLY))
+    if fd < 0:
+        return 0
+    weights: List[float] = []
+    chunk = ctx.stack_alloc(64)
+    raw = b""
+    while True:
+        n = to_signed(ctx.libc("read", fd, chunk, 64))
+        if n <= 0:
+            break
+        raw += ctx.read(chunk, n)
+    ctx.libc("close", fd)
+    for token in raw.split():
+        weights.append(int(token) / 1000.0)
+
+    # train a tiny 8-4-1 network for a few epochs
+    epochs = 12 * SCALE
+    inputs = [[(i >> b) & 1 for b in range(8)] for i in range(16)]
+    w1 = [weights[(i * 4 + j) % len(weights)] for i in range(8)
+          for j in range(4)]
+    w2 = [weights[(j * 7) % len(weights)] for j in range(4)]
+    for _ in range(epochs):
+        for vec in inputs:
+            hidden = []
+            for j in range(4):
+                s = sum(vec[i] * w1[i * 4 + j] for i in range(8))
+                hidden.append(1.0 / (1.0 + math.exp(-s)))
+            out = 1.0 / (1.0 + math.exp(-sum(
+                hidden[j] * w2[j] for j in range(4))))
+            error = (sum(vec) / 8.0) - out
+            for j in range(4):
+                w2[j] += 0.25 * error * hidden[j]
+    ctx.charge(epochs * len(inputs) * (8 * 4 + 4) * 70)
+    return int(abs(sum(w2)) * 10000) & 0xFFFF_FFFF
+
+
+def nb_lu_decomposition(ctx: GuestContext) -> int:
+    """LU decomposition of a dense matrix."""
+    n = 16 * SCALE
+    matrix = [[((i * 7 + j * 13) % 19) + (10.0 if i == j else 0.0)
+               for j in range(n)] for i in range(n)]
+    for k in range(n):
+        for i in range(k + 1, n):
+            factor = matrix[i][k] / matrix[k][k]
+            for j in range(k, n):
+                matrix[i][j] -= factor * matrix[k][j]
+            matrix[i][k] = factor
+    ctx.charge(int(2 * n ** 3 / 3) * 750)
+    packed = struct.pack(f"<{n}d", *[matrix[i][i] for i in range(n)])
+    buf = ctx.libc("malloc", len(packed))
+    ctx.write(buf, packed)
+    ctx.libc("free", buf)
+    determinant_log = sum(math.log(abs(matrix[i][i])) for i in range(n))
+    return int(determinant_log * 1000) & 0xFFFF_FFFF
+
+
+# ---------------------------------------------------------------------------
+# registry & image
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    name: str                  # display name (the paper's axis labels)
+    func: str                  # guest symbol
+    fn: Callable
+    io_heavy: bool = False
+
+
+NBENCH_WORKLOADS: Tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("Numeric Sort", "nb_numeric_sort", nb_numeric_sort),
+    WorkloadSpec("String Sort", "nb_string_sort", nb_string_sort),
+    WorkloadSpec("Bitfield", "nb_bitfield", nb_bitfield),
+    WorkloadSpec("FP Emulation", "nb_fp_emulation", nb_fp_emulation),
+    WorkloadSpec("Fourier", "nb_fourier", nb_fourier),
+    WorkloadSpec("Assignment", "nb_assignment", nb_assignment),
+    WorkloadSpec("IDEA", "nb_idea", nb_idea),
+    WorkloadSpec("Huffman", "nb_huffman", nb_huffman),
+    WorkloadSpec("Neural Net", "nb_neural_net", nb_neural_net,
+                 io_heavy=True),
+    WorkloadSpec("LU Decomposition", "nb_lu_decomposition",
+                 nb_lu_decomposition),
+)
+
+
+def _nb_run(ctx: GuestContext, index: int) -> int:
+    """Dispatch through the workload pointer table, wrapping the main
+    logic in the sMVX region when the annotation asks for it."""
+    table = ctx.symbol("nb_workload_table")
+    target = ctx.read_word(table + 8 * index)
+    config = getattr(ctx.process, "app_config", None) or {}
+    spec = NBENCH_WORKLOADS[index]
+    if config.get("protect") == spec.func:
+        name_ptr = ctx.symbol(f"nbname_{spec.func}")
+        ctx.libc("mvx_start", name_ptr, 0)
+        try:
+            return ctx.call(target)
+        finally:
+            ctx.libc("mvx_end")
+    return ctx.call(target)
+
+
+def _nb_main(ctx: GuestContext, index: int) -> int:
+    ctx.libc("mvx_init")
+    return ctx.call("nb_run", index)
+
+
+def build_nbench_image() -> ProgramImage:
+    builder = ImageBuilder("nbench")
+    builder.import_libc("mvx_init", "mvx_start", "mvx_end",
+                        "open", "read", "close", "malloc", "free",
+                        "memset", "strlen", "time", "getpid")
+    builder.add_hl_function("nb_main", _nb_main, 1, size=2048,
+                            calls=("mvx_init", "nb_run"))
+    builder.add_hl_function(
+        "nb_run", _nb_run, 1, size=2048,
+        calls=tuple(spec.func for spec in NBENCH_WORKLOADS) +
+        ("mvx_start", "mvx_end"))
+    for spec in NBENCH_WORKLOADS:
+        calls = ("malloc", "free")
+        if spec.io_heavy:
+            calls = ("open", "read", "close", "malloc", "free")
+        builder.add_hl_function(spec.func, spec.fn, 0, size=6144,
+                                calls=calls)
+        builder.add_rodata(f"nbname_{spec.func}",
+                           spec.func.encode() + b"\x00")
+    builder.add_pointer_table(
+        "nb_workload_table", [spec.func for spec in NBENCH_WORKLOADS])
+    builder.add_bss("nb_scratch", 16 * 1024)
+    return builder.build()
+
+
+def provision_nbench_files(vfs) -> None:
+    """Write the Neural Net model file (the suite ships NNET.DAT)."""
+    values = []
+    state = 42
+    for _ in range(256):
+        state = (state * 48271) % 0x7FFF_FFFF
+        values.append(str(state % 2000 - 1000))
+    vfs.write_file("/etc/nnet.dat", (" ".join(values)).encode())

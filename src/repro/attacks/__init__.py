@@ -1,0 +1,15 @@
+"""Attack tooling for the §4.2 security evaluation: the ROP chain builder
+(Ropper/ROPGadget analogue) and the CVE-2013-2028 exploit driver."""
+
+from repro.attacks.rop import RopChain, build_mkdir_chain
+from repro.attacks.cve_2013_2028 import (
+    Cve20132028Exploit,
+    run_exploit,
+)
+
+__all__ = [
+    "Cve20132028Exploit",
+    "RopChain",
+    "build_mkdir_chain",
+    "run_exploit",
+]

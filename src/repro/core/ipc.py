@@ -1,0 +1,219 @@
+"""Lockstep IPC between the leader and follower variants.
+
+The paper's monitor synchronizes variants through a shared-memory channel
+with mutexes and condition variables set up by ``setup_mvx()`` (§3.2,
+§3.3).  We reproduce that shape: a :class:`LockstepChannel` carries
+sequence-numbered call records and results between the leader thread and
+the follower thread.
+
+**Strict baton serialization.**  Exactly one variant executes guest code
+at any instant; the baton passes at libc-call boundaries:
+
+1. the leader reaches libc call *k*, posts its record, hands the baton to
+   the follower, and waits;
+2. the follower (now running) reaches *its* call *k*, posts its record,
+   hands the baton back, and waits for the call's result;
+3. the leader compares the records (name + scalar args), executes the call
+   (or marks it local), posts the result, and *keeps* the baton — it runs
+   on to call *k+1* (or to ``mvx_end``), where handing the baton over
+   releases the follower to consume the result and continue.
+
+This serialization is faithful to lockstep MVX semantics and makes every
+run bit-deterministic, which the virtual-time benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.divergence import CallRecord, DivergenceKind, DivergenceReport
+from repro.errors import MvxDivergence, MvxError
+
+#: Wall-clock safety net so a protocol bug fails a test instead of hanging.
+_WAIT_TIMEOUT_S = 30.0
+
+LEADER = "leader"
+FOLLOWER = "follower"
+
+
+@dataclass
+class LibcResult:
+    """What the leader publishes after executing (or classifying) a call."""
+
+    seq: int
+    retval: int
+    errno: int
+    #: True when the call is LOCAL-category: the follower must execute it
+    #: itself against its own memory instead of consuming emulated state.
+    execute_locally: bool = False
+    #: (follower_address, bytes) pairs the monitor already wrote — recorded
+    #: for inspection/accounting.
+    buffers_copied: Tuple[Tuple[int, int], ...] = ()
+
+
+@dataclass
+class VariantStatus:
+    done: bool = False
+    fault: Optional[str] = None
+    calls_made: int = 0
+
+
+class LockstepTimeout(MvxError):
+    pass
+
+
+class LockstepChannel:
+    """The shared-memory rendezvous object (host model of the paper's
+    mutex/condvar + ring buffer)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._baton = LEADER
+        self._pending: Dict[str, Optional[CallRecord]] = {
+            LEADER: None, FOLLOWER: None}
+        self._result: Optional[LibcResult] = None
+        self.status: Dict[str, VariantStatus] = {
+            LEADER: VariantStatus(), FOLLOWER: VariantStatus()}
+        self.rendezvous_count = 0
+        self.divergence: Optional[DivergenceReport] = None
+
+    # -- internals -------------------------------------------------------------
+
+    def _wait_for(self, predicate, who: str) -> None:
+        deadline = _WAIT_TIMEOUT_S
+        if not self._cond.wait_for(predicate, timeout=deadline):
+            raise LockstepTimeout(
+                f"{who}: lockstep wait timed out (protocol stall)")
+
+    def _give_baton(self, to: str) -> None:
+        self._baton = to
+        self._cond.notify_all()
+
+    def _flag_divergence(self, report: DivergenceReport) -> None:
+        self.divergence = report
+        self._cond.notify_all()
+
+    # -- leader side --------------------------------------------------------------
+
+    def leader_announce(self, record: CallRecord) -> CallRecord:
+        """Post the leader's call, release the follower, wait for its
+        matching record.  Returns the follower's record."""
+        with self._cond:
+            self._pending[LEADER] = record
+            self.status[LEADER].calls_made += 1
+            self._give_baton(FOLLOWER)
+            self._wait_for(
+                lambda: (self._pending[FOLLOWER] is not None
+                         or self.status[FOLLOWER].done
+                         or self.divergence is not None),
+                LEADER)
+            if self.divergence is not None:
+                raise MvxDivergence(self.divergence)
+            if self._pending[FOLLOWER] is None:
+                # follower finished without making this call
+                status = self.status[FOLLOWER]
+                kind = (DivergenceKind.FOLLOWER_FAULT if status.fault
+                        else DivergenceKind.CALL_COUNT)
+                report = DivergenceReport(
+                    kind, record.seq, record.name,
+                    status.fault or
+                    f"follower returned after {status.calls_made} calls; "
+                    f"leader issued call #{record.seq} ({record.name})")
+                self._flag_divergence(report)
+                raise MvxDivergence(report)
+            follower_record = self._pending[FOLLOWER]
+            self._pending[FOLLOWER] = None
+            self.rendezvous_count += 1
+            return follower_record
+
+    def leader_publish(self, result: LibcResult) -> None:
+        """Publish the executed call's result; the baton stays with the
+        leader (the follower picks the result up at the next handoff)."""
+        with self._cond:
+            self._pending[LEADER] = None
+            self._result = result
+            self._cond.notify_all()
+
+    def leader_finish(self) -> VariantStatus:
+        """mvx_end: mark the leader done, release the follower to drain,
+        and wait for the follower to complete."""
+        with self._cond:
+            self.status[LEADER].done = True
+            self._give_baton(FOLLOWER)
+            self._wait_for(
+                lambda: (self.status[FOLLOWER].done
+                         or self.divergence is not None),
+                LEADER)
+            if self.divergence is not None:
+                raise MvxDivergence(self.divergence)
+            return self.status[FOLLOWER]
+
+    def leader_abort(self, report: DivergenceReport) -> None:
+        with self._cond:
+            self._flag_divergence(report)
+
+    # -- follower side ---------------------------------------------------------------
+
+    def follower_wait_turn(self) -> None:
+        """Block until the baton arrives (initial release and after each
+        of the leader's call boundaries)."""
+        with self._cond:
+            self._wait_for(
+                lambda: self._baton == FOLLOWER or self.divergence is not None,
+                FOLLOWER)
+            if self.divergence is not None:
+                raise MvxDivergence(self.divergence)
+
+    def follower_announce(self, record: CallRecord) -> LibcResult:
+        """Post the follower's call, hand the baton back, wait for the
+        leader's result."""
+        with self._cond:
+            if self.status[LEADER].done:
+                report = DivergenceReport(
+                    DivergenceKind.CALL_COUNT, record.seq, record.name,
+                    f"follower issued extra call #{record.seq} "
+                    f"({record.name}) after the leader finished")
+                self._flag_divergence(report)
+                raise MvxDivergence(report)
+            self._pending[FOLLOWER] = record
+            self.status[FOLLOWER].calls_made += 1
+            self._result = None
+            self._give_baton(LEADER)
+            self._wait_for(
+                lambda: self._result is not None or self.divergence is not None,
+                FOLLOWER)
+            if self.divergence is not None:
+                raise MvxDivergence(self.divergence)
+            result = self._result
+            # wait for the baton before running on (strict serialization)
+            self._wait_for(
+                lambda: self._baton == FOLLOWER or self.divergence is not None,
+                FOLLOWER)
+            if self.divergence is not None:
+                raise MvxDivergence(self.divergence)
+            return result
+
+    def follower_abort(self, report: DivergenceReport) -> None:
+        """Follower-detected divergence (e.g. a local-call return value
+        mismatch): flag it and wake the leader."""
+        with self._cond:
+            self._flag_divergence(report)
+
+    def follower_finish(self, fault: Optional[str] = None) -> None:
+        with self._cond:
+            status = self.status[FOLLOWER]
+            status.done = True
+            status.fault = fault
+            self._give_baton(LEADER)
+
+
+__all__ = [
+    "FOLLOWER",
+    "LEADER",
+    "LibcResult",
+    "LockstepChannel",
+    "LockstepTimeout",
+    "VariantStatus",
+]

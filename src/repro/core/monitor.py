@@ -1,0 +1,568 @@
+"""The sMVX in-process monitor.
+
+One :class:`SmvxMonitor` per protected process.  ``setup()`` plays the
+role of the paper's ``LD_PRELOAD`` constructor ``setup_mvx()`` (§3.2):
+
+1. read the profile file the pre-run script left in ``/tmp``;
+2. read ``/proc/self/maps`` to locate the loaded target;
+3. save the original libc addresses out of the target's ``.got.plt`` (so
+   the monitor can call libc "internally without intercepting ourselves");
+4. build + load the monitor image at a randomized base, key its pages
+   with a freshly allocated protection key, make its text execute-only;
+5. patch the target's GOT slots to the interposition stubs;
+6. allocate the per-thread safe stacks and the lockstep IPC memory;
+7. close the monitor pkey in every application thread's PKRU.
+
+At runtime the monitor implements the ``mvx_init``/``mvx_start``/
+``mvx_end`` API (§3.2), follower-variant creation (§3.4 via
+``repro.core.variant``), and libc lockstep synchronization (§3.3 via
+``repro.core.ipc`` + the Table 1 categories).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.divergence import (
+    AlarmLog,
+    CallRecord,
+    DivergenceKind,
+    DivergenceReport,
+    compare_calls,
+)
+from repro.core.ipc import (
+    FOLLOWER,
+    LEADER,
+    LibcResult,
+    LockstepChannel,
+    LockstepTimeout,
+)
+from repro.core.aligned import create_aligned_follower
+from repro.core.relocate import OldRange, PointerRelocator
+from repro.core.reuse import CachedVariant, park_variant, refresh_variant
+from repro.core.trampoline import (
+    allocate_monitor_memory,
+    build_monitor_image,
+    harden_monitor_text,
+    randomized_monitor_base,
+)
+from repro.core.variant import FollowerVariant, create_follower
+from repro.errors import (
+    MachineFault,
+    MvxDivergence,
+    MvxSetupError,
+    MvxStateError,
+)
+from repro.kernel.vfs import O_RDONLY
+from repro.libc.categories import BufSize, Category, EmulationSpec, spec_for
+from repro.libc.libc import LIBC_ARITIES, LIBC_FUNCTIONS
+from repro.loader.loader import LoadedImage
+from repro.loader.profile_tool import read_profile, write_profile
+from repro.machine.mpk import PkeyAllocator
+from repro.machine.registers import ARG_REGISTERS
+from repro.process.context import GuestContext, to_signed
+from repro.process.process import GuestProcess, GuestThread
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class MonitorStats:
+    intercepted_calls: int = 0
+    passthrough_calls: int = 0
+    leader_calls: int = 0
+    follower_calls: int = 0
+    emulated_calls: int = 0
+    local_calls: int = 0
+    bytes_copied: int = 0
+    regions_entered: int = 0
+
+
+@dataclass
+class ActiveRegion:
+    root: str
+    leader: GuestThread
+    variant: FollowerVariant
+    channel: LockstepChannel
+    relocator: PointerRelocator
+    py_thread: threading.Thread
+    leader_seq: int = 0
+    follower_seq: int = 0
+
+
+class SmvxMonitor:
+    """The in-process, MPK-isolated sMVX monitor."""
+
+    def __init__(self, process: GuestProcess,
+                 alarm_log: Optional[AlarmLog] = None,
+                 alias_info=None, reuse_variants: bool = False,
+                 variant_strategy: str = "shift"):
+        if variant_strategy not in ("shift", "aligned"):
+            raise MvxSetupError(
+                f"unknown variant strategy {variant_strategy!r}")
+        self.process = process
+        self.costs = process.costs
+        self.alarms = alarm_log or AlarmLog()
+        self.alias_info = alias_info
+        #: "shift" = the paper's prototype (non-overlapping addresses,
+        #: pointer scan); "aligned" = the §5 alternative (same addresses,
+        #: diversified function interiors, no relocation).
+        self.variant_strategy = variant_strategy
+        #: §5 optimization: keep the follower across regions of the same
+        #: root and refresh only dirty pages (see repro.core.reuse).
+        #: (shift strategy only; aligned creation is already cheap.)
+        self.reuse_variants = reuse_variants and variant_strategy == "shift"
+        self._cached_variants: Dict[str, CachedVariant] = {}
+        self.last_refresh_stats = None
+        #: cumulative refreshes per protected root (reuse mode)
+        self.refresh_counts: Dict[str, int] = {}
+        self.stats = MonitorStats()
+        self.target: Optional[LoadedImage] = None
+        self.monitor_image: Optional[LoadedImage] = None
+        self.memory = None
+        self.pkey: Optional[int] = None
+        self.plt_names: List[str] = []
+        self.real_libc: Dict[str, int] = {}
+        self.region: Optional[ActiveRegion] = None
+        self._libc_loaded: Optional[LoadedImage] = None
+        self._region_lock = threading.Lock()
+        self.last_variant_report = None
+
+    # ------------------------------------------------------------------
+    # setup (the LD_PRELOAD constructor)
+    # ------------------------------------------------------------------
+
+    def setup(self, target: LoadedImage,
+              profile_path: Optional[str] = None) -> None:
+        process = self.process
+        if process.smvx_monitor is not None:
+            raise MvxSetupError("a monitor is already attached")
+        self.target = target
+        # mvx_*() entries are redirected to the monitor's own
+        # implementations rather than run through the libc gate.
+        self.plt_names = [name for name in target.image.plt_imports
+                          if not name.startswith("mvx_")]
+        self._mvx_imports = [name for name in target.image.plt_imports
+                             if name.startswith("mvx_")]
+
+        # 1. the profile file from the pre-run analysis script
+        if profile_path is None:
+            profile_path = write_profile(process.kernel.vfs, target.image)
+        self.profile = read_profile(process.kernel.vfs, profile_path)
+
+        # 2. /proc/self/maps — a real guest-visible read
+        self._read_self_maps()
+
+        # 3. original libc entry points, before any patching
+        for name in self.plt_names:
+            self.real_libc[name] = process.loader.read_got_slot(target, name)
+
+        # find the loaded libc image (for building libc call contexts)
+        for loaded in process.loader.images:
+            if loaded.image.name == "libc.so":
+                self._libc_loaded = loaded
+        if self._libc_loaded is None:
+            raise MvxSetupError("libc.so not loaded in target process")
+
+        # 4. monitor image at a randomized, pkey-guarded location
+        allocator = getattr(process, "pkey_allocator", None)
+        if allocator is None:
+            allocator = PkeyAllocator()
+            process.pkey_allocator = allocator
+        self.pkey = allocator.alloc()
+        self.memory = allocate_monitor_memory(process.space, self.pkey)
+        image = build_monitor_image(
+            self.plt_names, self._gate, self._api_init, self._api_start,
+            self._api_end, self.memory.pkru_open, self.memory.pkru_closed)
+        base = randomized_monitor_base(f"{process.pid}:{target.tag}")
+        self.monitor_image = process.loader.load(
+            image, base=base, tag="smvx_monitor", pkey=self.pkey)
+        harden_monitor_text(process.space, self.monitor_image)
+
+        # 5. interpose on every libc import; redirect mvx_*() to the
+        #    monitor's own implementations (paper §3.2: "calls to mvx_*()
+        #    functions are redirected to the sMVX monitor")
+        for name in self.plt_names:
+            stub = self.monitor_image.symbol_address(f"smvx_stub_{name}")
+            process.loader.patch_got_slot(target, name, stub)
+        for name in self._mvx_imports:
+            impl = self.monitor_image.symbol_address(name)
+            process.loader.patch_got_slot(target, name, impl)
+
+        # 7. hide the monitor from application code
+        process.default_pkru = self.memory.pkru_closed
+        for thread in process.threads:
+            thread.state.pkru = self.memory.pkru_closed
+        process.smvx_monitor = self
+
+    def _read_self_maps(self) -> None:
+        process = self.process
+        kernel = process.kernel
+        scratch = process.space.mmap(None, 8192, tag="smvx:setup-scratch")
+        process.space.write(scratch, b"/proc/self/maps\x00",
+                            privileged=True)
+        fd = kernel.syscall(process, "open", scratch, O_RDONLY)
+        if fd < 0:
+            raise MvxSetupError("cannot open /proc/self/maps")
+        chunks = []
+        while True:
+            n = kernel.syscall(process, "read", fd, scratch + 256, 4096)
+            if n <= 0:
+                break
+            chunks.append(process.space.read(scratch + 256, n,
+                                             privileged=True))
+        kernel.syscall(process, "close", fd)
+        process.space.munmap(scratch, 8192)
+        self.self_maps = b"".join(chunks).decode()
+
+    # ------------------------------------------------------------------
+    # the mvx_*() API implementations (called through the stub image)
+    # ------------------------------------------------------------------
+
+    def _api_init(self, ctx: GuestContext) -> int:
+        # setup() already ran at preload; mvx_init() validates and charges
+        # the pkey-association work.
+        if self.target is None:
+            return -1
+        self.process.charge(self.costs.monitor_call_ns, "smvx-init")
+        return 0
+
+    def _api_start(self, ctx: GuestContext, name_ptr: int, nargs: int,
+                   *raw_args: int) -> int:
+        name = ctx.read_cstring(name_ptr).decode()
+        nargs = min(int(nargs), len(raw_args))
+        args = list(raw_args[:nargs])
+        self.region_start(ctx.thread, name, args)
+        return 0
+
+    def _api_end(self, ctx: GuestContext) -> int:
+        if self.region is None:
+            return -1
+        self.region_end(ctx.thread)
+        return 0
+
+    # ------------------------------------------------------------------
+    # region lifecycle
+    # ------------------------------------------------------------------
+
+    def region_start(self, leader: GuestThread, root_function: str,
+                     args: Sequence[int]) -> None:
+        if self.region is not None:
+            raise MvxStateError("nested mvx_start() is not supported")
+        if not self.target.has_symbol(root_function):
+            # resolve via the profile (the paper's name->address mapping)
+            raise MvxSetupError(
+                f"protected function {root_function!r} not in profile")
+        self.stats.regions_entered += 1
+        cached = (self._cached_variants.pop(root_function, None)
+                  if self.reuse_variants else None)
+        if cached is not None:
+            variant, relocated_args, refresh = refresh_variant(
+                self.process, cached, self.target, args, self.costs)
+            self.last_refresh_stats = refresh
+            self.refresh_counts[root_function] = \
+                self.refresh_counts.get(root_function, 0) + 1
+        elif self.variant_strategy == "aligned":
+            variant, relocated_args = create_aligned_follower(
+                self.process, self.target, root_function, args, self.costs)
+        else:
+            variant, relocated_args = create_follower(
+                self.process, self.target, root_function, args, self.costs,
+                alias_info=self.alias_info)
+        self.last_variant_report = variant.report
+        variant.thread.state.pkru = self.memory.pkru_closed
+        channel = LockstepChannel()
+        relocator = PointerRelocator(
+            self.process.space,
+            [OldRange(self.target.base,
+                      self.target.base + self.target.image.load_size,
+                      "image"),
+             OldRange(self.process.heap.base,
+                      self.process.heap.base + self.process.heap.size,
+                      "heap")],
+            variant.report.shift, self.costs)
+        leader.variant = LEADER
+
+        py_thread = threading.Thread(
+            target=self._follower_main,
+            args=(variant, relocated_args, channel),
+            name=f"smvx-follower-{root_function}",
+            daemon=True)
+        self.region = ActiveRegion(root_function, leader, variant, channel,
+                                   relocator, py_thread)
+        py_thread.start()
+
+    def _follower_main(self, variant: FollowerVariant,
+                       args: Sequence[int],
+                       channel: LockstepChannel) -> None:
+        try:
+            channel.follower_wait_turn()
+            self.process.guest_call(variant.thread, variant.entry, *args)
+        except MvxDivergence:
+            # already flagged on the channel; just exit
+            channel.follower_finish(fault="divergence")
+            return
+        except MachineFault as fault:
+            channel.follower_finish(
+                fault=f"{type(fault).__name__}: {fault} "
+                      f"(address {fault.address:#x})")
+            return
+        except LockstepTimeout as timeout:
+            channel.follower_finish(fault=f"lockstep timeout: {timeout}")
+            return
+        channel.follower_finish()
+
+    def region_end(self, leader: GuestThread) -> None:
+        region = self.region
+        if region is None:
+            raise MvxStateError("mvx_end() without an active region")
+        if leader is not region.leader:
+            raise MvxStateError("mvx_end() from a non-leader thread")
+        try:
+            status = region.channel.leader_finish()
+        except MvxDivergence as divergence:
+            self._teardown_region(alarm=divergence.report)
+            raise
+        if status.fault:
+            report = DivergenceReport(
+                DivergenceKind.FOLLOWER_FAULT, detail=status.fault)
+            self._teardown_region(alarm=report)
+            raise MvxDivergence(report)
+        self._teardown_region()
+
+    def abort_region(self, report: DivergenceReport) -> None:
+        if self.region is not None:
+            self.region.channel.leader_abort(report)
+            self._teardown_region(alarm=report)
+
+    def _teardown_region(self,
+                         alarm: Optional[DivergenceReport] = None) -> None:
+        region = self.region
+        self.region = None
+        if alarm is not None:
+            self.alarms.raise_alarm(alarm)
+        region.leader.variant = "main"
+        region.py_thread.join(timeout=30)
+        if alarm is None and self.reuse_variants:
+            # §5: park the follower and track dirtiness instead of paying
+            # full duplication + scans on the next region entry
+            self._cached_variants[region.root] = park_variant(
+                self.process, region.variant, self.target)
+        else:
+            region.variant.destroy(self.process)
+
+    def drop_variant_caches(self) -> None:
+        """Destroy all parked followers (frees their memory)."""
+        for cached in self._cached_variants.values():
+            cached.tracker.detach()
+            cached.variant.destroy(self.process)
+        self._cached_variants.clear()
+
+    # ------------------------------------------------------------------
+    # the gate: every intercepted libc call lands here
+    # ------------------------------------------------------------------
+
+    def _gate(self, ctx: GuestContext) -> int:
+        process = self.process
+        thread = ctx.thread
+        regs = ctx.regs
+        rsp = regs.get("rsp")
+        # unsafe-stack frame laid out by the trampoline (see trampoline.py)
+        rdx_saved = ctx.read_word(rsp + 8)
+        rcx_saved = ctx.read_word(rsp + 16)
+        rax_saved = ctx.read_word(rsp + 24)
+        plt_index = ctx.read_word(rsp + 32)
+        name = self.plt_names[plt_index]
+        arity = LIBC_ARITIES[name]
+
+        args = []
+        for index in range(arity):
+            if index == 2:
+                args.append(rdx_saved)
+            elif index == 3:
+                args.append(rcx_saved)
+            elif index < 6:
+                args.append(regs.get(ARG_REGISTERS[index]))
+            else:
+                args.append(ctx.read_word(
+                    rsp + 48 + 8 * (index - 6)))
+
+        self.stats.intercepted_calls += 1
+        # per-thread: a follower's interception work burns its own core
+        thread.counter.charge(
+            self.costs.trampoline_ns + self.costs.monitor_call_ns,
+            "smvx-intercept")
+
+        # stack pivot: monitor logic runs on the pkey-guarded safe stack
+        slots = self.memory.safe_stack_size // (2 * 4096)
+        slot = self.process.threads.index(thread) % slots
+        unsafe_rsp = rsp
+        regs.set("rsp", self.memory.safe_stack_top(slot))
+        try:
+            return self._dispatch(ctx, thread, name, args)
+        finally:
+            regs.set("rsp", unsafe_rsp)
+
+    def _dispatch(self, ctx: GuestContext, thread: GuestThread,
+                  name: str, args: List[int]) -> int:
+        region = self.region
+        if region is not None and thread is region.leader:
+            return self._leader_call(ctx, thread, name, args)
+        if region is not None and thread is region.variant.thread:
+            return self._follower_call(ctx, thread, name, args)
+        self.stats.passthrough_calls += 1
+        return self._execute_libc(thread, name, args)
+
+    def _execute_libc(self, thread: GuestThread, name: str,
+                      args: List[int]) -> int:
+        """Run the *real* libc implementation (saved at setup) directly —
+        the monitor never re-enters its own interception."""
+        fn, _arity = LIBC_FUNCTIONS[name]
+        libc_ctx = GuestContext(self.process, thread, self._libc_loaded,
+                                name)
+        thread.func_stack.append(name)
+        try:
+            result = fn(libc_ctx, *args)
+        finally:
+            thread.func_stack.pop()
+        return int(result or 0) & _MASK64
+
+    # -- leader side ----------------------------------------------------------
+
+    def _leader_call(self, ctx: GuestContext, thread: GuestThread,
+                     name: str, args: List[int]) -> int:
+        region = self.region
+        spec = spec_for(name) or EmulationSpec(name, Category.LOCAL)
+        region.leader_seq += 1
+        record = CallRecord(region.leader_seq, name, tuple(args), LEADER)
+        self.stats.leader_calls += 1
+        self.process.charge(self.costs.rendezvous_ns, "smvx-rendezvous")
+
+        try:
+            follower_record = region.channel.leader_announce(record)
+        except MvxDivergence as divergence:
+            self._teardown_region(alarm=divergence.report)
+            raise
+
+        report = compare_calls(record, follower_record, spec.pointer_args)
+        if report is not None:
+            region.channel.leader_abort(report)
+            self._teardown_region(alarm=report)
+            raise MvxDivergence(report)
+
+        if spec.category is Category.LOCAL:
+            retval = self._execute_libc(thread, name, args)
+            self.stats.local_calls += 1
+            region.channel.leader_publish(LibcResult(
+                record.seq, retval, thread.errno, execute_locally=True))
+            return retval
+
+        retval = self._execute_libc(thread, name, args)
+        self.stats.emulated_calls += 1
+        follower_ret, copied = self._emulate_for_follower(
+            spec, retval, record, follower_record)
+        region.channel.leader_publish(LibcResult(
+            record.seq, follower_ret, thread.errno,
+            buffers_copied=tuple(copied)))
+        return retval
+
+    def _emulate_for_follower(self, spec: EmulationSpec, retval: int,
+                              leader: CallRecord, follower: CallRecord
+                              ) -> Tuple[int, List[Tuple[int, int]]]:
+        """Copy output buffers into the follower's memory and translate a
+        pointer-valued return (paper §3.3 + the §3.3 'special' cases).
+
+        Reads come from the leader's view, writes go through the
+        follower's own view — under the aligned-variant strategy the same
+        numeric address names *different* pages in the two views."""
+        space = self.process.space
+        follower_space = self.region.variant.thread.space
+        region = self.region
+        copied: List[Tuple[int, int]] = []
+        signed_ret = to_signed(retval)
+
+        if signed_ret >= 0:
+            for buffer in spec.out_buffers:
+                if buffer.arg_index >= len(leader.args):
+                    continue
+                leader_ptr = leader.args[buffer.arg_index]
+                follower_ptr = follower.args[buffer.arg_index]
+                if leader_ptr == 0 or follower_ptr == 0:
+                    continue
+                if buffer.size is BufSize.RETVAL:
+                    size = signed_ret
+                elif buffer.size is BufSize.RETVAL_TIMES:
+                    size = signed_ret * buffer.fixed_size
+                else:
+                    size = buffer.fixed_size
+                if size <= 0:
+                    continue
+                if spec.category is Category.SPECIAL and spec.name == "ioctl":
+                    # pointer-in-address-space heuristic (paper §3.3)
+                    if not space.is_mapped(leader_ptr):
+                        continue
+                data = space.read(leader_ptr, size, privileged=True)
+                follower_space.write(follower_ptr, data, privileged=True)
+                copied.append((follower_ptr, size))
+                self.stats.bytes_copied += size
+                self.process.charge(size * self.costs.ipc_copy_byte_ns,
+                                    "smvx-ipc-copy")
+            if spec.name in ("epoll_wait", "epoll_pwait") and signed_ret > 0:
+                self._translate_epoll_data(follower.args[1], signed_ret)
+
+        follower_ret = retval
+        if spec.retval_is_pointer:
+            # a pointer return usually aliases one of the arguments
+            # (localtime_r returns its result buffer); map positionally,
+            # else fall back to old-range relocation.
+            follower_ret = None
+            for index, value in enumerate(leader.args):
+                if value == retval and index < len(follower.args):
+                    follower_ret = follower.args[index]
+                    break
+            if follower_ret is None:
+                follower_ret = region.relocator.relocate_value(retval)
+        return follower_ret & _MASK64, copied
+
+    def _translate_epoll_data(self, follower_events: int, count: int) -> None:
+        """epoll_data is a union; when a value looks like a pointer into
+        the leader's ranges, hand the follower its shifted equivalent."""
+        space = self.region.variant.thread.space
+        relocator = self.region.relocator
+        for index in range(count):
+            slot = follower_events + 16 * index + 8
+            value = space.read_word(slot, privileged=True)
+            translated = relocator.relocate_value(value)
+            if translated != value:
+                space.write_word(slot, translated, privileged=True)
+
+    # -- follower side -----------------------------------------------------------
+
+    def _follower_call(self, ctx: GuestContext, thread: GuestThread,
+                       name: str, args: List[int]) -> int:
+        region = self.region
+        region.follower_seq += 1
+        record = CallRecord(region.follower_seq, name, tuple(args), FOLLOWER)
+        self.stats.follower_calls += 1
+        # follower-side wait burns its own core, not wall time (the wall
+        # cost of the rendezvous is charged once, on the leader side)
+        thread.counter.charge(self.costs.rendezvous_ns, "smvx-rendezvous")
+        result = region.channel.follower_announce(record)
+        if result.execute_locally:
+            mine = self._execute_libc(thread, name, args)
+            spec = spec_for(name)
+            # paper §3.3: return values are lockstep-checked too; pointer
+            # returns legitimately differ between layouts and are skipped
+            if (spec is None or not spec.retval_is_pointer) \
+                    and mine != result.retval:
+                report = DivergenceReport(
+                    DivergenceKind.RETVAL, record.seq, name,
+                    f"local call returned {mine:#x} in the follower vs "
+                    f"{result.retval:#x} in the leader")
+                region.channel.follower_abort(report)
+                raise MvxDivergence(report)
+            return mine
+        thread.errno = result.errno
+        return result.retval

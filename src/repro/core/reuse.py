@@ -1,0 +1,168 @@
+"""Variant reuse: the paper's §5 / Table 2 "pre-scanning and pre-updating"
+optimization, implemented.
+
+The paper observes that creating the follower *inside* a control loop
+repeatedly pays duplication + pointer-scan costs, and points at
+RuntimeASLR's fix: pre-scan and pre-update the variant.  This module
+implements the incremental form:
+
+* at ``mvx_end`` the follower's memory is **kept**, and a write observer
+  starts recording which leader pages (image region + heap) get dirtied;
+* at the next ``mvx_start`` with the same root, only the dirty pages are
+  re-copied into the follower and re-scanned for pointers — everything
+  clean since the last region is already correct.
+
+Because the follower replays the leader's execution, any page the
+follower dirtied in the previous region corresponds to a leader-dirtied
+page, so refreshing the leader-dirty set restores full leader/follower
+agreement.  (A leader that maps *new* regions mid-run defeats the cache;
+``SmvxMonitor`` falls back to a full rebuild if the heap arena moved.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.relocate import OldRange, PointerRelocator
+from repro.core.variant import FollowerVariant
+from repro.machine.costs import CostModel
+from repro.machine.memory import PAGE_SIZE, page_align_down, page_align_up
+from repro.process.process import GuestProcess
+
+
+class DirtyTracker:
+    """Records which pages of the watched ranges are written."""
+
+    def __init__(self, space, ranges: Sequence[Tuple[int, int]]):
+        self.space = space
+        self.ranges = list(ranges)          # (start, end)
+        self.dirty_pages: Set[int] = set()
+        self._attached = False
+
+    def _observe(self, op: str, addr: int, size: int, value) -> None:
+        if op != "write":
+            return
+        for start, end in self.ranges:
+            if addr + size <= start or addr >= end:
+                continue
+            first = max(addr, start)
+            last = min(addr + size, end)
+            for page in range(page_align_down(first),
+                              page_align_up(last), PAGE_SIZE):
+                self.dirty_pages.add(page)
+
+    def attach(self) -> "DirtyTracker":
+        if not self._attached:
+            self.space.add_observer(self._observe)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.space.remove_observer(self._observe)
+            self._attached = False
+
+
+@dataclass
+class CachedVariant:
+    """A parked follower plus the tracker watching for staleness."""
+
+    variant: FollowerVariant
+    tracker: DirtyTracker
+    heap_brk: int                      # leader brk at park time
+    refresh_count: int = 0
+
+
+@dataclass
+class RefreshStats:
+    dirty_pages: int = 0
+    data_pages_rescanned: int = 0
+    heap_pages_rescanned: int = 0
+    pointers_fixed: int = 0
+    time_ns: float = 0.0
+
+
+def watch_ranges(process: GuestProcess, variant: FollowerVariant,
+                 target) -> List[Tuple[int, int]]:
+    heap = process.heap
+    return [
+        (target.base, target.base + page_align_up(target.image.load_size)),
+        (heap.base, heap.base + heap.size),
+    ]
+
+
+def park_variant(process: GuestProcess, variant: FollowerVariant,
+                 target) -> CachedVariant:
+    """Keep the follower alive after mvx_end and start dirty tracking."""
+    tracker = DirtyTracker(process.space,
+                           watch_ranges(process, variant, target)).attach()
+    return CachedVariant(variant=variant, tracker=tracker,
+                         heap_brk=process.heap.used_range()[1])
+
+
+def refresh_variant(process: GuestProcess, cached: CachedVariant,
+                    target, args: Sequence[int],
+                    costs: CostModel) -> Tuple[FollowerVariant, List[int],
+                                               RefreshStats]:
+    """Bring a parked follower back in sync by touching only dirty pages."""
+    cached.tracker.detach()
+    variant = cached.variant
+    shift = variant.report.shift
+    heap = process.heap
+    stats = RefreshStats()
+
+    # pages dirtied since parking, plus any heap growth
+    dirty = set(cached.tracker.dirty_pages)
+    new_brk = heap.used_range()[1]
+    for page in range(page_align_down(cached.heap_brk),
+                      page_align_up(new_brk), PAGE_SIZE):
+        dirty.add(page)
+    stats.dirty_pages = len(dirty)
+
+    text_start, text_size = target.section_range(".text")
+    data_ranges = [target.section_range(s)
+                   for s in (".plt", ".rodata", ".got.plt", ".data",
+                             ".bss")]
+    relocator = PointerRelocator(
+        process.space,
+        [OldRange(target.base,
+                  target.base + target.image.load_size, "image"),
+         OldRange(heap.base, heap.base + heap.size, "heap")],
+        shift, costs, charge=process.charge)
+
+    copied_ns = 0.0
+    for page in sorted(dirty):
+        src = process.space.page_at(page)
+        dst = process.space.page_at(page + shift)
+        if src is None or dst is None:
+            continue
+        dst.data[:] = src.data
+        copied_ns += costs.page_copy_ns
+        # rescan the refreshed copy page for pointers
+        if heap.base <= page < heap.base + heap.size:
+            scan = relocator.scan_heap_region(page + shift, PAGE_SIZE,
+                                              region="heap-dirty")
+            stats.heap_pages_rescanned += 1
+        elif any(start <= page < start + page_align_up(max(size, 1))
+                 for start, size in data_ranges):
+            scan = relocator.scan_data_region(page + shift, PAGE_SIZE,
+                                              "data-dirty")
+            stats.data_pages_rescanned += 1
+        elif text_start <= page < text_start + page_align_up(text_size):
+            continue                    # text is immutable; copy was enough
+        else:
+            continue
+        stats.pointers_fixed += scan.pointers_found
+    process.charge(copied_ns, "variant-refresh-copy")
+    stats.time_ns = copied_ns
+
+    # re-sync the follower allocator to the leader's current heap state
+    variant.heap.adopt_bookkeeping(heap.clone_bookkeeping(shift))
+    process.thread_heaps[variant.thread] = variant.heap
+    variant.thread.reset_stack_pointer()
+    variant.thread.errno = 0
+
+    relocated_args = [relocator.relocate_value(int(a)) for a in args]
+    cached.refresh_count += 1
+    return variant, relocated_args, stats

@@ -1,0 +1,35 @@
+"""Simulated operating-system kernel.
+
+Provides everything the guest applications and the MVX monitors need from
+an OS: a virtual wall/monotonic clock, a virtual filesystem (including
+``/dev/urandom`` and ``/proc/self/maps``), loopback TCP-ish sockets with a
+configurable latency, epoll, per-process file-descriptor tables, and task
+management with a ``clone``/``fork`` cost model.
+
+Syscalls are counted per process — Figure 7's libc:syscall ratio is
+measured against these counters.
+"""
+
+from repro.kernel.errno_codes import Errno, errno_name
+from repro.kernel.clock import VirtualClock, TmStruct
+from repro.kernel.vfs import VirtualFS, RegularFile
+from repro.kernel.net import Network, Socket, Listener
+from repro.kernel.epoll_impl import EpollInstance, EPOLLIN, EPOLLOUT
+from repro.kernel.kernel import Kernel, SyscallError
+
+__all__ = [
+    "Errno",
+    "errno_name",
+    "VirtualClock",
+    "TmStruct",
+    "VirtualFS",
+    "RegularFile",
+    "Network",
+    "Socket",
+    "Listener",
+    "EpollInstance",
+    "EPOLLIN",
+    "EPOLLOUT",
+    "Kernel",
+    "SyscallError",
+]

@@ -1,0 +1,129 @@
+"""Virtual time.
+
+The whole simulation runs on one deterministic clock.  CPU work, kernel
+crossings, context switches, and network latency all advance it, so
+"performance" results are reproducible bit-for-bit (DESIGN.md §1).
+
+``localtime_r``/``gettimeofday`` are on the paper's list of libc calls that
+must be emulated for the follower variant — otherwise the two variants
+observe different times and diverge spuriously (paper §3.3, citing
+Orchestra).  The clock therefore implements a real civil-time breakdown so
+those calls return meaningful, comparable data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Simulation epoch: 2024-12-02T00:00:00Z (first day of Middleware '24).
+DEFAULT_EPOCH_S = 1733097600
+
+NSEC_PER_SEC = 1_000_000_000
+USEC_PER_SEC = 1_000_000
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def _is_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def _civil_from_days(days: int):
+    """Days since 1970-01-01 -> (year, month[1-12], day[1-31], weekday).
+
+    Howard Hinnant's public-domain algorithm, restricted to days >= 0.
+    """
+    weekday = (days + 4) % 7  # 1970-01-01 was a Thursday; 0 == Sunday
+    shifted = days + 719468   # re-anchor at 0000-03-01
+    era = shifted // 146097
+    doe = shifted - era * 146097
+    yoe = (doe - doe // 1460 + doe // 36524 - doe // 146096) // 365
+    year = yoe + era * 400
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)
+    mp = (5 * doy + 2) // 153
+    day = doy - (153 * mp + 2) // 5 + 1
+    month = mp + 3 if mp < 10 else mp - 9
+    year = year + (1 if month <= 2 else 0)
+    return year, month, day, weekday
+
+
+@dataclass
+class TmStruct:
+    """A ``struct tm`` equivalent, the result of ``localtime_r``."""
+
+    tm_sec: int
+    tm_min: int
+    tm_hour: int
+    tm_mday: int
+    tm_mon: int       # 0-11, as in C
+    tm_year: int      # years since 1900, as in C
+    tm_wday: int      # 0 == Sunday
+    tm_yday: int
+    tm_isdst: int = 0
+
+    def pack(self) -> bytes:
+        """Serialize as nine little-endian int64s (the guest ABI layout)."""
+        import struct
+        return struct.pack(
+            "<9q", self.tm_sec, self.tm_min, self.tm_hour, self.tm_mday,
+            self.tm_mon, self.tm_year, self.tm_wday, self.tm_yday,
+            self.tm_isdst)
+
+    @staticmethod
+    def unpack(raw: bytes) -> "TmStruct":
+        import struct
+        return TmStruct(*struct.unpack("<9q", raw[:72]))
+
+
+class VirtualClock:
+    """Monotonic + wall virtual clock, advanced explicitly."""
+
+    def __init__(self, epoch_s: int = DEFAULT_EPOCH_S):
+        self.epoch_s = epoch_s
+        self._mono_ns = 0
+
+    # -- advancing -----------------------------------------------------------
+
+    def advance_ns(self, ns: float) -> None:
+        if ns < 0:
+            raise ValueError("time cannot go backwards")
+        self._mono_ns += ns
+
+    def advance_to(self, mono_ns: float) -> None:
+        if mono_ns > self._mono_ns:
+            self._mono_ns = mono_ns
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def monotonic_ns(self) -> float:
+        return self._mono_ns
+
+    @property
+    def wall_ns(self) -> float:
+        return self.epoch_s * NSEC_PER_SEC + self._mono_ns
+
+    def gettimeofday(self):
+        """Return ``(tv_sec, tv_usec)``."""
+        total_usec = int(self.wall_ns // 1000)
+        return total_usec // USEC_PER_SEC, total_usec % USEC_PER_SEC
+
+    def localtime(self, epoch_seconds=None) -> TmStruct:
+        """Break an epoch timestamp into civil time (UTC; no DST model)."""
+        if epoch_seconds is None:
+            epoch_seconds = int(self.wall_ns // NSEC_PER_SEC)
+        days, rem = divmod(int(epoch_seconds), 86400)
+        year, month, day, weekday = _civil_from_days(days)
+        yday = day - 1 + sum(_DAYS_IN_MONTH[:month - 1])
+        if month > 2 and _is_leap(year):
+            yday += 1
+        return TmStruct(
+            tm_sec=rem % 60,
+            tm_min=(rem // 60) % 60,
+            tm_hour=rem // 3600,
+            tm_mday=day,
+            tm_mon=month - 1,
+            tm_year=year - 1900,
+            tm_wday=weekday,
+            tm_yday=yday,
+        )

@@ -1,0 +1,103 @@
+"""epoll.
+
+Level-triggered epoll over the kernel's file descriptions.  The paper
+singles out ``epoll_wait``/``epoll_pwait`` as needing *special* emulation
+in the MVX monitor because ``epoll_data`` is a union — when an application
+stores a pointer there, the follower variant must see a translated value
+(paper §3.3).  We therefore keep ``epoll_data`` as an opaque 64-bit integer
+exactly as Linux does, so the sMVX monitor has to apply the same
+"is it a pointer into the address space?" heuristic the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.kernel.errno_codes import Errno
+
+EPOLLIN = 0x001
+EPOLLOUT = 0x004
+EPOLLERR = 0x008
+EPOLLHUP = 0x010
+
+EPOLL_CTL_ADD = 1
+EPOLL_CTL_DEL = 2
+EPOLL_CTL_MOD = 3
+
+
+@dataclass
+class _Interest:
+    events: int
+    data: int            # the epoll_data union, as a raw 64-bit value
+
+
+class EpollInstance:
+    """One epoll file descriptor's interest list."""
+
+    def __init__(self) -> None:
+        self._interest: Dict[int, _Interest] = {}
+
+    def ctl(self, op: int, fd: int, events: int = 0, data: int = 0) -> int:
+        if op == EPOLL_CTL_ADD:
+            if fd in self._interest:
+                return -Errno.EEXIST
+            self._interest[fd] = _Interest(events, data)
+            return 0
+        if op == EPOLL_CTL_MOD:
+            if fd not in self._interest:
+                return -Errno.ENOENT
+            self._interest[fd] = _Interest(events, data)
+            return 0
+        if op == EPOLL_CTL_DEL:
+            if fd not in self._interest:
+                return -Errno.ENOENT
+            del self._interest[fd]
+            return 0
+        return -Errno.EINVAL
+
+    def forget(self, fd: int) -> None:
+        """Drop interest when the fd is closed (Linux does this implicitly)."""
+        self._interest.pop(fd, None)
+
+    def poll(self, now: float,
+             probe: Callable[[int], Optional[Tuple[bool, bool, bool]]],
+             max_events: int) -> List[Tuple[int, int]]:
+        """Collect ready ``(events, data)`` pairs.
+
+        ``probe(fd)`` returns ``(readable, writable, hup)`` for a live fd or
+        ``None`` for a stale one.
+        """
+        ready: List[Tuple[int, int]] = []
+        for fd, interest in self._interest.items():
+            state = probe(fd)
+            if state is None:
+                continue
+            readable, writable, hup = state
+            events = 0
+            if readable and interest.events & EPOLLIN:
+                events |= EPOLLIN
+            if writable and interest.events & EPOLLOUT:
+                events |= EPOLLOUT
+            if hup:
+                events |= EPOLLHUP
+            if events:
+                ready.append((events, interest.data))
+                if len(ready) >= max_events:
+                    break
+        return ready
+
+    def next_ready_at(self,
+                      horizon: Callable[[int], Optional[float]]) -> Optional[float]:
+        """Earliest future instant any watched fd could become readable."""
+        soonest: Optional[float] = None
+        for fd in self._interest:
+            candidate = horizon(fd)
+            if candidate is not None and (soonest is None
+                                          or candidate < soonest):
+                soonest = candidate
+        return soonest
+
+    @property
+    def watched_fds(self) -> List[int]:
+        return list(self._interest)

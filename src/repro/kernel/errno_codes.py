@@ -1,0 +1,53 @@
+"""Errno values, matching Linux x86-64 numbering for the codes we use.
+
+The sMVX monitor must emulate errno for the follower variant on every
+intercepted libc call (paper §3.3, Table 1), so these values travel through
+the lockstep IPC and are compared for divergence.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Errno(enum.IntEnum):
+    EPERM = 1
+    ENOENT = 2
+    EINTR = 4
+    EIO = 5
+    EBADF = 9
+    EAGAIN = 11          # == EWOULDBLOCK
+    ENOMEM = 12
+    EACCES = 13
+    EFAULT = 14
+    EEXIST = 17
+    ENOTDIR = 20
+    EISDIR = 21
+    EINVAL = 22
+    ENFILE = 23
+    EMFILE = 24
+    ENOTTY = 25
+    EFBIG = 27
+    ENOSPC = 28
+    ESPIPE = 29
+    EPIPE = 32
+    ENOSYS = 38
+    ENOTSOCK = 88
+    EOPNOTSUPP = 95
+    EADDRINUSE = 98
+    ECONNRESET = 104
+    ENOTCONN = 107
+    ETIMEDOUT = 110
+    ECONNREFUSED = 111
+    EINPROGRESS = 115
+
+
+EWOULDBLOCK = Errno.EAGAIN
+
+
+def errno_name(code: int) -> str:
+    """Human-readable name for an errno value (for divergence reports)."""
+    try:
+        return Errno(code).name
+    except ValueError:
+        return f"errno({code})"

@@ -1,0 +1,175 @@
+"""Kernel file descriptions.
+
+One open-file object per ``open``/``accept4``/``epoll_create``; a process's
+FD table maps small integers to these.  Each description knows how to
+read/write/poll itself; the :class:`~repro.kernel.kernel.Kernel` handles
+guest-buffer copying and errno conventions on top.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.kernel.epoll_impl import EpollInstance
+from repro.kernel.errno_codes import Errno
+from repro.kernel.net import Listener, Socket
+from repro.kernel.vfs import (
+    O_APPEND,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    RegularFile,
+    S_IFCHR,
+    UrandomStream,
+)
+
+
+class FileDescription:
+    """Base class: everything defaults to 'not supported'."""
+
+    kind = "unknown"
+
+    def read(self, count: int, now: float) -> "bytes | int":
+        return -Errno.EINVAL
+
+    def write(self, data: bytes, now: float) -> int:
+        return -Errno.EINVAL
+
+    def readable(self, now: float) -> bool:
+        return False
+
+    def writable(self, now: float) -> bool:
+        return False
+
+    def hup(self, now: float) -> bool:
+        return False
+
+    def next_ready_at(self) -> Optional[float]:
+        return None
+
+    def stat(self) -> "Tuple[int, int, int] | int":
+        return -Errno.EINVAL
+
+    def seek_set(self, offset: int) -> int:
+        return -Errno.ESPIPE
+
+    def close(self) -> None:
+        pass
+
+
+class FileFD(FileDescription):
+    """A regular file opened from the VFS, with a cursor."""
+
+    kind = "file"
+
+    def __init__(self, node: RegularFile, flags: int):
+        self.node = node
+        self.flags = flags
+        self.offset = len(node.data) if flags & O_APPEND else 0
+
+    def _readable_mode(self) -> bool:
+        return (self.flags & 0o3) in (O_RDONLY, O_RDWR)
+
+    def _writable_mode(self) -> bool:
+        return (self.flags & 0o3) in (O_WRONLY, O_RDWR)
+
+    def read(self, count: int, now: float) -> "bytes | int":
+        if not self._readable_mode():
+            return -Errno.EBADF
+        data = bytes(self.node.data[self.offset:self.offset + count])
+        self.offset += len(data)
+        return data
+
+    def write(self, data: bytes, now: float) -> int:
+        if not self._writable_mode():
+            return -Errno.EBADF
+        end = self.offset + len(data)
+        if self.offset > len(self.node.data):
+            self.node.data.extend(b"\x00" * (self.offset - len(self.node.data)))
+        self.node.data[self.offset:end] = data
+        self.offset = end
+        return len(data)
+
+    def readable(self, now: float) -> bool:
+        return self._readable_mode()
+
+    def writable(self, now: float) -> bool:
+        return self._writable_mode()
+
+    def stat(self):
+        return (self.node.mode, self.node.size, self.node.mtime_s)
+
+    def seek_set(self, offset: int) -> int:
+        if offset < 0:
+            return -Errno.EINVAL
+        self.offset = offset
+        return offset
+
+
+class UrandomFD(FileDescription):
+    kind = "urandom"
+
+    def __init__(self, stream: UrandomStream):
+        self.stream = stream
+
+    def read(self, count: int, now: float) -> bytes:
+        return self.stream.read(count)
+
+    def readable(self, now: float) -> bool:
+        return True
+
+    def stat(self):
+        return (S_IFCHR | 0o666, 0, 0)
+
+
+class SocketFD(FileDescription):
+    kind = "socket"
+
+    def __init__(self, sock: Socket):
+        self.sock = sock
+
+    def read(self, count: int, now: float) -> "bytes | int":
+        return self.sock.recv(count)
+
+    def write(self, data: bytes, now: float) -> int:
+        return self.sock.send(data)
+
+    def readable(self, now: float) -> bool:
+        return self.sock.readable(now)
+
+    def writable(self, now: float) -> bool:
+        return self.sock.writable(now)
+
+    def hup(self, now: float) -> bool:
+        # Linux reports EPOLLHUP alongside EPOLLIN once the peer has
+        # closed, whether or not buffered data remains.
+        return self.sock.peer_closed
+
+    def next_ready_at(self) -> Optional[float]:
+        return self.sock.next_ready_at()
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class ListenerFD(FileDescription):
+    kind = "listener"
+
+    def __init__(self, listener: Listener):
+        self.listener = listener
+
+    def readable(self, now: float) -> bool:
+        return self.listener.readable(now)
+
+    def next_ready_at(self) -> Optional[float]:
+        return self.listener.next_ready_at()
+
+    def close(self) -> None:
+        self.listener.close()
+
+
+class EpollFD(FileDescription):
+    kind = "epoll"
+
+    def __init__(self) -> None:
+        self.instance = EpollInstance()

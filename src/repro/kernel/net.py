@@ -1,0 +1,213 @@
+"""Loopback networking.
+
+The paper's server evaluation runs ApacheBench against the loopback
+interface with 0.1 ms latency (§4.1); the attacker of §2.2 reaches the
+target only through a socket.  This module provides exactly that: stream
+sockets connected pairwise over a simulated loopback with a configurable
+one-way latency, driven by the shared :class:`VirtualClock`.
+
+Server-side sockets are installed into a process's FD table by the kernel;
+client-side sockets are used directly by host-level workload generators
+(`repro.workloads`), which play the role of the remote machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.kernel.clock import VirtualClock
+from repro.kernel.errno_codes import Errno
+
+#: Loopback one-way latency, matching the paper's 0.1 ms.
+DEFAULT_LATENCY_NS = 100_000
+
+
+class Socket:
+    """One end of a connected stream socket."""
+
+    def __init__(self, network: "Network", label: str):
+        self._network = network
+        self.label = label
+        self.peer: Optional["Socket"] = None
+        #: inbound segments: (ready_at_ns, bytearray)
+        self._inbox: Deque[Tuple[float, bytearray]] = deque()
+        self.closed = False
+        self.peer_closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.options: Dict[Tuple[int, int], int] = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _deliver(self, data: bytes, ready_at: float) -> None:
+        self._inbox.append((ready_at, bytearray(data)))
+
+    def next_ready_at(self) -> Optional[float]:
+        """Earliest instant at which this socket becomes readable."""
+        if self._inbox:
+            return self._inbox[0][0]
+        if self.peer_closed:
+            return 0.0
+        return None
+
+    def readable(self, now: float) -> bool:
+        if self._inbox and self._inbox[0][0] <= now:
+            return True
+        return self.peer_closed and not self._inbox
+
+    def writable(self, now: float) -> bool:
+        return not self.closed and not self.peer_closed
+
+    # -- I/O -------------------------------------------------------------------
+
+    def send(self, data: bytes, extra_delay_ns: float = 0) -> int:
+        """Queue bytes toward the peer; returns count or negative errno.
+
+        ``extra_delay_ns`` models client-side pacing on top of the link
+        latency (e.g. an attacker sending a request head, then the body a
+        moment later so it arrives while the server is mid-request).
+        """
+        if self.closed:
+            return -Errno.EBADF
+        if self.peer is None or self.peer_closed:
+            return -Errno.EPIPE
+        now = self._network.clock.monotonic_ns
+        self.peer._deliver(data,
+                           now + self._network.latency_ns + extra_delay_ns)
+        self.bytes_sent += len(data)
+        return len(data)
+
+    def recv(self, count: int) -> "bytes | int":
+        """Read up to ``count`` ready bytes.
+
+        Returns ``b""`` on EOF, ``-EAGAIN`` if nothing is ready yet, the
+        bytes otherwise.  (Sockets are non-blocking; the kernel layers
+        block-until-ready behaviour on top when asked to.)
+        """
+        if self.closed:
+            return -Errno.EBADF
+        now = self._network.clock.monotonic_ns
+        out = bytearray()
+        while self._inbox and len(out) < count:
+            ready_at, segment = self._inbox[0]
+            if ready_at > now:
+                break
+            take = min(count - len(out), len(segment))
+            out += segment[:take]
+            if take == len(segment):
+                self._inbox.popleft()
+            else:
+                del segment[:take]
+        if out:
+            self.bytes_received += len(out)
+            return bytes(out)
+        if self._inbox:
+            return -Errno.EAGAIN  # data in flight, not yet arrived
+        if self.peer_closed:
+            return b""            # orderly EOF
+        return -Errno.EAGAIN
+
+    def recv_wait(self, count: int) -> "bytes | int":
+        """Like :meth:`recv` but advances the clock to the data if needed.
+
+        Host-side workload generators use this: the "remote machine" has
+        nothing else to do, so waiting == advancing virtual time.
+        """
+        result = self.recv(count)
+        if result == -Errno.EAGAIN:
+            ready_at = self.next_ready_at()
+            if ready_at is None:
+                return -Errno.EAGAIN
+            self._network.clock.advance_to(ready_at)
+            result = self.recv(count)
+        return result
+
+    def shutdown_write(self) -> None:
+        if self.peer is not None:
+            self.peer.peer_closed = True
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.shutdown_write()
+
+
+class Listener:
+    """A listening socket bound to a port."""
+
+    def __init__(self, network: "Network", port: int, backlog: int = 128):
+        self._network = network
+        self.port = port
+        self.backlog = backlog
+        self._pending: Deque[Tuple[float, Socket]] = deque()
+        self.closed = False
+        self.accepted_total = 0
+
+    def enqueue(self, server_end: Socket, ready_at: float) -> int:
+        if len(self._pending) >= self.backlog:
+            return -Errno.ECONNREFUSED
+        self._pending.append((ready_at, server_end))
+        return 0
+
+    def next_ready_at(self) -> Optional[float]:
+        return self._pending[0][0] if self._pending else None
+
+    def readable(self, now: float) -> bool:
+        return bool(self._pending) and self._pending[0][0] <= now
+
+    def accept(self) -> "Socket | int":
+        now = self._network.clock.monotonic_ns
+        if not self._pending:
+            return -Errno.EAGAIN
+        ready_at, sock = self._pending[0]
+        if ready_at > now:
+            return -Errno.EAGAIN
+        self._pending.popleft()
+        self.accepted_total += 1
+        return sock
+
+    def close(self) -> None:
+        self.closed = True
+        self._network.release_port(self.port)
+
+
+class Network:
+    """The loopback fabric: listeners by port, latency, connection setup."""
+
+    def __init__(self, clock: VirtualClock,
+                 latency_ns: int = DEFAULT_LATENCY_NS):
+        self.clock = clock
+        self.latency_ns = latency_ns
+        self._listeners: Dict[int, Listener] = {}
+        self.connections_total = 0
+
+    def listen(self, port: int, backlog: int = 128) -> "Listener | int":
+        if port in self._listeners:
+            return -Errno.EADDRINUSE
+        listener = Listener(self, port, backlog)
+        self._listeners[port] = listener
+        return listener
+
+    def release_port(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def listener_at(self, port: int) -> Optional[Listener]:
+        return self._listeners.get(port)
+
+    def connect(self, port: int) -> "Socket | int":
+        """Client-side connect; returns the client socket end."""
+        listener = self._listeners.get(port)
+        if listener is None or listener.closed:
+            return -Errno.ECONNREFUSED
+        client = Socket(self, f"client:{port}")
+        server = Socket(self, f"server:{port}")
+        client.peer = server
+        server.peer = client
+        now = self.clock.monotonic_ns
+        rc = listener.enqueue(server, now + self.latency_ns)
+        if rc < 0:
+            return rc
+        self.connections_total += 1
+        return client

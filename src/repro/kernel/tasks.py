@@ -1,0 +1,72 @@
+"""Task management: PIDs/TIDs and the creation cost model.
+
+The paper's Table 2 compares variant-creation strategies by latency:
+``clone()`` of a thread with a shared VM (~9.5 us), ``fork()`` of an empty
+process (~640 us), and ``fork()`` during lighttpd initialization (~697 us,
+because COW setup scales with the number of mapped pages).  Those costs are
+charged here so `benchmarks/test_tab2_variant_cost.py` can regenerate the
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.machine.costs import CostModel, DEFAULT_COSTS
+
+
+@dataclass
+class TaskRecord:
+    pid: int
+    name: str
+    parent: Optional[int] = None
+    threads: int = 1
+    alive: bool = True
+    exit_code: Optional[int] = None
+    children: list = field(default_factory=list)
+
+
+class TaskManager:
+    """Allocates pids/tids and accounts for task-creation costs."""
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS):
+        self.costs = costs
+        self._next_pid = 100
+        self.tasks: Dict[int, TaskRecord] = {}
+
+    def spawn(self, name: str, parent: Optional[int] = None) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        record = TaskRecord(pid, name, parent)
+        self.tasks[pid] = record
+        if parent is not None and parent in self.tasks:
+            self.tasks[parent].children.append(pid)
+        return pid
+
+    def exit(self, pid: int, code: int = 0) -> None:
+        record = self.tasks.get(pid)
+        if record is not None:
+            record.alive = False
+            record.exit_code = code
+
+    def clone_thread_cost_ns(self) -> float:
+        """Cost of ``clone()`` with a shared VM (a plain thread)."""
+        return self.costs.clone_thread_ns
+
+    def fork_cost_ns(self, mapped_pages: int) -> float:
+        """Cost of ``fork()`` given the parent's resident page count.
+
+        An "empty main()" process still has a handful of mapped pages
+        (text, stack, libc); the base constant covers those, and each
+        additional page pays COW setup.
+        """
+        return self.costs.fork_base_ns + mapped_pages * self.costs.fork_per_page_ns
+
+    def new_thread(self, pid: int) -> int:
+        record = self.tasks.get(pid)
+        if record is not None:
+            record.threads += 1
+        tid = self._next_pid
+        self._next_pid += 1
+        return tid

@@ -1,0 +1,157 @@
+"""Virtual filesystem.
+
+A small in-memory tree with regular files, directories, and the two special
+files the paper's evaluation depends on:
+
+* ``/dev/urandom`` — a deterministic per-boot stream.  MVX systems must
+  emulate reads from it or the variants instantly diverge (paper §3.3);
+  having it deterministic-per-kernel also lets tests assert on content.
+* ``/proc/self/maps`` — synthesized from the calling process's address
+  space; ``setup_mvx`` reads it to find where the dynamic loader put
+  things (paper §3.2).
+
+The VFS is shared machine-wide (all processes see one tree), which is what
+makes the "both variants must not both write()" problem real: a duplicated
+write really would corrupt the shared file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kernel.errno_codes import Errno
+
+O_RDONLY = 0
+O_WRONLY = 1
+O_RDWR = 2
+O_CREAT = 0o100
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+
+S_IFREG = 0o100000
+S_IFDIR = 0o040000
+S_IFCHR = 0o020000
+
+
+def normalize(path: str) -> str:
+    parts: List[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(part)
+    return "/" + "/".join(parts)
+
+
+@dataclass
+class RegularFile:
+    """A plain file: mutable byte content plus stat-ish metadata."""
+
+    data: bytearray = field(default_factory=bytearray)
+    mode: int = S_IFREG | 0o644
+    mtime_s: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class UrandomStream:
+    """Deterministic /dev/urandom: SHA-256 counter-mode stream."""
+
+    def __init__(self, seed: bytes = b"smvx-repro"):
+        self._seed = seed
+        self._counter = 0
+
+    def read(self, count: int) -> bytes:
+        out = bytearray()
+        while len(out) < count:
+            block = hashlib.sha256(
+                self._seed + self._counter.to_bytes(8, "little")).digest()
+            out += block
+            self._counter += 1
+        return bytes(out[:count])
+
+
+class VirtualFS:
+    """The in-memory filesystem tree."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, RegularFile] = {}
+        self._dirs = {"/", "/tmp", "/dev", "/proc", "/etc", "/var",
+                      "/var/log", "/var/www"}
+        self.urandom = UrandomStream()
+
+    # -- structure -----------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        path = normalize(path)
+        return path in self._files or path in self._dirs or \
+            path in ("/dev/urandom",)
+
+    def is_dir(self, path: str) -> bool:
+        return normalize(path) in self._dirs
+
+    def mkdir(self, path: str) -> int:
+        """Create a directory; returns 0 or negative errno."""
+        path = normalize(path)
+        if self.exists(path):
+            return -Errno.EEXIST
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent not in self._dirs:
+            return -Errno.ENOENT
+        self._dirs.add(path)
+        return 0
+
+    def listdir(self, path: str) -> List[str]:
+        path = normalize(path)
+        prefix = path.rstrip("/") + "/"
+        names = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                names.add(candidate[len(prefix):].split("/", 1)[0])
+        return sorted(names)
+
+    # -- file content ---------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes, mtime_s: int = 0) -> None:
+        """Host-side helper to provision files (configs, web roots)."""
+        path = normalize(path)
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent not in self._dirs:
+            # auto-create intermediate dirs for provisioning convenience
+            parts = parent.strip("/").split("/")
+            for i in range(1, len(parts) + 1):
+                self._dirs.add("/" + "/".join(parts[:i]))
+        self._files[path] = RegularFile(bytearray(data), mtime_s=mtime_s)
+
+    def read_file(self, path: str) -> Optional[bytes]:
+        node = self._files.get(normalize(path))
+        return bytes(node.data) if node is not None else None
+
+    def lookup(self, path: str) -> Optional[RegularFile]:
+        return self._files.get(normalize(path))
+
+    def unlink(self, path: str) -> int:
+        path = normalize(path)
+        if path not in self._files:
+            return -Errno.ENOENT
+        del self._files[path]
+        return 0
+
+    def stat(self, path: str):
+        """Return ``(mode, size, mtime_s)`` or negative errno."""
+        path = normalize(path)
+        if path == "/dev/urandom":
+            return (S_IFCHR | 0o666, 0, 0)
+        if path in self._dirs:
+            return (S_IFDIR | 0o755, 4096, 0)
+        node = self._files.get(path)
+        if node is None:
+            return -Errno.ENOENT
+        return (node.mode, node.size, node.mtime_s)

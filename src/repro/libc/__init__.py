@@ -1,0 +1,30 @@
+"""The guest C library.
+
+High-level guest functions implementing the ~35 libc calls the paper's
+prototype simulates (§4: "the sMVX monitor simulates 35 libc library
+calls"), built into a shared-library image that the loader links every
+application against.  ``repro.libc.categories`` encodes Table 1's
+emulation requirements, which the sMVX lockstep synchronizer executes.
+"""
+
+from repro.libc.libc import (
+    LIBC_ARITIES,
+    LIBC_FUNCTIONS,
+    build_libc_image,
+)
+from repro.libc.categories import (
+    Category,
+    EmulationSpec,
+    EMULATION_SPECS,
+    PAPER_TABLE1,
+)
+
+__all__ = [
+    "LIBC_ARITIES",
+    "LIBC_FUNCTIONS",
+    "build_libc_image",
+    "Category",
+    "EmulationSpec",
+    "EMULATION_SPECS",
+    "PAPER_TABLE1",
+]

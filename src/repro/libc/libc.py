@@ -1,0 +1,387 @@
+"""Guest libc implementation.
+
+Each function takes a :class:`~repro.process.context.GuestContext` plus
+integer arguments (guest addresses or scalars) and returns an integer,
+setting ``ctx.errno`` on failure, exactly like the C counterparts return
+``-1`` + errno.
+
+Two cost behaviours matter for the evaluation's shape:
+
+* syscall-backed calls enter the simulated kernel (counted, charged);
+* pure user-space calls (``malloc``, string ops, ``time``,
+  ``localtime_r``) never do — footnote 2 of the paper, the reason the
+  libc:syscall ratio in Figure 7 exceeds 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.loader.image import ImageBuilder, ProgramImage
+from repro.machine.isa import INSTR_SIZE
+from repro.process.context import GuestContext, to_signed
+
+_MASK64 = (1 << 64) - 1
+
+#: user-space bookkeeping cost charged by every libc call on top of any
+#: syscall (argument marshalling, buffered-IO logic, ...), in compute units.
+_LIBC_OVERHEAD_UNITS = 12
+
+
+def _sys(ctx: GuestContext, name: str, *args: int) -> int:
+    """Issue a syscall and convert the raw result to libc conventions."""
+    raw = ctx.process.kernel.syscall(ctx.process, name, *args)
+    if isinstance(raw, int) and raw < 0:
+        ctx.errno = -raw
+        return -1
+    return raw
+
+
+def _user(ctx: GuestContext) -> None:
+    ctx.charge(_LIBC_OVERHEAD_UNITS, "libc")
+
+
+# ---------------------------------------------------------------------------
+# files
+# ---------------------------------------------------------------------------
+
+def libc_open(ctx, path, flags):
+    _user(ctx)
+    return _sys(ctx, "open", path, flags)
+
+
+def libc_close(ctx, fd):
+    _user(ctx)
+    return _sys(ctx, "close", fd)
+
+
+def libc_read(ctx, fd, buf, count):
+    _user(ctx)
+    return _sys(ctx, "read", fd, buf, to_signed(count))
+
+
+def libc_write(ctx, fd, buf, count):
+    _user(ctx)
+    return _sys(ctx, "write", fd, buf, count)
+
+
+def libc_writev(ctx, fd, iov, iovcnt):
+    _user(ctx)
+    return _sys(ctx, "writev", fd, iov, iovcnt)
+
+
+def libc_stat(ctx, path, statbuf):
+    _user(ctx)
+    return _sys(ctx, "stat", path, statbuf)
+
+
+def libc_fstat(ctx, fd, statbuf):
+    _user(ctx)
+    return _sys(ctx, "fstat", fd, statbuf)
+
+
+def libc_lseek(ctx, fd, offset, whence):
+    _user(ctx)
+    return _sys(ctx, "lseek", fd, to_signed(offset), whence)
+
+
+def libc_mkdir(ctx, path, mode):
+    _user(ctx)
+    return _sys(ctx, "mkdir", path, mode)
+
+
+def libc_unlink(ctx, path):
+    _user(ctx)
+    return _sys(ctx, "unlink", path)
+
+
+def libc_sendfile(ctx, out_fd, in_fd, offset_addr, count):
+    _user(ctx)
+    return _sys(ctx, "sendfile", out_fd, in_fd, offset_addr, count)
+
+
+# ---------------------------------------------------------------------------
+# sockets
+# ---------------------------------------------------------------------------
+
+def libc_listen_on(ctx, port, backlog):
+    """socket()+bind()+listen() rolled into one (simulation shape)."""
+    _user(ctx)
+    return _sys(ctx, "listen_on", port, backlog)
+
+
+def libc_accept4(ctx, fd, flags):
+    _user(ctx)
+    return _sys(ctx, "accept4", fd, flags)
+
+
+def libc_recv(ctx, fd, buf, count, flags):
+    _user(ctx)
+    return _sys(ctx, "recvfrom", fd, buf, to_signed(count), flags)
+
+
+def libc_send(ctx, fd, buf, count, flags):
+    _user(ctx)
+    return _sys(ctx, "sendto", fd, buf, count, flags)
+
+
+def libc_shutdown(ctx, fd, how):
+    _user(ctx)
+    return _sys(ctx, "shutdown", fd, how)
+
+
+def libc_setsockopt(ctx, fd, level, optname, optval, optlen):
+    _user(ctx)
+    return _sys(ctx, "setsockopt", fd, level, optname, optval, optlen)
+
+
+def libc_getsockopt(ctx, fd, level, optname, optval, optlen):
+    _user(ctx)
+    return _sys(ctx, "getsockopt", fd, level, optname, optval, optlen)
+
+
+# ---------------------------------------------------------------------------
+# epoll / ioctl
+# ---------------------------------------------------------------------------
+
+def libc_epoll_create1(ctx, flags):
+    _user(ctx)
+    return _sys(ctx, "epoll_create1", flags)
+
+
+def libc_epoll_ctl(ctx, epfd, op, fd, event):
+    _user(ctx)
+    return _sys(ctx, "epoll_ctl", epfd, op, fd, event)
+
+
+def libc_epoll_wait(ctx, epfd, events, maxevents, timeout):
+    _user(ctx)
+    return _sys(ctx, "epoll_wait", epfd, events, maxevents,
+                to_signed(timeout))
+
+
+def libc_epoll_pwait(ctx, epfd, events, maxevents, timeout, sigmask):
+    _user(ctx)
+    return _sys(ctx, "epoll_pwait", epfd, events, maxevents,
+                to_signed(timeout), sigmask)
+
+
+def libc_ioctl(ctx, fd, request, arg):
+    _user(ctx)
+    return _sys(ctx, "ioctl", fd, request, arg)
+
+
+# ---------------------------------------------------------------------------
+# time (vDSO-style: no kernel entry for time/localtime_r)
+# ---------------------------------------------------------------------------
+
+def libc_gettimeofday(ctx, tv, tz):
+    _user(ctx)
+    return _sys(ctx, "gettimeofday", tv)
+
+
+def libc_time(ctx, tloc):
+    _user(ctx)
+    clock = ctx.process.kernel.clock
+    seconds = int(clock.wall_ns // 1_000_000_000)
+    if tloc:
+        ctx.write_word(tloc, seconds)
+    return seconds
+
+
+def libc_localtime_r(ctx, timep, result):
+    _user(ctx)
+    ctx.charge(30, "libc")           # civil-time breakdown is real work
+    clock = ctx.process.kernel.clock
+    seconds = to_signed(ctx.read_word(timep)) if timep else None
+    tm = clock.localtime(seconds)
+    ctx.write(result, tm.pack())
+    return result                    # returns its result argument (a pointer)
+
+
+def libc_getpid(ctx):
+    _user(ctx)
+    return _sys(ctx, "getpid")
+
+
+def libc_exit(ctx, code):
+    _user(ctx)
+    return _sys(ctx, "exit", code)
+
+
+# ---------------------------------------------------------------------------
+# memory management (pure user space)
+# ---------------------------------------------------------------------------
+
+def libc_malloc(ctx, size):
+    _user(ctx)
+    return ctx.process.heap_for(ctx.thread).malloc(size)
+
+
+def libc_calloc(ctx, count, size):
+    _user(ctx)
+    ctx.charge(max(1, count * size // 64), "libc")
+    return ctx.process.heap_for(ctx.thread).calloc(count, size)
+
+
+def libc_realloc(ctx, addr, size):
+    _user(ctx)
+    return ctx.process.heap_for(ctx.thread).realloc(addr, size)
+
+
+def libc_free(ctx, addr):
+    _user(ctx)
+    ctx.process.heap_for(ctx.thread).free(addr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# string/memory ops (pure user space, charged per byte)
+# ---------------------------------------------------------------------------
+
+def _charge_bytes(ctx, nbytes: int) -> None:
+    ctx.charge(max(1, nbytes // 8), "libc")
+
+
+def libc_memcpy(ctx, dst, src, count):
+    _charge_bytes(ctx, count)
+    ctx.write(dst, ctx.read(src, count))
+    return dst
+
+
+def libc_memmove(ctx, dst, src, count):
+    _charge_bytes(ctx, count)
+    data = ctx.read(src, count)      # full copy first: overlap-safe
+    ctx.write(dst, data)
+    return dst
+
+
+def libc_memset(ctx, dst, byte, count):
+    _charge_bytes(ctx, count)
+    ctx.write(dst, bytes([byte & 0xFF]) * count)
+    return dst
+
+
+def libc_memcmp(ctx, left, right, count):
+    _charge_bytes(ctx, count)
+    a = ctx.read(left, count)
+    b = ctx.read(right, count)
+    if a == b:
+        return 0
+    return 1 if a > b else -1
+
+
+def libc_strlen(ctx, addr):
+    value = ctx.read_cstring(addr)
+    _charge_bytes(ctx, len(value))
+    return len(value)
+
+
+def libc_strcmp(ctx, left, right):
+    a = ctx.read_cstring(left)
+    b = ctx.read_cstring(right)
+    _charge_bytes(ctx, min(len(a), len(b)) + 1)
+    if a == b:
+        return 0
+    return 1 if a > b else -1
+
+
+def libc_strncmp(ctx, left, right, count):
+    a = ctx.read_cstring(left)[:count]
+    b = ctx.read_cstring(right)[:count]
+    _charge_bytes(ctx, min(len(a), len(b)) + 1)
+    if a == b:
+        return 0
+    return 1 if a > b else -1
+
+
+def libc_strchr(ctx, addr, char):
+    value = ctx.read_cstring(addr)
+    _charge_bytes(ctx, len(value))
+    index = value.find(bytes([char & 0xFF]))
+    return addr + index if index >= 0 else 0
+
+
+def libc_atoi(ctx, addr):
+    text = ctx.read_cstring(addr)
+    _charge_bytes(ctx, len(text))
+    text = text.strip()
+    sign = 1
+    if text[:1] in (b"-", b"+"):
+        sign = -1 if text[:1] == b"-" else 1
+        text = text[1:]
+    digits = 0
+    for byte in text:
+        if not (0x30 <= byte <= 0x39):
+            break
+        digits = digits * 10 + (byte - 0x30)
+    return sign * digits
+
+
+# ---------------------------------------------------------------------------
+# registry / image construction
+# ---------------------------------------------------------------------------
+
+#: name -> (implementation, arity)
+LIBC_FUNCTIONS: Dict[str, Tuple[Callable, int]] = {
+    "open": (libc_open, 2),
+    "close": (libc_close, 1),
+    "read": (libc_read, 3),
+    "write": (libc_write, 3),
+    "writev": (libc_writev, 3),
+    "stat": (libc_stat, 2),
+    "fstat": (libc_fstat, 2),
+    "lseek": (libc_lseek, 3),
+    "mkdir": (libc_mkdir, 2),
+    "unlink": (libc_unlink, 1),
+    "sendfile": (libc_sendfile, 4),
+    "listen_on": (libc_listen_on, 2),
+    "accept4": (libc_accept4, 2),
+    "recv": (libc_recv, 4),
+    "send": (libc_send, 4),
+    "shutdown": (libc_shutdown, 2),
+    "setsockopt": (libc_setsockopt, 5),
+    "getsockopt": (libc_getsockopt, 5),
+    "epoll_create1": (libc_epoll_create1, 1),
+    "epoll_ctl": (libc_epoll_ctl, 4),
+    "epoll_wait": (libc_epoll_wait, 4),
+    "epoll_pwait": (libc_epoll_pwait, 5),
+    "ioctl": (libc_ioctl, 3),
+    "gettimeofday": (libc_gettimeofday, 2),
+    "time": (libc_time, 1),
+    "localtime_r": (libc_localtime_r, 2),
+    "getpid": (libc_getpid, 0),
+    "exit": (libc_exit, 1),
+    "malloc": (libc_malloc, 1),
+    "calloc": (libc_calloc, 2),
+    "realloc": (libc_realloc, 2),
+    "free": (libc_free, 1),
+    "memcpy": (libc_memcpy, 3),
+    "memmove": (libc_memmove, 3),
+    "memset": (libc_memset, 3),
+    "memcmp": (libc_memcmp, 3),
+    "strlen": (libc_strlen, 1),
+    "strcmp": (libc_strcmp, 2),
+    "strncmp": (libc_strncmp, 3),
+    "strchr": (libc_strchr, 2),
+    "atoi": (libc_atoi, 1),
+}
+
+LIBC_ARITIES: Dict[str, int] = {name: arity
+                                for name, (_fn, arity)
+                                in LIBC_FUNCTIONS.items()}
+
+
+def build_libc_image() -> ProgramImage:
+    """Build the libc shared-object image.
+
+    Functions get modest padded sizes so the library occupies a realistic
+    handful of text pages (shared between variants, like a real libc whose
+    mapping both variants reuse).
+    """
+    builder = ImageBuilder("libc.so")
+    for name, (fn, arity) in LIBC_FUNCTIONS.items():
+        builder.add_hl_function(name, fn, arity, size=16 * INSTR_SIZE)
+    builder.add_rodata("libc_version", b"repro-libc 1.0\x00")
+    builder.add_bss("libc_tls_area", 4096)
+    return builder.build()

@@ -1,0 +1,30 @@
+"""Program images and the dynamic loader.
+
+An ELF-shaped program image (``.text/.plt/.rodata/.got.plt/.data/.bss``
+plus a symbol table) built from a hybrid of ISA functions and high-level
+guest functions, loaded position-independently at an arbitrary base — the
+property both ASLR and sMVX's shift-and-clone variant creation rely on.
+
+The profile tool reproduces the paper's pre-run script that dumps section
+offsets/sizes and the symbol table to a ``/tmp`` profile file (§3.2).
+"""
+
+from repro.loader.image import (
+    HLFunction,
+    ImageBuilder,
+    ProgramImage,
+    Symbol,
+)
+from repro.loader.loader import LoadedImage, Loader
+from repro.loader.profile_tool import BinaryProfile, generate_profile
+
+__all__ = [
+    "HLFunction",
+    "ImageBuilder",
+    "ProgramImage",
+    "Symbol",
+    "LoadedImage",
+    "Loader",
+    "BinaryProfile",
+    "generate_profile",
+]

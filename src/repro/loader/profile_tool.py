@@ -1,0 +1,119 @@
+"""The pre-run binary-profile script (paper §3.2).
+
+Before running an application under sMVX, the end-user runs a script that
+analyzes the binary and writes a profile file into a ``/tmp`` filesystem
+containing: start offsets and sizes of ``.text``, ``.data``, ``.bss``,
+``.plt`` and ``.got.plt``, plus the symbol table so the monitor can
+resolve the protected-function *name* given to ``mvx_start()`` into an
+address.  ``setup_mvx()`` reads this file back at preload time.
+
+We serialize as a simple line-oriented text format (one artifact a human
+can inspect, like the original) and parse it strictly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ImageError, SymbolNotFound
+from repro.kernel.vfs import VirtualFS
+from repro.loader.image import ProgramImage
+
+PROFILE_SECTIONS = (".text", ".data", ".bss", ".plt", ".got.plt")
+
+
+@dataclass
+class BinaryProfile:
+    """Parsed profile file contents."""
+
+    binary: str
+    #: section -> (offset_from_base, size)
+    sections: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: name -> (section, offset_in_section, size, kind)
+    symbols: Dict[str, Tuple[str, int, int, str]] = field(
+        default_factory=dict)
+
+    def symbol_offset_from_base(self, name: str) -> int:
+        """Image-relative offset of a symbol (section base + local)."""
+        try:
+            section, offset, _size, _kind = self.symbols[name]
+        except KeyError:
+            raise SymbolNotFound(name) from None
+        return self.sections[section][0] + offset
+
+    def symbol_size(self, name: str) -> int:
+        try:
+            return self.symbols[name][2]
+        except KeyError:
+            raise SymbolNotFound(name) from None
+
+    def function_names(self) -> List[str]:
+        return [name for name, (_s, _o, _sz, kind) in self.symbols.items()
+                if kind == "func"]
+
+    # -- serialization ------------------------------------------------------------
+
+    def dump(self) -> str:
+        lines = [f"binary {self.binary}"]
+        for section, (offset, size) in sorted(self.sections.items()):
+            lines.append(f"section {section} {offset:#x} {size:#x}")
+        for name, (section, offset, size, kind) in sorted(
+                self.symbols.items()):
+            lines.append(f"symbol {name} {section} {offset:#x} {size:#x} "
+                         f"{kind}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def parse(text: str) -> "BinaryProfile":
+        profile: Optional[BinaryProfile] = None
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split()
+            if fields[0] == "binary" and len(fields) == 2:
+                profile = BinaryProfile(fields[1])
+            elif fields[0] == "section" and len(fields) == 4:
+                if profile is None:
+                    raise ImageError("profile: section before binary line")
+                profile.sections[fields[1]] = (int(fields[2], 16),
+                                               int(fields[3], 16))
+            elif fields[0] == "symbol" and len(fields) == 6:
+                if profile is None:
+                    raise ImageError("profile: symbol before binary line")
+                profile.symbols[fields[1]] = (fields[2], int(fields[3], 16),
+                                              int(fields[4], 16), fields[5])
+            else:
+                raise ImageError(f"profile: bad line {lineno}: {line!r}")
+        if profile is None:
+            raise ImageError("profile: empty file")
+        return profile
+
+
+def generate_profile(image: ProgramImage) -> BinaryProfile:
+    """Extract section/symbol info from an image (the analysis script)."""
+    profile = BinaryProfile(image.name)
+    for section, offset, size in image.section_layout():
+        if section in PROFILE_SECTIONS:
+            profile.sections[section] = (offset, size)
+    for sym in image.symbols:
+        if sym.section in PROFILE_SECTIONS or sym.section == ".rodata":
+            profile.symbols[sym.name] = (sym.section, sym.offset, sym.size,
+                                         sym.kind)
+    return profile
+
+
+def write_profile(vfs: VirtualFS, image: ProgramImage,
+                  path: Optional[str] = None) -> str:
+    """Run the profile script and drop the result into the /tmp filesystem."""
+    path = path or f"/tmp/{image.name}.profile"
+    vfs.write_file(path, generate_profile(image).dump().encode())
+    return path
+
+
+def read_profile(vfs: VirtualFS, path: str) -> BinaryProfile:
+    raw = vfs.read_file(path)
+    if raw is None:
+        raise ImageError(f"profile file missing: {path}")
+    return BinaryProfile.parse(raw.decode())

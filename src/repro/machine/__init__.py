@@ -1,0 +1,73 @@
+"""Simulated hardware: paged memory, MPK, registers, ISA, CPU.
+
+This package is the substrate substitution for real x86-64 hardware (see
+DESIGN.md §1).  Everything the sMVX mechanisms rely on — page mappings and
+faults, per-thread PKRU protection-key checks, execute-only memory,
+instruction fetch/decode, and cycle accounting — is modelled explicitly so
+the paper's monitor-isolation and variant-divergence arguments can be
+exercised end to end.
+"""
+
+from repro.machine.memory import (
+    PAGE_SIZE,
+    WORD_SIZE,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    PROT_EXEC,
+    PROT_RW,
+    PROT_RX,
+    PROT_RWX,
+    Page,
+    AddressSpace,
+    page_align_down,
+    page_align_up,
+)
+from repro.machine.mpk import (
+    NUM_PKEYS,
+    PKEY_DEFAULT,
+    PKRU_ALLOW_ALL,
+    pkru_disable_access,
+    pkru_disable_write,
+    pkru_allows_read,
+    pkru_allows_write,
+)
+from repro.machine.registers import RegisterFile, GP_REGISTERS
+from repro.machine.isa import Instruction, Op, INSTR_SIZE
+from repro.machine.asm import Assembler, label
+from repro.machine.cpu import CPU, CpuExit
+from repro.machine.costs import CostModel, DEFAULT_COSTS
+
+__all__ = [
+    "PAGE_SIZE",
+    "WORD_SIZE",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PROT_EXEC",
+    "PROT_RW",
+    "PROT_RX",
+    "PROT_RWX",
+    "Page",
+    "AddressSpace",
+    "page_align_down",
+    "page_align_up",
+    "NUM_PKEYS",
+    "PKEY_DEFAULT",
+    "PKRU_ALLOW_ALL",
+    "pkru_disable_access",
+    "pkru_disable_write",
+    "pkru_allows_read",
+    "pkru_allows_write",
+    "RegisterFile",
+    "GP_REGISTERS",
+    "Instruction",
+    "Op",
+    "INSTR_SIZE",
+    "Assembler",
+    "label",
+    "CPU",
+    "CpuExit",
+    "CostModel",
+    "DEFAULT_COSTS",
+]

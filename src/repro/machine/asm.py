@@ -1,0 +1,264 @@
+"""A tiny two-pass assembler for the simulated ISA.
+
+Guest functions that must be *real machine code* (trampolines, PLT stubs,
+ROP-gadget-bearing utilities, the vulnerable epilogue paths) are written
+with this builder.  Labels are resolved on :meth:`Assembler.assemble`;
+control-flow immediates become next-instruction-relative displacements so
+the output is position independent.
+
+Example::
+
+    a = Assembler()
+    a.mov_ri("rax", 0)
+    a.label("loop")
+    a.add_ri("rax", 1)
+    a.cmp_ri("rax", 10)
+    a.jne("loop")
+    a.ret()
+    code = a.assemble()          # bytes, 16 B per instruction
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ImageError
+from repro.machine.isa import INSTR_SIZE, Instruction, Op
+
+
+@dataclass(frozen=True)
+class label:
+    """A label reference usable anywhere an immediate is expected."""
+
+    name: str
+
+
+_Immediate = Union[int, label]
+
+
+class Assembler:
+    """Collects instructions and label definitions, then encodes them."""
+
+    def __init__(self) -> None:
+        self._items: List[object] = []
+
+    # -- layout --------------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Define ``name`` at the current position."""
+        self._items.append(label(name))
+
+    def raw(self, instr: Instruction) -> None:
+        self._items.append(instr)
+
+    def __len__(self) -> int:
+        return sum(1 for item in self._items
+                   if isinstance(item, Instruction) or
+                   isinstance(item, _Pending))
+
+    # -- instruction helpers ---------------------------------------------------
+
+    def nop(self):
+        self._emit(Op.NOP)
+
+    def hlt(self):
+        self._emit(Op.HLT)
+
+    def mov_rr(self, dst: str, src: str):
+        self._emit(Op.MOV_RR, dst, src)
+
+    def mov_ri(self, dst: str, imm: _Immediate):
+        self._emit(Op.MOV_RI, dst, imm=imm)
+
+    def lea(self, dst: str, target: _Immediate):
+        """RIP-relative address computation: ``dst = &target``."""
+        self._emit(Op.LEA, dst, imm=target, rip_relative=True)
+
+    def load(self, dst: str, base: str, disp: int = 0):
+        self._emit(Op.LOAD, dst, base, imm=disp)
+
+    def store(self, base: str, src: str, disp: int = 0):
+        self._emit(Op.STORE, base, src, imm=disp)
+
+    def load8(self, dst: str, base: str, disp: int = 0):
+        self._emit(Op.LOAD8, dst, base, imm=disp)
+
+    def store8(self, base: str, src: str, disp: int = 0):
+        self._emit(Op.STORE8, base, src, imm=disp)
+
+    def add_rr(self, dst: str, src: str):
+        self._emit(Op.ADD_RR, dst, src)
+
+    def add_ri(self, dst: str, imm: int):
+        self._emit(Op.ADD_RI, dst, imm=imm)
+
+    def sub_rr(self, dst: str, src: str):
+        self._emit(Op.SUB_RR, dst, src)
+
+    def sub_ri(self, dst: str, imm: int):
+        self._emit(Op.SUB_RI, dst, imm=imm)
+
+    def and_rr(self, dst: str, src: str):
+        self._emit(Op.AND_RR, dst, src)
+
+    def and_ri(self, dst: str, imm: int):
+        self._emit(Op.AND_RI, dst, imm=imm)
+
+    def or_rr(self, dst: str, src: str):
+        self._emit(Op.OR_RR, dst, src)
+
+    def or_ri(self, dst: str, imm: int):
+        self._emit(Op.OR_RI, dst, imm=imm)
+
+    def xor_rr(self, dst: str, src: str):
+        self._emit(Op.XOR_RR, dst, src)
+
+    def xor_ri(self, dst: str, imm: int):
+        self._emit(Op.XOR_RI, dst, imm=imm)
+
+    def shl_ri(self, dst: str, imm: int):
+        self._emit(Op.SHL_RI, dst, imm=imm)
+
+    def shr_ri(self, dst: str, imm: int):
+        self._emit(Op.SHR_RI, dst, imm=imm)
+
+    def mul_rr(self, dst: str, src: str):
+        self._emit(Op.MUL_RR, dst, src)
+
+    def not_r(self, dst: str):
+        self._emit(Op.NOT_R, dst)
+
+    def cmp_rr(self, left: str, right: str):
+        self._emit(Op.CMP_RR, left, right)
+
+    def cmp_ri(self, left: str, imm: int):
+        self._emit(Op.CMP_RI, left, imm=imm)
+
+    def test_rr(self, left: str, right: str):
+        self._emit(Op.TEST_RR, left, right)
+
+    def jmp(self, target: _Immediate):
+        self._emit(Op.JMP, imm=target, rip_relative=True)
+
+    def jmp_r(self, reg: str):
+        self._emit(Op.JMP_R, reg)
+
+    def jmp_m(self, slot: _Immediate):
+        """Indirect jump through a memory word (e.g. a ``.got.plt`` slot)."""
+        self._emit(Op.JMP_M, imm=slot, rip_relative=True)
+
+    def je(self, target: _Immediate):
+        self._emit(Op.JE, imm=target, rip_relative=True)
+
+    def jne(self, target: _Immediate):
+        self._emit(Op.JNE, imm=target, rip_relative=True)
+
+    def jl(self, target: _Immediate):
+        self._emit(Op.JL, imm=target, rip_relative=True)
+
+    def jge(self, target: _Immediate):
+        self._emit(Op.JGE, imm=target, rip_relative=True)
+
+    def jb(self, target: _Immediate):
+        self._emit(Op.JB, imm=target, rip_relative=True)
+
+    def jae(self, target: _Immediate):
+        self._emit(Op.JAE, imm=target, rip_relative=True)
+
+    def call(self, target: _Immediate):
+        self._emit(Op.CALL, imm=target, rip_relative=True)
+
+    def call_r(self, reg: str):
+        self._emit(Op.CALL_R, reg)
+
+    def ret(self):
+        self._emit(Op.RET)
+
+    def push_r(self, reg: str):
+        self._emit(Op.PUSH_R, reg)
+
+    def pop_r(self, reg: str):
+        self._emit(Op.POP_R, reg)
+
+    def push_i(self, imm: int):
+        self._emit(Op.PUSH_I, imm=imm)
+
+    def wrpkru(self):
+        self._emit(Op.WRPKRU)
+
+    def rdpkru(self):
+        self._emit(Op.RDPKRU)
+
+    def syscall(self):
+        self._emit(Op.SYSCALL)
+
+    def hlcall(self, index: int):
+        self._emit(Op.HLCALL, imm=index)
+
+    def brk(self):
+        self._emit(Op.BRK)
+
+    # -- assembly --------------------------------------------------------------
+
+    def _emit(self, op: Op, reg1: Optional[str] = None,
+              reg2: Optional[str] = None, imm: _Immediate = 0,
+              rip_relative: bool = False) -> None:
+        if isinstance(imm, str):
+            imm = label(imm)
+        self._items.append(_Pending(op, reg1, reg2, imm, rip_relative))
+
+    def labels(self, base: int = 0) -> Dict[str, int]:
+        """Resolve label -> address assuming the code is placed at ``base``."""
+        out: Dict[str, int] = {}
+        offset = 0
+        for item in self._items:
+            if isinstance(item, label):
+                if item.name in out:
+                    raise ImageError(f"duplicate label {item.name!r}")
+                out[item.name] = base + offset
+            else:
+                offset += INSTR_SIZE
+        return out
+
+    def assemble(self, base: int = 0,
+                 externals: Optional[Dict[str, int]] = None) -> bytes:
+        """Encode to bytes as if loaded at ``base``.
+
+        ``externals`` supplies absolute addresses for label references not
+        defined in this unit; they are converted to RIP-relative
+        displacements where needed, so the result remains valid only for
+        this ``base``.  (Intra-unit references are base-independent.)
+        """
+        addresses = self.labels(base)
+        if externals:
+            for name, addr in externals.items():
+                addresses.setdefault(name, addr)
+        out = bytearray()
+        offset = 0
+        for item in self._items:
+            if isinstance(item, label):
+                continue
+            pc_next = base + offset + INSTR_SIZE
+            imm = item.imm
+            if isinstance(imm, label):
+                if imm.name not in addresses:
+                    raise ImageError(f"undefined label {imm.name!r}")
+                target = addresses[imm.name]
+                imm = target - pc_next if item.rip_relative else target
+            elif item.rip_relative:
+                # numeric immediates of RIP-relative ops are absolute
+                # targets; convert to a displacement for this base.
+                imm = imm - pc_next
+            out += Instruction(item.op, item.reg1, item.reg2, imm).encode()
+            offset += INSTR_SIZE
+        return bytes(out)
+
+
+@dataclass
+class _Pending:
+    op: Op
+    reg1: Optional[str]
+    reg2: Optional[str]
+    imm: _Immediate
+    rip_relative: bool

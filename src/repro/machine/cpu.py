@@ -1,0 +1,266 @@
+"""The interpreter core of the simulated machine.
+
+The CPU executes one *hart* at a time against an :class:`AddressSpace`.
+The executing thread's architectural state (registers + the thread-private
+PKRU) is handed in per run, mirroring the fact that PKRU is per-thread on
+real hardware.
+
+Two escape hatches connect the machine to the rest of the system:
+
+* ``syscall_handler(state)`` — invoked by the ``SYSCALL`` instruction; the
+  simulated kernel lives behind it.
+* ``hl_dispatch(state, index)`` — invoked by ``HLCALL``; high-level guest
+  functions (DESIGN.md's hybrid guest model) live behind it.
+
+Every instruction charges :attr:`CostModel.instruction_ns` of virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import InvalidInstruction, MachineFault
+from repro.machine.costs import CostModel, CycleCounter, DEFAULT_COSTS
+from repro.machine.isa import INSTR_SIZE, Instruction, Op
+from repro.machine.memory import AddressSpace, WORD_SIZE
+from repro.machine.mpk import PKRU_MASK
+from repro.machine.registers import RegisterFile
+
+_MASK64 = (1 << 64) - 1
+
+#: Synthetic return address meaning "return control to the host caller".
+#: It sits in non-canonical space so it can never collide with a mapping.
+HOST_RETURN_ADDRESS = 0x0FFF_DEAD_0000
+
+
+@dataclass
+class ExecState:
+    """Architectural state of one simulated thread."""
+
+    regs: RegisterFile
+    pkru: int = 0
+
+    def clone(self) -> "ExecState":
+        state = ExecState(RegisterFile(), self.pkru)
+        state.regs.load_snapshot(self.regs.snapshot())
+        return state
+
+
+class CpuExit(Exception):
+    """Raised (internally) to stop the run loop; carries the reason."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CPU:
+    """Fetch/decode/execute loop over the simulated ISA."""
+
+    def __init__(self, space: AddressSpace,
+                 counter: Optional[CycleCounter] = None,
+                 costs: CostModel = DEFAULT_COSTS,
+                 syscall_handler: Optional[Callable] = None,
+                 hl_dispatch: Optional[Callable] = None):
+        self.space = space
+        self.counter = counter or CycleCounter()
+        self.costs = costs
+        self.syscall_handler = syscall_handler
+        self.hl_dispatch = hl_dispatch
+        #: optional per-instruction hook: (state, addr, instruction)
+        self.trace_hook: Optional[Callable] = None
+        self.instructions_retired = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _fetch(self, state: ExecState) -> Instruction:
+        addr = state.regs.rip
+        self.space.fetch_check(addr)
+        page = self.space.page_at(addr)
+        offset = addr % 4096
+        if offset + INSTR_SIZE <= 4096:
+            raw = bytes(page.data[offset:offset + INSTR_SIZE])
+        else:
+            head = bytes(page.data[offset:])
+            next_page = self.space.fetch_check(addr + (4096 - offset))
+            raw = head + bytes(next_page.data[:INSTR_SIZE - len(head)])
+        try:
+            return Instruction.decode(raw)
+        except InvalidInstruction as exc:
+            exc.address = addr
+            raise
+
+    def _push(self, state: ExecState, value: int) -> None:
+        rsp = (state.regs.get("rsp") - WORD_SIZE) & _MASK64
+        state.regs.set("rsp", rsp)
+        self.space.write_word(rsp, value, state.pkru)
+
+    def _pop(self, state: ExecState) -> int:
+        rsp = state.regs.get("rsp")
+        value = self.space.read_word(rsp, state.pkru)
+        state.regs.set("rsp", (rsp + WORD_SIZE) & _MASK64)
+        return value
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, state: ExecState, until_rip: int = HOST_RETURN_ADDRESS,
+            max_steps: Optional[int] = None) -> str:
+        """Run until ``rip`` equals ``until_rip``, ``HLT``, or ``max_steps``.
+
+        Returns the exit reason: ``"host-return"``, ``"hlt"``, or
+        ``"max-steps"``.  Machine faults propagate to the caller — the
+        simulated kernel (or the MVX monitor watching a variant) decides
+        what a fault means.
+        """
+        steps = 0
+        while True:
+            if state.regs.rip == until_rip:
+                return "host-return"
+            if max_steps is not None and steps >= max_steps:
+                return "max-steps"
+            self.step(state)
+            steps += 1
+
+    def step(self, state: ExecState) -> None:
+        """Execute exactly one instruction."""
+        addr = state.regs.rip
+        instr = self._fetch(state)
+        if self.trace_hook is not None:
+            self.trace_hook(state, addr, instr)
+        self.counter.charge(self.costs.instruction_ns, "cpu")
+        self.instructions_retired += 1
+        regs = state.regs
+        rip_next = addr + INSTR_SIZE
+        regs.rip = rip_next
+        op = instr.op
+
+        if op == Op.NOP or op == Op.BRK:
+            return
+        if op == Op.HLT:
+            raise CpuExit("hlt")
+
+        if op == Op.MOV_RR:
+            regs.set(instr.reg1, regs.get(instr.reg2))
+        elif op == Op.MOV_RI:
+            regs.set(instr.reg1, instr.imm)
+        elif op == Op.LEA:
+            regs.set(instr.reg1, rip_next + instr.imm)
+        elif op == Op.LOAD:
+            base = regs.get(instr.reg2)
+            regs.set(instr.reg1,
+                     self.space.read_word((base + instr.imm) & _MASK64,
+                                          state.pkru))
+        elif op == Op.STORE:
+            base = regs.get(instr.reg1)
+            self.space.write_word((base + instr.imm) & _MASK64,
+                                  regs.get(instr.reg2), state.pkru)
+        elif op == Op.LOAD8:
+            base = regs.get(instr.reg2)
+            raw = self.space.read((base + instr.imm) & _MASK64, 1,
+                                  state.pkru)
+            regs.set(instr.reg1, raw[0])
+        elif op == Op.STORE8:
+            base = regs.get(instr.reg1)
+            self.space.write((base + instr.imm) & _MASK64,
+                             bytes([regs.get(instr.reg2) & 0xFF]),
+                             state.pkru)
+
+        elif op == Op.ADD_RR:
+            regs.set(instr.reg1, regs.get(instr.reg1) + regs.get(instr.reg2))
+        elif op == Op.ADD_RI:
+            regs.set(instr.reg1, regs.get(instr.reg1) + instr.imm)
+        elif op == Op.SUB_RR:
+            regs.set(instr.reg1, regs.get(instr.reg1) - regs.get(instr.reg2))
+        elif op == Op.SUB_RI:
+            regs.set(instr.reg1, regs.get(instr.reg1) - instr.imm)
+        elif op == Op.AND_RR:
+            regs.set(instr.reg1, regs.get(instr.reg1) & regs.get(instr.reg2))
+        elif op == Op.AND_RI:
+            regs.set(instr.reg1, regs.get(instr.reg1) & instr.imm)
+        elif op == Op.OR_RR:
+            regs.set(instr.reg1, regs.get(instr.reg1) | regs.get(instr.reg2))
+        elif op == Op.OR_RI:
+            regs.set(instr.reg1, regs.get(instr.reg1) | instr.imm)
+        elif op == Op.XOR_RR:
+            regs.set(instr.reg1, regs.get(instr.reg1) ^ regs.get(instr.reg2))
+        elif op == Op.XOR_RI:
+            regs.set(instr.reg1, regs.get(instr.reg1) ^ instr.imm)
+        elif op == Op.SHL_RI:
+            regs.set(instr.reg1, regs.get(instr.reg1) << (instr.imm & 63))
+        elif op == Op.SHR_RI:
+            regs.set(instr.reg1, regs.get(instr.reg1) >> (instr.imm & 63))
+        elif op == Op.MUL_RR:
+            regs.set(instr.reg1, regs.get(instr.reg1) * regs.get(instr.reg2))
+        elif op == Op.NOT_R:
+            regs.set(instr.reg1, ~regs.get(instr.reg1))
+
+        elif op == Op.CMP_RR:
+            regs.set_compare_flags(regs.get(instr.reg1),
+                                   regs.get(instr.reg2))
+        elif op == Op.CMP_RI:
+            regs.set_compare_flags(regs.get(instr.reg1), instr.imm)
+        elif op == Op.TEST_RR:
+            masked = regs.get(instr.reg1) & regs.get(instr.reg2)
+            regs.set_compare_flags(masked, 0)
+
+        elif op == Op.JMP:
+            regs.rip = (rip_next + instr.imm) & _MASK64
+        elif op == Op.JMP_R:
+            regs.rip = regs.get(instr.reg1)
+        elif op == Op.JMP_M:
+            slot = (rip_next + instr.imm) & _MASK64
+            regs.rip = self.space.read_word(slot, state.pkru)
+        elif op == Op.JE:
+            if regs.zf:
+                regs.rip = (rip_next + instr.imm) & _MASK64
+        elif op == Op.JNE:
+            if not regs.zf:
+                regs.rip = (rip_next + instr.imm) & _MASK64
+        elif op == Op.JL:
+            if regs.sf:
+                regs.rip = (rip_next + instr.imm) & _MASK64
+        elif op == Op.JGE:
+            if not regs.sf:
+                regs.rip = (rip_next + instr.imm) & _MASK64
+        elif op == Op.JB:
+            if regs.cf:
+                regs.rip = (rip_next + instr.imm) & _MASK64
+        elif op == Op.JAE:
+            if not regs.cf:
+                regs.rip = (rip_next + instr.imm) & _MASK64
+
+        elif op == Op.CALL:
+            self._push(state, rip_next)
+            regs.rip = (rip_next + instr.imm) & _MASK64
+        elif op == Op.CALL_R:
+            self._push(state, rip_next)
+            regs.rip = regs.get(instr.reg1)
+        elif op == Op.RET:
+            regs.rip = self._pop(state)
+        elif op == Op.PUSH_R:
+            self._push(state, regs.get(instr.reg1))
+        elif op == Op.POP_R:
+            regs.set(instr.reg1, self._pop(state))
+        elif op == Op.PUSH_I:
+            self._push(state, instr.imm & _MASK64)
+
+        elif op == Op.WRPKRU:
+            # Hardware requires %ecx == %edx == 0 or it #GPs; keeping the
+            # check makes accidental wrpkru gadgets harder, as on Skylake.
+            if regs.get("rcx") or regs.get("rdx"):
+                raise InvalidInstruction(
+                    "wrpkru with non-zero rcx/rdx", addr)
+            state.pkru = regs.get("rax") & PKRU_MASK
+        elif op == Op.RDPKRU:
+            regs.set("rax", state.pkru)
+        elif op == Op.SYSCALL:
+            if self.syscall_handler is None:
+                raise MachineFault("SYSCALL with no kernel attached", addr)
+            self.syscall_handler(state)
+        elif op == Op.HLCALL:
+            if self.hl_dispatch is None:
+                raise MachineFault("HLCALL with no dispatcher", addr)
+            self.hl_dispatch(state, instr.imm)
+        else:  # pragma: no cover - decode guarantees coverage
+            raise InvalidInstruction(f"unhandled opcode {op}", addr)

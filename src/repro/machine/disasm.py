@@ -1,0 +1,76 @@
+"""Disassembler over mapped executable pages.
+
+Used by the ROP-gadget scanner (Ropper/ROPGadget analogue) and by
+debugging/flame-graph tooling.  Because the ISA is fixed width, decoding is
+exact: a byte range either decodes into instructions or it does not.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidInstruction
+from repro.machine.isa import INSTR_SIZE, Instruction
+from repro.machine.memory import AddressSpace, PAGE_SIZE, PROT_EXEC
+
+
+def disassemble_bytes(raw: bytes, base: int = 0) -> List[Tuple[int, Instruction]]:
+    """Decode a byte string into ``(address, instruction)`` pairs.
+
+    Stops at the first undecodable slot (e.g. padding) — callers scanning
+    for gadgets iterate window-by-window instead.
+    """
+    out: List[Tuple[int, Instruction]] = []
+    for offset in range(0, len(raw) - len(raw) % INSTR_SIZE, INSTR_SIZE):
+        try:
+            instr = Instruction.decode(raw[offset:offset + INSTR_SIZE])
+        except InvalidInstruction:
+            break
+        out.append((base + offset, instr))
+    return out
+
+
+def try_decode_at(space: AddressSpace, addr: int) -> Optional[Instruction]:
+    """Decode one instruction at ``addr`` if the page is executable."""
+    page = space.page_at(addr)
+    if page is None or not page.prot & PROT_EXEC:
+        return None
+    offset = addr % PAGE_SIZE
+    if offset + INSTR_SIZE <= PAGE_SIZE:
+        raw = bytes(page.data[offset:offset + INSTR_SIZE])
+    else:
+        nxt = space.page_at(addr + (PAGE_SIZE - offset))
+        if nxt is None or not nxt.prot & PROT_EXEC:
+            return None
+        raw = bytes(page.data[offset:]) + bytes(
+            nxt.data[:INSTR_SIZE - (PAGE_SIZE - offset)])
+    try:
+        return Instruction.decode(raw)
+    except InvalidInstruction:
+        return None
+
+
+def executable_words(space: AddressSpace) -> Iterator[Tuple[int, Instruction]]:
+    """Yield every decodable instruction slot in executable pages.
+
+    This is the attacker's-eye view of ``.text`` used by the gadget finder:
+    it walks *all* executable pages, including ones an in-process monitor
+    tried to hide (XoM pages are executable and therefore scannable only
+    via fetch — the gadget tools model offline binary analysis, which the
+    paper's threat model grants the attacker for the application but not
+    for the randomized monitor location).
+    """
+    for base, page in space.mapped_pages():
+        if not page.prot & PROT_EXEC:
+            continue
+        for offset in range(0, PAGE_SIZE, INSTR_SIZE):
+            try:
+                instr = Instruction.decode(
+                    bytes(page.data[offset:offset + INSTR_SIZE]))
+            except InvalidInstruction:
+                continue
+            yield base + offset, instr
+
+
+def format_listing(pairs: List[Tuple[int, Instruction]]) -> str:
+    return "\n".join(f"{addr:#014x}:  {instr.text()}" for addr, instr in pairs)

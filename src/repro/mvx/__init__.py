@@ -1,0 +1,30 @@
+"""Whole-program MVX baselines the paper compares against.
+
+* :class:`ReMonMvx` — the state-of-the-art hybrid monitor (Volckaert et
+  al., USENIX ATC'16): cheap in-process interception for most *system
+  calls*, a cross-process path for security-sensitive ones.  Because it
+  hooks syscalls rather than libc calls, its per-interception frequency is
+  lower than sMVX's by exactly the libc:syscall ratio of Figure 7.
+* :class:`PtraceMvx` — an Orchestra-style cross-process monitor paying
+  four context switches per interception (paper §2.1 footnote 1).
+* :func:`spawn_duplicate` — "two copies of the vanilla application", the
+  traditional-MVX memory model the paper's RSS comparison uses.
+
+All are *whole-program* replication: both variants execute everything, so
+CPU is ~2x and memory is ~2x, with wall time inflated only by the
+interception/synchronization costs (variants run on separate cores).
+"""
+
+from repro.mvx.baselines import (
+    MvxBaseline,
+    PtraceMvx,
+    ReMonMvx,
+    spawn_duplicate,
+)
+
+__all__ = [
+    "MvxBaseline",
+    "PtraceMvx",
+    "ReMonMvx",
+    "spawn_duplicate",
+]

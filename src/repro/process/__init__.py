@@ -1,0 +1,16 @@
+"""Guest processes: address space + loader + CPU + heap + threads."""
+
+from repro.process.context import GuestContext, to_signed, to_unsigned
+from repro.process.heap import Heap, HeapCorruption, OutOfGuestMemory
+from repro.process.process import GuestProcess, GuestThread
+
+__all__ = [
+    "GuestContext",
+    "GuestProcess",
+    "GuestThread",
+    "Heap",
+    "HeapCorruption",
+    "OutOfGuestMemory",
+    "to_signed",
+    "to_unsigned",
+]

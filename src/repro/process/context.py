@@ -1,0 +1,191 @@
+"""Guest execution context for high-level (HL) functions.
+
+An HL function receives a :class:`GuestContext` as its first argument and
+uses it for *everything* that touches guest state: memory accesses (which
+go through the MMU with the calling thread's PKRU — MPK applies), stack
+allocation (on the real guest stack, below the real return address), calls
+to other guest functions (through the CPU, so PLT entries, trampolines and
+ROP-corrupted return paths all behave), and libc calls (through the
+current image's ``.plt``).
+
+Compute cost is charged explicitly with :meth:`charge`; memory operations
+charge automatically.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.errors import MachineFault
+from repro.machine.memory import WORD_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.loader.loader import LoadedImage
+    from repro.process.process import GuestProcess, GuestThread
+
+_MASK64 = (1 << 64) - 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit guest value as a signed integer."""
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+def to_unsigned(value: int) -> int:
+    return value & _MASK64
+
+
+class GuestContext:
+    """The face of the simulated machine presented to HL guest code."""
+
+    __slots__ = ("process", "thread", "loaded", "function_name")
+
+    def __init__(self, process: "GuestProcess", thread: "GuestThread",
+                 loaded: "LoadedImage", function_name: str = "?"):
+        self.process = process
+        self.thread = thread
+        self.loaded = loaded
+        self.function_name = function_name
+
+    # -- shorthand -------------------------------------------------------------
+
+    @property
+    def space(self):
+        # the executing thread's view: the sMVX follower sees its own
+        # address space (leader image/heap unmapped there).
+        return self.thread.space
+
+    @property
+    def regs(self):
+        return self.thread.state.regs
+
+    @property
+    def pkru(self) -> int:
+        return self.thread.state.pkru
+
+    @property
+    def errno(self) -> int:
+        return self.thread.errno
+
+    @errno.setter
+    def errno(self, value: int) -> None:
+        self.thread.errno = value
+
+    # -- cost accounting ----------------------------------------------------------
+
+    def charge(self, units: float, category: str = "compute") -> None:
+        """Charge abstract compute work (1 unit == one simple operation)."""
+        self.thread.counter.charge(
+            units * self.process.costs.compute_unit_ns, category)
+
+    def _charge_mem(self, nbytes: int) -> None:
+        accesses = max(1, (nbytes + 63) // 64)
+        self.thread.counter.charge(
+            accesses * self.process.costs.memory_access_ns, "memory")
+
+    # -- memory (guest-privilege accesses: MPK applies) ------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        self._charge_mem(size)
+        return self.space.read(addr, size, pkru=self.pkru)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._charge_mem(len(data))
+        self.space.write(addr, data, pkru=self.pkru)
+
+    def read_word(self, addr: int) -> int:
+        self._charge_mem(8)
+        return self.space.read_word(addr, pkru=self.pkru)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._charge_mem(8)
+        self.space.write_word(addr, value & _MASK64, pkru=self.pkru)
+
+    def read_byte(self, addr: int) -> int:
+        self._charge_mem(1)
+        return self.space.read(addr, 1, pkru=self.pkru)[0]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._charge_mem(1)
+        self.space.write(addr, bytes([value & 0xFF]), pkru=self.pkru)
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> bytes:
+        data = self.space.read_cstring(addr, pkru=self.pkru, limit=limit)
+        self._charge_mem(len(data) + 1)
+        return data
+
+    def write_cstring(self, addr: int, data: bytes) -> None:
+        self.write(addr, data + b"\x00")
+
+    def read_words(self, addr: int, count: int) -> list:
+        raw = self.read(addr, count * WORD_SIZE)
+        return list(struct.unpack(f"<{count}Q", raw))
+
+    def write_words(self, addr: int, values: Sequence[int]) -> None:
+        self.write(addr, struct.pack(f"<{len(values)}Q",
+                                     *[v & _MASK64 for v in values]))
+
+    # -- stack ------------------------------------------------------------------------
+
+    def stack_alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` on the guest stack; returns the lowest address.
+
+        The allocation sits *below* the function's return address, exactly
+        like a C local array — so writing past its end clobbers saved
+        state, which is the behaviour the CVE-2013-2028 reproduction
+        depends on.
+        """
+        nbytes = (nbytes + 15) & ~15
+        rsp = (self.regs.get("rsp") - nbytes) & _MASK64
+        self.regs.set("rsp", rsp)
+        return rsp
+
+    def push(self, value: int) -> None:
+        rsp = (self.regs.get("rsp") - WORD_SIZE) & _MASK64
+        self.regs.set("rsp", rsp)
+        self.space.write_word(rsp, value & _MASK64, pkru=self.pkru)
+
+    # -- control transfer ---------------------------------------------------------------
+
+    def call(self, target: Union[int, str], *args: int) -> int:
+        """Call another guest function through the CPU.
+
+        String targets resolve against the *current image first* — like a
+        direct (RIP-relative) call in compiled code — so the sMVX
+        follower's intra-image calls stay inside its own copy.
+        """
+        if isinstance(target, str):
+            target = self.symbol(target)
+        return self.process.guest_call(self.thread, target, *args)
+
+    def libc(self, name: str, *args: int) -> int:
+        """Issue a libc call through this image's PLT entry.
+
+        This is the app-level libc call site the paper's Figures 7 and 8
+        count; interception (vanilla GOT -> libc, or sMVX GOT -> monitor
+        trampoline) happens underneath, invisibly to the caller.
+        """
+        self.process.note_libc_call(self.thread, name)
+        plt = self.loaded.symbol_address(f"{name}@plt")
+        return self.process.guest_call(self.thread, plt, *args)
+
+    # -- symbols ----------------------------------------------------------------------------
+
+    def symbol(self, name: str) -> int:
+        """Resolve a symbol, preferring the current image (for the shifted
+        follower copy this returns the *follower's* address)."""
+        if self.loaded.has_symbol(name):
+            return self.loaded.symbol_address(name)
+        return self.process.loader.resolve(name)
+
+    def fault(self, message: str) -> None:
+        """Raise a guest-level fault (models an abort/assertion)."""
+        raise MachineFault(message)
+
+    # -- convenience for libc-style buffers ---------------------------------------------------
+
+    def scratch(self, nbytes: int) -> int:
+        """Stack-allocate a scratch buffer (alias with intent)."""
+        return self.stack_alloc(nbytes)

@@ -1,0 +1,23 @@
+"""Dynamic taint analysis (the libdft analogue, paper §3.2 + Figure 9).
+
+* :class:`TaintEngine` — byte-granularity taint over guest memory, with
+  network input as the taint source and content-based propagation through
+  copies and substring extraction;
+* :mod:`repro.taint.report` — the ``dft.out``-parsing + r2pipe-style step:
+  tainted access sites → containing functions, filtered to the target's
+  ``.text``;
+* :mod:`repro.taint.authdiff` — authentication-code discovery by diffing
+  execution traces of a successful vs failed login.
+"""
+
+from repro.taint.engine import TaintEngine
+from repro.taint.report import TaintReport, functions_from_sites
+from repro.taint.authdiff import first_divergent_function, trace_diff
+
+__all__ = [
+    "TaintEngine",
+    "TaintReport",
+    "first_divergent_function",
+    "functions_from_sites",
+    "trace_diff",
+]

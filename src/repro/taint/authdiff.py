@@ -1,0 +1,71 @@
+"""Authentication-code discovery via execution-trace diffing (§3.2).
+
+The paper collects two execution-trace logs — one for a successful
+authentication input, one for a failed one — and uses their diff as the
+hint: "the first divergent basic block is likely to be
+authentication-related, and functions containing these basic blocks are
+likely used for authentication".
+
+Our trace entries are ``(stack_depth, function_name)`` pairs recorded at
+every guest-function entry (:attr:`GuestProcess.function_trace`).  The
+divergence unit is therefore a call rather than a basic block, and the
+*enclosing frame* of the first divergent call — the function whose branch
+chose differently — is the auth-related candidate, carrying the same
+signal the paper's basic-block diff does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+TraceEntry = Tuple[int, str]
+
+
+def trace_diff(success: Sequence[TraceEntry],
+               failure: Sequence[TraceEntry]) -> List[Tuple[int, TraceEntry, TraceEntry]]:
+    """All positions where the traces differ.
+
+    Exhausted traces report ``(0, "<end>")``.
+    """
+    out = []
+    sentinel: TraceEntry = (0, "<end>")
+    for index in range(max(len(success), len(failure))):
+        a = success[index] if index < len(success) else sentinel
+        b = failure[index] if index < len(failure) else sentinel
+        if a != b:
+            out.append((index, a, b))
+    return out
+
+
+def first_divergent_function(success: Sequence[TraceEntry],
+                             failure: Sequence[TraceEntry]) -> Optional[str]:
+    """The function containing the first divergent control transfer.
+
+    Walks back from the first differing entry to the nearest earlier
+    entry with a strictly smaller stack depth — the frame that *made* the
+    diverging call.  Falls back to the divergent entry itself when the
+    divergence happens at the trace root.
+    """
+    diffs = trace_diff(success, failure)
+    if not diffs:
+        return None
+    index, got_success, _got_failure = diffs[0]
+    depth = got_success[0] if got_success[1] != "<end>" else (
+        failure[index][0] if index < len(failure) else 0)
+    for back in range(min(index, len(success)) - 1, -1, -1):
+        entry_depth, name = success[back]
+        if entry_depth < depth:
+            return name
+    if got_success[1] != "<end>":
+        return got_success[1]
+    return None
+
+
+def collect_trace(process, request_fn) -> List[TraceEntry]:
+    """Run ``request_fn()`` with tracing enabled; returns the trace."""
+    process.function_trace = []
+    try:
+        request_fn()
+        return list(process.function_trace)
+    finally:
+        process.function_trace = None

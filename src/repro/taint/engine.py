@@ -1,0 +1,139 @@
+"""The taint-tracking engine.
+
+libdft tracks taint at byte granularity between memory and registers; our
+hybrid guest's "registers" are the Python values HL functions hold between
+a guest-memory read and the next write.  The engine therefore combines:
+
+* a shadow set of tainted guest byte addresses,
+* a taint *source* hook on kernel socket reads (network input — the
+  paper's source),
+* content-based propagation: a write whose bytes appeared (wholly or as a
+  substring) in a recently read tainted buffer inherits the taint — this
+  covers memcpy-style copies and parser-style substring extraction, the
+  flows §3.2 cares about ("tracked as it is copied and altered").
+
+Every *read* that touches a tainted byte records the access site (the
+current guest function's entry address — the dft.out instruction-address
+analogue).  Arithmetic laundering (int conversions) is not tracked, a
+known under-approximation shared with real DTA and noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Set, Tuple
+
+from repro.process.process import GuestProcess
+
+#: how many recent tainted reads to keep for propagation matching
+_RECENT_WINDOW = 48
+#: ignore giant buffers in substring matching (cost guard)
+_MAX_MATCH_LEN = 16384
+
+
+class TaintEngine:
+    """Attachable taint tracker for one guest process."""
+
+    def __init__(self, process: GuestProcess):
+        self.process = process
+        self.tainted: Set[int] = set()
+        #: access sites (guest addresses) whose reads touched taint
+        self.access_sites: Set[int] = set()
+        #: function names observed touching taint (resolved eagerly too,
+        #: since sites are function entries in the hybrid model)
+        self.site_names: Set[str] = set()
+        self._recent: Deque[Tuple[bytes, Tuple[bool, ...]]] = deque(
+            maxlen=_RECENT_WINDOW)
+        self._attached = False
+        self.source_bytes = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self) -> "TaintEngine":
+        if not self._attached:
+            self.process.space.add_observer(self._observe)
+            self.process.kernel.io_taint_hook = self._on_io
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.process.space.remove_observer(self._observe)
+            self.process.kernel.io_taint_hook = None
+            self._attached = False
+
+    def __enter__(self) -> "TaintEngine":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- taint source -------------------------------------------------------------
+
+    def _on_io(self, proc, buf: int, nbytes: int, kind: str) -> None:
+        if proc is not self.process or kind != "socket":
+            return
+        for offset in range(nbytes):
+            self.tainted.add(buf + offset)
+        self.source_bytes += nbytes
+        self._record_site()
+
+    # -- propagation ----------------------------------------------------------------
+
+    def _observe(self, op: str, addr: int, size: int,
+                 value: Optional[bytes]) -> None:
+        if value is None or size == 0 or size > _MAX_MATCH_LEN:
+            return
+        if op == "read":
+            mask = tuple((addr + i) in self.tainted for i in range(size))
+            if any(mask):
+                self._record_site()
+                self._recent.append((value, mask))
+        elif op == "write":
+            # overwriting clears old taint, then propagation may re-taint
+            for offset in range(size):
+                self.tainted.discard(addr + offset)
+            self._propagate_write(addr, value)
+
+    def _propagate_write(self, addr: int, value: bytes) -> None:
+        for data, mask in self._recent:
+            if len(value) <= len(data):
+                # the written bytes are a slice of a tainted read
+                start = data.find(value)
+                while start >= 0:
+                    if any(mask[start:start + len(value)]):
+                        for i in range(len(value)):
+                            if mask[start + i]:
+                                self.tainted.add(addr + i)
+                        return
+                    start = data.find(value, start + 1)
+            else:
+                # a tainted read is embedded in the written bytes
+                # (concatenation: e.g. a header built around the URI)
+                start = value.find(data)
+                if start >= 0 and any(mask):
+                    for i, bit in enumerate(mask):
+                        if bit:
+                            self.tainted.add(addr + start + i)
+                    return
+
+    # -- site recording --------------------------------------------------------------
+
+    def _record_site(self) -> None:
+        thread = self.process.active_thread
+        if thread is None or not thread.func_stack:
+            return
+        name = thread.func_stack[-1]
+        self.site_names.add(name)
+        try:
+            self.access_sites.add(self.process.resolve(name))
+        except Exception:
+            pass
+
+    # -- queries ------------------------------------------------------------------------
+
+    def is_tainted(self, addr: int, size: int = 1) -> bool:
+        return any((addr + i) in self.tainted for i in range(size))
+
+    def tainted_count(self) -> int:
+        return len(self.tainted)

@@ -1,0 +1,60 @@
+"""From tainted access sites to sensitive-function candidates.
+
+Reproduces the paper's two-stage post-processing (Figure 3):
+
+1. parse the engine's output and *filter by the application's .text
+   address range* (``parse_libdft_output`` + "filter by .text addresses");
+2. map each surviving address to the function containing it and dump the
+   symbol names (the r2pipe step, ``parse_target_binary`` +
+   ``dump_function_names``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.loader.loader import LoadedImage
+from repro.taint.engine import TaintEngine
+
+
+@dataclass
+class TaintReport:
+    """The candidate list handed to the sMVX user."""
+
+    target: str
+    sensitive_functions: Set[str] = field(default_factory=set)
+    raw_site_count: int = 0
+    tainted_bytes: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.sensitive_functions)
+
+    def dump_function_names(self) -> str:
+        lines = [f"# sensitive-function candidates for {self.target}"]
+        lines += sorted(self.sensitive_functions)
+        return "\n".join(lines) + "\n"
+
+
+def functions_from_sites(sites, target: LoadedImage) -> Set[str]:
+    """Filter sites to the target's .text and resolve containing symbols."""
+    text_start, text_size = target.section_range(".text")
+    names: Set[str] = set()
+    for addr in sites:
+        if not text_start <= addr < text_start + text_size:
+            continue
+        symbol = target.function_at(addr)
+        if symbol is not None:
+            names.add(symbol.name)
+    return names
+
+
+def build_report(engine: TaintEngine, target: LoadedImage) -> TaintReport:
+    return TaintReport(
+        target=target.image.name,
+        sensitive_functions=functions_from_sites(engine.access_sites,
+                                                 target),
+        raw_site_count=len(engine.access_sites),
+        tainted_bytes=engine.tainted_count(),
+    )

@@ -1,0 +1,7 @@
+"""Workload generators: the ApacheBench analogue and the scout-like URL
+fuzzer (paper §4.1 and Figure 9)."""
+
+from repro.workloads.ab import AbResult, ApacheBench
+from repro.workloads.fuzz import UrlFuzzer
+
+__all__ = ["AbResult", "ApacheBench", "UrlFuzzer"]

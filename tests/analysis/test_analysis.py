@@ -1,0 +1,275 @@
+"""Tests for the analysis tooling: call graphs, perf, pmap, gadgets,
+alias analysis."""
+
+import pytest
+
+from repro.analysis.alias import analyze_image_pointers
+from repro.analysis.callgraph import (
+    build_callgraph,
+    protected_function_set,
+)
+from repro.analysis.gadgets import (
+    find_gadgets,
+    find_pop_reg_ret,
+    find_ret,
+)
+from repro.analysis.perf import FunctionProfiler
+from repro.analysis.pmap import format_pmap, rss_kb, rss_report
+from repro.kernel import Kernel
+from repro.libc import build_libc_image
+from repro.loader import ImageBuilder
+from repro.machine import Assembler, PAGE_SIZE
+from repro.process import GuestProcess
+
+
+def build_graph_image():
+    builder = ImageBuilder("graphapp")
+    builder.import_libc("write", "read")
+
+    def noop(ctx):
+        return 0
+    builder.add_hl_function("main", noop, 0,
+                            calls=("func1", "func2", "func3"))
+    builder.add_hl_function("func1", noop, 0, calls=())
+    builder.add_hl_function("func2", noop, 0,
+                            calls=("subfunc1", "subfunc2", "write"))
+    builder.add_hl_function("func3", noop, 0, calls=("read",))
+    builder.add_hl_function("subfunc1", noop, 0, calls=())
+    builder.add_hl_function("subfunc2", noop, 0, calls=("subsubfunc2",))
+    builder.add_hl_function("subsubfunc2", noop, 0, calls=())
+    # an ISA function whose CALL targets are found by disassembly
+    isa = Assembler()
+    isa.call("func1")
+    isa.ret()
+    builder.add_isa_function("isa_caller", isa)
+    builder.add_data_pointer("handler", "func2")
+    return builder.build()
+
+
+# -- callgraph (paper Figure 2's example shape) -----------------------------------
+
+def test_subtree_matches_figure2():
+    image = build_graph_image()
+    subtree = protected_function_set(image, "func2")
+    assert subtree == {"func2", "subfunc1", "subfunc2", "subsubfunc2"}
+
+
+def test_subtree_of_main_covers_everything():
+    image = build_graph_image()
+    subtree = protected_function_set(image, "main")
+    assert {"main", "func1", "func2", "func3", "subfunc1", "subfunc2",
+            "subsubfunc2"} <= subtree
+
+
+def test_libc_reachability():
+    graph = build_callgraph(build_graph_image())
+    assert graph.libc_reachable("func2") == {"write"}
+    assert graph.libc_reachable("func3") == {"read"}
+    assert graph.libc_reachable("subfunc1") == set()
+
+
+def test_isa_call_targets_extracted_by_disassembly():
+    graph = build_callgraph(build_graph_image())
+    assert "func1" in graph.callees("isa_caller")
+
+
+def test_callers_and_roots():
+    graph = build_callgraph(build_graph_image())
+    assert graph.callers("subsubfunc2") == {"subfunc2"}
+    assert "main" in graph.roots()
+    assert "subfunc1" not in graph.roots()
+
+
+def test_unknown_root_raises():
+    from repro.errors import SymbolNotFound
+    graph = build_callgraph(build_graph_image())
+    with pytest.raises(SymbolNotFound):
+        graph.subtree("nothere")
+
+
+# -- alias analysis ------------------------------------------------------------------
+
+def test_alias_analysis_finds_static_pointer_slots():
+    image = build_graph_image()
+    analysis = analyze_image_pointers(image)
+    handler = image.symbol("handler")
+    assert handler.offset in analysis.data_pointer_offsets
+    assert analysis.narrowed_slot_count == 1
+
+
+# -- perf -----------------------------------------------------------------------------
+
+def make_profiled_process():
+    kernel = Kernel()
+    process = GuestProcess(kernel, "perf")
+    process.load_image(build_libc_image(), tag="libc")
+    builder = ImageBuilder("hotapp")
+
+    def hot(ctx):
+        ctx.charge(9000)
+        return 0
+
+    def cold(ctx):
+        ctx.charge(1000)
+        return 0
+
+    def top(ctx):
+        ctx.call("hot")
+        ctx.call("cold")
+        return 0
+    builder.add_hl_function("hot", hot, 0)
+    builder.add_hl_function("cold", cold, 0)
+    builder.add_hl_function("top", top, 0, calls=("hot", "cold"))
+    process.load_image(builder.build(), main=True)
+    return process
+
+
+def test_profiler_attributes_inclusive_and_exclusive():
+    process = make_profiled_process()
+    with FunctionProfiler(process) as profiler:
+        process.call_function("top")
+    assert profiler.inclusive_fraction("top") > 0.9
+    assert profiler.inclusive_fraction("hot") > \
+        profiler.inclusive_fraction("cold")
+    assert profiler.exclusive_ns["hot"] > profiler.exclusive_ns["cold"]
+
+
+def test_profiler_flame_graph_nesting():
+    process = make_profiled_process()
+    with FunctionProfiler(process) as profiler:
+        process.call_function("top")
+    flame = profiler.flame_graph()
+    top_node = flame.children["top"]
+    assert "hot" in top_node.children
+    assert "cold" in top_node.children
+    assert top_node.total_ns >= top_node.children["hot"].total_ns
+    rendering = flame.render()
+    assert "top" in rendering and "hot" in rendering
+
+
+def test_profiler_folded_stacks_format():
+    process = make_profiled_process()
+    with FunctionProfiler(process) as profiler:
+        process.call_function("top")
+    folded = profiler.folded_stacks()
+    assert any(line.startswith("top;hot ") for line in folded)
+
+
+def test_profiler_detach_stops_sampling():
+    process = make_profiled_process()
+    profiler = FunctionProfiler(process).attach()
+    process.call_function("top")
+    total = profiler.total_ns
+    profiler.detach()
+    process.call_function("top")
+    assert profiler.total_ns == total
+
+
+# -- pmap -------------------------------------------------------------------------------
+
+def test_rss_and_report():
+    kernel = Kernel()
+    process = GuestProcess(kernel, "pm", heap_pages=8)
+    process.load_image(build_libc_image(), tag="libc")
+    kb = rss_kb(process)
+    assert kb >= 8 * PAGE_SIZE / 1024
+    report = rss_report(process)
+    assert "heap" in report
+    assert any(tag.startswith("libc:") for tag in report)
+    listing = format_pmap(process)
+    assert "total" in listing and "heap" in listing
+
+
+# -- gadgets ------------------------------------------------------------------------------
+
+def build_gadget_space():
+    kernel = Kernel()
+    process = GuestProcess(kernel, "g")
+    builder = ImageBuilder("gadgetapp")
+    isa = Assembler()
+    isa.pop_r("rdi")
+    isa.ret()
+    isa.pop_r("rsi")
+    isa.ret()
+    isa.mov_ri("rax", 1)
+    isa.add_ri("rax", 2)
+    isa.ret()
+    builder.add_isa_function("pool", isa)
+
+    def hl(ctx):
+        return 0
+    builder.add_hl_function("hl", hl, 0)
+    loaded = process.load_image(builder.build())
+    return process, loaded
+
+
+def test_find_gadgets_and_classify():
+    process, loaded = build_gadget_space()
+    region = (loaded.base, loaded.base + loaded.image.load_size)
+    gadgets = find_gadgets(process.space, max_len=3, region=region)
+    assert find_pop_reg_ret(gadgets, "rdi") is not None
+    assert find_pop_reg_ret(gadgets, "rsi") is not None
+    assert find_pop_reg_ret(gadgets, "rbx") is None
+    assert find_ret(gadgets) is not None
+
+
+def test_gadget_region_restriction():
+    process, loaded = build_gadget_space()
+    off_region = (loaded.base + loaded.image.load_size,
+                  loaded.base + loaded.image.load_size + PAGE_SIZE)
+    assert find_gadgets(process.space, region=off_region) == []
+
+
+def test_gadgets_never_span_control_flow():
+    process, loaded = build_gadget_space()
+    from repro.machine.isa import Op
+    region = (loaded.base, loaded.base + loaded.image.load_size)
+    for gadget in find_gadgets(process.space, max_len=3, region=region):
+        for instr in gadget.instructions[:-1]:
+            assert instr.op not in (Op.RET, Op.JMP, Op.CALL, Op.HLCALL)
+        assert gadget.instructions[-1].op == Op.RET
+        assert "ret" in gadget.text
+
+
+def test_profiler_hottest_ranking():
+    process = make_profiled_process()
+    with FunctionProfiler(process) as profiler:
+        process.call_function("top")
+    ranked = profiler.hottest(2)
+    assert ranked[0][0] == "hot"
+    assert ranked[0][1] >= ranked[1][1]
+
+
+def test_flame_render_min_ns_filter():
+    process = make_profiled_process()
+    with FunctionProfiler(process) as profiler:
+        process.call_function("top")
+    flame = profiler.flame_graph()
+    full = flame.render()
+    filtered = flame.render(min_ns=5000)
+    assert "cold" in full
+    assert "cold" not in filtered      # below the threshold
+    assert "hot" in filtered
+
+
+def test_minx_callgraph_reaches_recv_from_tainted_root():
+    """The §4.2 reasoning: the vulnerable recv sits inside the protected
+    subtree of the taint-identified root."""
+    from repro.apps.minx import build_minx_image
+    graph = build_callgraph(build_minx_image())
+    reachable = graph.libc_reachable("minx_http_process_request_line")
+    assert "recv" in reachable
+    assert "sendfile" in reachable
+
+
+def test_profile_tool_symbol_size():
+    from repro.analysis.callgraph import build_callgraph as _
+    from repro.loader import generate_profile
+    from repro.apps.minx import build_minx_image
+    image = build_minx_image()
+    profile = generate_profile(image)
+    assert profile.symbol_size("minx_http_process_request_line") == \
+        image.symbol("minx_http_process_request_line").size
+    from repro.errors import SymbolNotFound
+    with pytest.raises(SymbolNotFound):
+        profile.symbol_size("ghost")

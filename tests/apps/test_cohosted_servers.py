@@ -1,0 +1,78 @@
+"""Whole-machine integration: minx and littled co-hosted on one kernel,
+both under sMVX, interleaved traffic, one of them attacked."""
+
+import pytest
+
+from repro.apps import LittledServer, MinxServer
+from repro.attacks import run_exploit
+from repro.kernel import Kernel
+from repro.workloads import ApacheBench
+
+
+@pytest.fixture
+def machine():
+    kernel = Kernel()
+    minx = MinxServer(kernel, port=8080, smvx=True,
+                      protect="minx_http_process_request_line",
+                      name="minx-co")
+    littled = LittledServer(kernel, port=8081, smvx=True,
+                            protect="server_main_loop", name="littled-co")
+    minx.start()
+    littled.start()
+    return kernel, minx, littled
+
+
+def test_interleaved_traffic_both_protected(machine):
+    kernel, minx, littled = machine
+    ab_minx = ApacheBench(kernel, minx)
+    ab_littled = ApacheBench(kernel, littled)
+    for _ in range(4):
+        assert ab_minx.run(1).status_counts == {200: 1}
+        assert ab_littled.run(1).status_counts == {200: 1}
+    assert not minx.alarms.triggered
+    assert not littled.alarms.triggered
+    assert minx.monitor.stats.regions_entered >= 4
+    assert littled.monitor.stats.regions_entered >= 4
+
+
+def test_monitors_have_distinct_keys_and_bases(machine):
+    _, minx, littled = machine
+    # each process has its own pkey allocator, monitor image, safe stacks
+    assert minx.monitor.monitor_image.base != \
+        littled.monitor.monitor_image.base
+    assert minx.monitor.memory.safe_stack_area != \
+        littled.monitor.memory.safe_stack_area
+
+
+def test_attack_on_one_leaves_the_other_serving(machine):
+    kernel, minx, littled = machine
+    outcome = run_exploit(minx)
+    assert outcome.attack_detected_and_blocked
+    assert minx.alarms.triggered
+    # littled is untouched and keeps serving
+    assert not littled.alarms.triggered
+    result = ApacheBench(kernel, littled).run(3)
+    assert result.status_counts == {200: 3}
+    # and so does minx, post-alarm
+    result = ApacheBench(kernel, minx).run(3)
+    assert result.status_counts == {200: 3}
+
+
+def test_shared_filesystem_log_interleaving(machine):
+    """Both servers append to the shared VFS; leader-only I/O means each
+    request logs exactly once even with two lockstep systems running."""
+    kernel, minx, littled = machine
+    ApacheBench(kernel, minx).run(3)
+    ApacheBench(kernel, littled).run(2)
+    minx_log = kernel.vfs.read_file("/var/log/minx.log")
+    littled_log = kernel.vfs.read_file("/var/log/littled.log")
+    assert minx_log.count(b"\r\n") == 3
+    assert littled_log.count(b"\r\n") == 2
+
+
+def test_syscall_accounting_is_per_process(machine):
+    kernel, minx, littled = machine
+    ApacheBench(kernel, minx).run(2)
+    before_littled = kernel.syscall_count(littled.process.pid)
+    ApacheBench(kernel, minx).run(2)
+    assert kernel.syscall_count(littled.process.pid) == before_littled

@@ -1,0 +1,80 @@
+"""Tests for the nbench suite (Figure 6 substrate)."""
+
+import pytest
+
+from repro.apps.nbench import (
+    NBENCH_WORKLOADS,
+    NbenchHarness,
+    build_nbench_image,
+    provision_nbench_files,
+)
+from repro.core import build_smvx_stub_image
+from repro.kernel import Kernel
+from repro.libc import build_libc_image
+from repro.process import GuestProcess
+from repro.process.context import to_signed
+
+
+def make_process():
+    kernel = Kernel()
+    provision_nbench_files(kernel.vfs)
+    proc = GuestProcess(kernel, "nbench", heap_pages=128)
+    proc.load_image(build_libc_image(), tag="libc")
+    proc.load_image(build_smvx_stub_image(), tag="libsmvx")
+    proc.load_image(build_nbench_image(), main=True)
+    proc.app_config = {"protect": None}
+    return proc
+
+
+def test_ten_workloads_registered():
+    assert len(NBENCH_WORKLOADS) == 10
+    names = {spec.name for spec in NBENCH_WORKLOADS}
+    assert {"Numeric Sort", "Neural Net", "IDEA", "Huffman",
+            "LU Decomposition"} <= names
+
+
+@pytest.mark.parametrize("index", range(10))
+def test_workload_runs_and_is_deterministic(index):
+    p1, p2 = make_process(), make_process()
+    c1 = to_signed(p1.call_function("nb_main", index))
+    c2 = to_signed(p2.call_function("nb_main", index))
+    assert c1 == c2
+    assert c1 != 0
+
+
+def test_workloads_have_distinct_checksums():
+    proc = make_process()
+    sums = [proc.call_function("nb_main", i) for i in range(10)]
+    assert len(set(sums)) == 10
+
+
+def test_neural_net_reads_model_file():
+    proc = make_process()
+    proc.call_function("nb_main", 8)       # Neural Net
+    reads = proc.kernel.syscall_breakdown(proc.pid).get("read", 0)
+    assert reads >= 10                     # chunked model-file reads
+
+
+def test_harness_smvx_consistency_and_overhead():
+    harness = NbenchHarness(runs=1)
+    result = harness.run_workload(0)       # Numeric Sort
+    assert result.consistent
+    assert 0.0 < result.overhead < 0.20    # low, CPU-bound
+
+
+def test_neural_net_overhead_is_highest_of_probe_set():
+    harness = NbenchHarness(runs=1)
+    numeric = harness.run_workload(0)
+    neural = harness.run_workload(8)
+    assert neural.overhead > numeric.overhead
+    assert neural.overhead > 0.10          # the paper's standout (~16%)
+
+
+def test_nbench_consistent_under_aligned_strategy():
+    """The aligned-variant strategy preserves every workload's checksum
+    (a strong whole-suite check of the diversifier's semantics)."""
+    harness = NbenchHarness(runs=1, variant_strategy="aligned")
+    for index in (0, 4, 8):                 # sort, FP, the I/O-heavy one
+        result = harness.run_workload(index)
+        assert result.consistent, result.name
+        assert result.overhead < 0.10       # cheaper than shift

@@ -1,0 +1,135 @@
+"""Fixtures for sMVX core tests: a small instrumented application.
+
+The app mirrors the paper's Listing 1 / Figure 2 shape:
+
+* ``main`` calls ``mvx_init``, wraps ``protected_func`` in
+  ``mvx_start``/``mvx_end``;
+* ``protected_func`` (the region root) calls ``helper`` through a
+  function pointer stored in ``.data`` (exercising pointer relocation),
+  reads a file (category-2 buffer emulation), asks the time (category-2),
+  uses malloc/strlen (LOCAL category), and writes a log line (category-1).
+* ``unprotected_func`` exists outside the region subtree.
+"""
+
+import pytest
+
+from repro.core import AlarmLog, attach_smvx, build_smvx_stub_image
+from repro.kernel import Kernel
+from repro.kernel.vfs import O_RDONLY
+from repro.libc import build_libc_image
+from repro.loader import ImageBuilder
+from repro.process import GuestProcess, to_signed
+
+
+def _helper(ctx, x):
+    ctx.charge(10)
+    return (x * 2) & 0xFFFF_FFFF
+
+
+def _protected_func(ctx, a, b):
+    # call through the .data function pointer (must be relocated in the
+    # follower or this jumps into the leader's image and diverges)
+    fn_ptr = ctx.read_word(ctx.symbol("helper_ptr"))
+    doubled = ctx.call(fn_ptr, a)
+
+    # category-2: file read through emulated buffers
+    path = ctx.stack_alloc(32)
+    ctx.write_cstring(path, b"/etc/motd")
+    fd = to_signed(ctx.libc("open", path, O_RDONLY))
+    assert fd >= 0, "motd must open"
+    buf = ctx.stack_alloc(64)
+    n = to_signed(ctx.libc("read", fd, buf, 64))
+    ctx.libc("close", fd)
+    first = ctx.read_byte(buf) if n > 0 else 0
+
+    # LOCAL: both variants run their own malloc/strlen
+    scratch = ctx.libc("malloc", 48)
+    ctx.write_cstring(scratch, b"region-scratch")
+    length = ctx.libc("strlen", scratch)
+    ctx.libc("free", scratch)
+
+    # category-1: write to the shared log (leader-only execution)
+    msg = ctx.stack_alloc(32)
+    ctx.write_cstring(msg, b"protected ran\n")
+    log_path = ctx.stack_alloc(32)
+    ctx.write_cstring(log_path, b"/var/log/app.log")
+    from repro.kernel.vfs import O_CREAT, O_WRONLY, O_APPEND
+    log_fd = to_signed(ctx.libc("open", log_path,
+                                O_WRONLY | O_CREAT | O_APPEND))
+    ctx.libc("write", log_fd, msg, 14)
+    ctx.libc("close", log_fd)
+
+    return (doubled + b + first + length) & 0xFFFF_FFFF
+
+
+def _unprotected_func(ctx, x):
+    ctx.libc("getpid")
+    return x + 1000
+
+
+def _app_main(ctx, a, b):
+    ctx.libc("mvx_init")
+    before = ctx.call("unprotected_func", 1)
+    name = ctx.symbol("pf_name")
+    ctx.libc("mvx_start", name, 2, a, b)
+    result = ctx.call("protected_func", a, b)
+    ctx.libc("mvx_end")
+    after = ctx.call("unprotected_func", 2)
+    return (result + before + after) & 0xFFFF_FFFF
+
+
+def build_test_app():
+    builder = ImageBuilder("protapp")
+    builder.import_libc(
+        "mvx_init", "mvx_start", "mvx_end",
+        "open", "read", "write", "close", "getpid", "time",
+        "malloc", "free", "strlen", "localtime_r", "gettimeofday",
+        "mkdir", "recv", "send",
+    )
+    builder.add_hl_function(
+        "helper", _helper, 1, size=64)
+    builder.add_hl_function(
+        "protected_func", _protected_func, 2, size=256,
+        calls=("helper", "open", "read", "close", "malloc", "strlen",
+               "free", "write"))
+    builder.add_hl_function(
+        "unprotected_func", _unprotected_func, 1, size=128,
+        calls=("getpid",))
+    builder.add_hl_function(
+        "main", _app_main, 2, size=128,
+        calls=("mvx_init", "mvx_start", "mvx_end", "protected_func",
+               "unprotected_func"))
+    builder.add_rodata("pf_name", b"protected_func\x00")
+    builder.add_data_pointer("helper_ptr", "helper")
+    builder.add_data("app_config", b"\x2A" + b"\x00" * 63)
+    builder.add_bss("app_state", 4096)
+    return builder.build()
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    k.vfs.write_file("/etc/motd", b"Welcome to the simulated machine\n")
+    return k
+
+
+@pytest.fixture
+def vanilla(kernel):
+    """The app without a monitor: mvx_* stubs are no-ops."""
+    proc = GuestProcess(kernel, "vanilla")
+    proc.load_image(build_libc_image(), tag="libc")
+    proc.load_image(build_smvx_stub_image(), tag="libsmvx")
+    proc.load_image(build_test_app(), main=True)
+    return proc
+
+
+@pytest.fixture
+def protected(kernel):
+    """The app with the sMVX monitor preloaded."""
+    proc = GuestProcess(kernel, "protected")
+    proc.load_image(build_libc_image(), tag="libc")
+    proc.load_image(build_smvx_stub_image(), tag="libsmvx")
+    target = proc.load_image(build_test_app(), main=True)
+    alarms = AlarmLog()
+    monitor = attach_smvx(proc, target, alarm_log=alarms)
+    return proc, monitor, alarms

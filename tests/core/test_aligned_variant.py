@@ -1,0 +1,206 @@
+"""Tests for the aligned-variant strategy (repro.core.aligned) — the
+paper's §4.1/§5 'align the function addresses but still have different
+variant layouts' alternative."""
+
+import pytest
+
+from repro.apps.minx import MinxServer
+from repro.attacks import run_exploit
+from repro.core.aligned import TRAP_SLOT, _diversify_function, \
+    diversify_text
+from repro.errors import InvalidInstruction
+from repro.kernel import Kernel
+from repro.machine import Assembler, Instruction, Op
+from repro.machine.isa import INSTR_SIZE
+from repro.workloads import ApacheBench
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def make_server(kernel, **kwargs):
+    server = MinxServer(kernel, smvx=True,
+                        protect="minx_http_process_request_line",
+                        variant_strategy="aligned", **kwargs)
+    server.start()
+    return server
+
+
+# -- the diversifier ----------------------------------------------------------------
+
+def assemble_padded(build, pad_slots):
+    a = Assembler()
+    build(a)
+    code = a.assemble(0)
+    return code + Instruction(Op.NOP).encode() * pad_slots
+
+
+def test_diversified_body_moves_and_traps():
+    def build(a):
+        a.mov_ri("rax", 1)
+        a.add_ri("rax", 2)
+        a.ret()
+    body = assemble_padded(build, pad_slots=7)       # 3 body + 7 pad
+    out = _diversify_function(body, "f", seed=1)
+    assert out is not None and len(out) == len(body)
+    # entry slot is a JMP, not the original mov
+    entry = Instruction.decode(out[:INSTR_SIZE])
+    assert entry.op is Op.JMP
+    # old gadget offsets (slots 1, 2) are traps now
+    assert out[INSTR_SIZE:2 * INSTR_SIZE] == TRAP_SLOT
+    assert out[2 * INSTR_SIZE:3 * INSTR_SIZE] == TRAP_SLOT
+    # the body exists somewhere later, intact in order
+    moved_ret = out.find(Instruction(Op.RET).encode())
+    assert moved_ret >= 3 * INSTR_SIZE
+
+
+def test_diversification_preserves_semantics():
+    """Executing the diversified function gives the original result."""
+    from repro.machine import AddressSpace, CPU, PROT_RX, PROT_RW
+    from repro.machine.cpu import ExecState, HOST_RETURN_ADDRESS
+    from repro.machine.registers import RegisterFile
+
+    def build(a):
+        a.mov_ri("rax", 0)
+        a.mov_ri("rcx", 0)
+        a.label("loop")
+        a.add_rr("rax", "rcx")
+        a.add_ri("rcx", 1)
+        a.cmp_ri("rcx", 10)
+        a.jne("loop")
+        a.ret()
+    original = assemble_padded(build, pad_slots=9)
+    diversified = _diversify_function(original, "sum", seed=7)
+    assert diversified is not None and diversified != original
+
+    def run(code):
+        space = AddressSpace()
+        space.mmap(0x40_0000, 4096, prot=PROT_RX)
+        space.page_at(0x40_0000).data[:len(code)] = code
+        space.mmap(0x50_0000, 4096, prot=PROT_RW)
+        cpu = CPU(space)
+        state = ExecState(RegisterFile())
+        state.regs.rip = 0x40_0000
+        state.regs.set("rsp", 0x50_0000 + 4096 - 16)
+        cpu._push(state, HOST_RETURN_ADDRESS)
+        cpu.run(state, max_steps=1000)
+        return state.regs.get("rax")
+    assert run(original) == run(diversified) == sum(range(10))
+
+
+def test_no_slack_means_no_diversification():
+    def build(a):
+        a.mov_ri("rax", 5)
+        a.ret()
+    body = assemble_padded(build, pad_slots=0)
+    assert _diversify_function(body, "tight", seed=1) is None
+
+
+def test_diversify_text_reports_moved_functions(kernel):
+    server = MinxServer(kernel)
+    server.start()
+    _new_text, moved = diversify_text(server.loaded, server.process.space,
+                                      seed=3)
+    assert moved["minx_http_process_request_line"] > 0
+    assert moved["minx_ctx_restore"] > 0       # the padded gadget pool
+
+
+def test_seeds_give_different_layouts(kernel):
+    server = MinxServer(kernel)
+    server.start()
+    t1, _ = diversify_text(server.loaded, server.process.space, seed=1)
+    t2, _ = diversify_text(server.loaded, server.process.space, seed=2)
+    assert t1 != t2
+
+
+# -- end-to-end ------------------------------------------------------------------------
+
+def test_aligned_strategy_serves_correctly(kernel):
+    server = make_server(kernel)
+    result = ApacheBench(kernel, server).run(6)
+    assert result.status_counts == {200: 6}
+    assert not server.alarms.triggered
+    # no pointer relocation happened at all
+    report = server.monitor.last_variant_report
+    assert report.shift == 0
+    assert report.relocation.total_pointers == 0
+
+
+def test_aligned_strategy_is_cheaper_than_shift(kernel):
+    shift_server = MinxServer(Kernel(), smvx=True,
+                              protect="minx_http_process_request_line",
+                              variant_strategy="shift")
+    shift_server.start()
+    aligned_server = make_server(kernel)
+    shift_cost = ApacheBench(shift_server.kernel,
+                             shift_server).run(10).busy_per_request_ns
+    aligned_cost = ApacheBench(kernel, server=aligned_server
+                               ).run(10).busy_per_request_ns
+    assert aligned_cost < shift_cost          # no Table 2 scan costs
+
+
+def test_aligned_strategy_detects_the_exploit(kernel):
+    """The CVE's gadget addresses hit trap slots in the follower's
+    diversified text — detection without any address-space shift."""
+    server = make_server(kernel)
+    outcome = run_exploit(server)
+    assert outcome.attack_detected_and_blocked
+    assert not outcome.directory_created
+    report = server.alarms.alarms[0]
+    assert "Invalid" in report.detail or "invalid" in report.detail
+
+
+def test_aligned_follower_memory_is_private(kernel):
+    server = make_server(kernel)
+    monitor = server.monitor
+    thread = server.process.main_thread()
+    conn = server.process.heap.malloc(128)
+    monitor.region_start(thread, "minx_http_process_request_line", [conn])
+    variant = monitor.region.variant
+    fspace = variant.thread.space
+    # same numeric address, different page object, same content
+    leader_page = server.process.space.page_at(conn)
+    follower_page = fspace.page_at(conn)
+    assert leader_page is not follower_page
+    assert bytes(leader_page.data) == bytes(follower_page.data)
+    # writes do not leak across the views
+    fspace.write_word(conn, 0xDEAD, privileged=True)
+    assert server.process.space.read_word(conn, privileged=True) != 0xDEAD
+    from repro.core import DivergenceKind, DivergenceReport
+    monitor.abort_region(DivergenceReport(DivergenceKind.MONITOR,
+                                          detail="test teardown"))
+
+
+def test_invalid_strategy_rejected(kernel):
+    from repro.core import SmvxMonitor
+    from repro.errors import MvxSetupError
+    server = MinxServer(kernel)
+    with pytest.raises(MvxSetupError):
+        SmvxMonitor(server.process, variant_strategy="bogus")
+
+
+def test_reuse_flag_ignored_under_aligned(kernel):
+    """reuse_variants only applies to the shift strategy; under aligned it
+    is quietly disabled (creation is already cheap)."""
+    server = MinxServer(kernel, smvx=True,
+                        protect="minx_http_process_request_line",
+                        variant_strategy="aligned", reuse_variants=True)
+    server.start()
+    assert server.monitor.reuse_variants is False
+    result = ApacheBench(kernel, server).run(3)
+    assert result.status_counts == {200: 3}
+    assert not server.monitor._cached_variants
+
+
+def test_aligned_diversification_is_deterministic(kernel):
+    s1 = MinxServer(Kernel(), smvx=True, variant_strategy="aligned",
+                    protect="minx_http_process_request_line", name="d1")
+    s2 = MinxServer(Kernel(), smvx=True, variant_strategy="aligned",
+                    protect="minx_http_process_request_line", name="d2")
+    s1.start()
+    s2.start()
+    t1, m1 = diversify_text(s1.loaded, s1.process.space, seed=9)
+    t2, m2 = diversify_text(s2.loaded, s2.process.space, seed=9)
+    assert t1 == t2 and m1 == m2

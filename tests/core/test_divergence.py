@@ -1,0 +1,191 @@
+"""Divergence detection: layout-dependent behaviour must trip the alarm.
+
+Each scenario plants a guest function whose behaviour depends on the
+variant's memory layout — the signature of a memory-corruption exploit —
+and asserts the monitor detects it, reports the right kind, logs an
+alarm, and tears the region down so the process stays usable.
+"""
+
+import pytest
+
+from repro.core import AlarmLog, DivergenceKind, attach_smvx, \
+    build_smvx_stub_image
+from repro.errors import MvxDivergence
+from repro.kernel import Kernel
+from repro.libc import build_libc_image
+from repro.loader import ImageBuilder
+from repro.process import GuestProcess
+
+
+def make_process(*hl_specs, data=(), rodata=()):
+    kernel = Kernel()
+    proc = GuestProcess(kernel, "div")
+    proc.load_image(build_libc_image(), tag="libc")
+    proc.load_image(build_smvx_stub_image(), tag="libsmvx")
+    builder = ImageBuilder("divapp")
+    builder.import_libc("mvx_init", "mvx_start", "mvx_end", "getpid",
+                        "time", "write", "open", "close", "malloc", "free",
+                        "strlen")
+    for spec in hl_specs:
+        builder.add_hl_function(*spec[:3], **(spec[3] if len(spec) > 3
+                                              else {}))
+    for name, content in data:
+        builder.add_data(name, content)
+    for name, content in rodata:
+        builder.add_rodata(name, content)
+    target = proc.load_image(builder.build(), main=True)
+    alarms = AlarmLog()
+    monitor = attach_smvx(proc, target, alarm_log=alarms)
+    return proc, monitor, alarms
+
+
+def run_protected(proc, monitor, func_name, *args):
+    thread = proc.main_thread()
+    monitor.region_start(thread, func_name, list(args))
+    try:
+        proc.guest_call(thread, proc.resolve(func_name), *args)
+    finally:
+        if monitor.region is not None:
+            monitor.region_end(thread)
+
+
+# -- call-sequence divergence -------------------------------------------------------
+
+def test_layout_dependent_call_sequence_detected():
+    def two_faced(ctx):
+        # behaves differently depending on where it is loaded — the
+        # layout-sensitivity an exploit payload exhibits
+        if ctx.loaded.tag.startswith("variant:"):
+            ctx.libc("getpid")
+        else:
+            ctx.libc("time", 0)
+        return 0
+
+    proc, monitor, alarms = make_process(
+        ("two_faced", two_faced, 0, {"calls": ("getpid", "time")}))
+    with pytest.raises(MvxDivergence) as info:
+        run_protected(proc, monitor, "two_faced")
+    assert info.value.report.kind is DivergenceKind.CALL_NAME
+    assert alarms.triggered
+    assert monitor.region is None          # torn down
+
+
+def test_scalar_argument_divergence_detected():
+    def leaky(ctx):
+        # leaks a layout-dependent scalar into a compared argument
+        ctx.libc("close", (ctx.loaded.base >> 32) & 0xFFFF)
+        return 0
+
+    proc, monitor, alarms = make_process(
+        ("leaky", leaky, 0, {"calls": ("close",)}))
+    with pytest.raises(MvxDivergence) as info:
+        run_protected(proc, monitor, "leaky")
+    assert info.value.report.kind is DivergenceKind.ARGUMENT
+
+
+def test_follower_extra_call_detected():
+    def trailing(ctx):
+        if ctx.loaded.tag.startswith("variant:"):
+            ctx.libc("getpid")             # extra call only in follower
+        return 0
+
+    proc, monitor, alarms = make_process(
+        ("trailing", trailing, 0, {"calls": ("getpid",)}))
+    with pytest.raises(MvxDivergence) as info:
+        run_protected(proc, monitor, "trailing")
+    assert info.value.report.kind is DivergenceKind.CALL_COUNT
+    assert alarms.triggered
+
+
+def test_follower_missing_call_detected():
+    def skipping(ctx):
+        if not ctx.loaded.tag.startswith("variant:"):
+            ctx.libc("getpid")             # leader calls; follower doesn't
+        return 0
+
+    proc, monitor, alarms = make_process(
+        ("skipping", skipping, 0, {"calls": ("getpid",)}))
+    with pytest.raises(MvxDivergence) as info:
+        run_protected(proc, monitor, "skipping")
+    assert info.value.report.kind is DivergenceKind.CALL_COUNT
+
+
+# -- fault divergence (the ROP-detection mechanism in miniature) -----------------------
+
+def test_follower_faults_on_leader_code_address():
+    def hijacked(ctx):
+        # models a corrupted code pointer that slipped past relocation
+        # (e.g. written by the attacker *after* variant creation): an
+        # absolute leader-space address.  The leader executes it fine;
+        # the follower's view has no mapping there and faults.
+        leader_victim = ctx.process.resolve("victim")
+        return ctx.call(leader_victim)
+
+    def victim(ctx):
+        return 99
+
+    proc, monitor, alarms = make_process(
+        ("hijacked", hijacked, 0, {}),
+        ("victim", victim, 0, {}))
+    with pytest.raises(MvxDivergence) as info:
+        run_protected(proc, monitor, "hijacked")
+    assert info.value.report.kind is DivergenceKind.FOLLOWER_FAULT
+    assert "0x" in info.value.report.detail
+    assert alarms.triggered
+
+
+def test_follower_faults_on_leader_data_address():
+    def peeker(ctx):
+        # forged data pointer (absolute leader address, not an argument,
+        # so it never went through relocation)
+        leader_secret = ctx.process.main_image.symbol_address("secret")
+        value = ctx.read_word(leader_secret)
+        ctx.libc("close", value & 0xFF)
+        return 0
+
+    proc, monitor, alarms = make_process(
+        ("peeker", peeker, 0, {"calls": ("close",)}),
+        data=[("secret", (1234).to_bytes(8, "little"))])
+    with pytest.raises(MvxDivergence) as info:
+        run_protected(proc, monitor, "peeker")
+    assert info.value.report.kind is DivergenceKind.FOLLOWER_FAULT
+
+
+# -- recovery ---------------------------------------------------------------------------
+
+def test_process_usable_after_divergence():
+    def two_faced(ctx):
+        if ctx.loaded.tag.startswith("variant:"):
+            ctx.libc("getpid")
+        else:
+            ctx.libc("time", 0)
+        return 0
+
+    def honest(ctx):
+        ctx.libc("getpid")
+        return 7
+
+    proc, monitor, alarms = make_process(
+        ("two_faced", two_faced, 0, {"calls": ("getpid", "time")}),
+        ("honest", honest, 0, {"calls": ("getpid",)}))
+    with pytest.raises(MvxDivergence):
+        run_protected(proc, monitor, "two_faced")
+    # a fresh region over well-behaved code still works
+    run_protected(proc, monitor, "honest")
+    assert len(alarms.alarms) == 1
+
+
+def test_relocated_pointer_argument_keeps_variants_consistent():
+    """A pointer argument into the heap is relocated for the follower, so
+    both variants read their own copies and stay in lockstep."""
+    def reader(ctx, ptr):
+        value = ctx.read_word(ptr)
+        ctx.libc("close", value & 0xFFFF)  # same scalar in both variants
+        return value
+
+    proc, monitor, alarms = make_process(
+        ("reader", reader, 1, {"calls": ("close",)}))
+    heap_ptr = proc.heap.malloc(16)
+    proc.space.write_word(heap_ptr, 0xBEEF, privileged=True)
+    run_protected(proc, monitor, "reader", heap_ptr)
+    assert not alarms.triggered

@@ -1,0 +1,167 @@
+"""Detail-level monitor tests: stats, gates, multi-process, profile use."""
+
+import pytest
+
+from repro.core import AlarmLog, SmvxMonitor, attach_smvx, \
+    build_smvx_stub_image
+from repro.errors import MvxSetupError, ProtectionKeyFault
+from repro.kernel import Kernel
+from repro.libc import build_libc_image
+from repro.loader import ImageBuilder
+from repro.loader.profile_tool import write_profile
+from repro.machine.memory import PROT_READ
+from repro.process import GuestProcess, to_signed
+
+
+def build_app():
+    builder = ImageBuilder("detailapp")
+    builder.import_libc("mvx_init", "mvx_start", "mvx_end", "getpid",
+                        "time", "malloc", "free", "strlen")
+
+    def worker(ctx, x):
+        ptr = ctx.libc("malloc", 64)
+        ctx.write_cstring(ptr, b"abc")
+        n = ctx.libc("strlen", ptr)
+        ctx.libc("free", ptr)
+        ctx.libc("time", 0)
+        return x + n
+
+    def main(ctx, x):
+        ctx.libc("mvx_init")
+        ctx.libc("mvx_start", ctx.symbol("wname"), 1, x)
+        result = ctx.call("worker", x)
+        ctx.libc("mvx_end")
+        return result
+    builder.add_hl_function("worker", worker, 1,
+                            calls=("malloc", "strlen", "free", "time"))
+    builder.add_hl_function("main", main, 1,
+                            calls=("mvx_init", "mvx_start", "worker",
+                                   "mvx_end"))
+    builder.add_rodata("wname", b"worker\x00")
+    return builder.build()
+
+
+def make(kernel=None, profile_path=None):
+    kernel = kernel or Kernel()
+    proc = GuestProcess(kernel, "detail")
+    proc.load_image(build_libc_image(), tag="libc")
+    proc.load_image(build_smvx_stub_image(), tag="libsmvx")
+    target = proc.load_image(build_app(), main=True)
+    alarms = AlarmLog()
+    monitor = attach_smvx(proc, target, alarm_log=alarms,
+                          profile_path=profile_path)
+    return proc, monitor, alarms
+
+
+def test_stats_accounting_consistency():
+    proc, monitor, _ = make()
+    proc.call_function("main", 5)
+    stats = monitor.stats
+    assert stats.intercepted_calls == (stats.passthrough_calls
+                                       + stats.leader_calls
+                                       + stats.follower_calls)
+    assert stats.leader_calls == stats.follower_calls == 4
+    assert stats.local_calls == 3          # malloc/strlen/free
+    assert stats.emulated_calls == 1       # time
+    assert stats.regions_entered == 1
+
+
+def test_explicit_profile_path_used():
+    kernel = Kernel()
+    proc = GuestProcess(kernel, "detail")
+    proc.load_image(build_libc_image(), tag="libc")
+    proc.load_image(build_smvx_stub_image(), tag="libsmvx")
+    target = proc.load_image(build_app(), main=True)
+    path = write_profile(kernel.vfs, target.image, "/tmp/custom.profile")
+    monitor = attach_smvx(proc, target, profile_path=path)
+    assert monitor.profile.binary == "detailapp"
+    assert "worker" in monitor.profile.function_names()
+
+
+def test_missing_profile_rejected():
+    kernel = Kernel()
+    proc = GuestProcess(kernel, "detail")
+    proc.load_image(build_libc_image(), tag="libc")
+    proc.load_image(build_smvx_stub_image(), tag="libsmvx")
+    target = proc.load_image(build_app(), main=True)
+    with pytest.raises(Exception):
+        attach_smvx(proc, target, profile_path="/tmp/missing.profile")
+
+
+def test_two_protected_processes_one_kernel():
+    """Each process gets its own pkey and monitor; they don't interfere."""
+    kernel = Kernel()
+    results = []
+    monitors = []
+    for name in ("alpha", "beta"):
+        proc = GuestProcess(kernel, name)
+        proc.load_image(build_libc_image(), tag="libc")
+        proc.load_image(build_smvx_stub_image(), tag="libsmvx")
+        target = proc.load_image(build_app(), main=True)
+        monitor = attach_smvx(proc, target, alarm_log=AlarmLog())
+        monitors.append(monitor)
+        results.append(to_signed(proc.call_function("main", 10)))
+    assert results == [13, 13]
+    assert monitors[0].pkey == monitors[1].pkey  # per-process allocators
+    assert monitors[0].monitor_image.base != monitors[1].monitor_image.base \
+        or monitors[0].process is not monitors[1].process
+
+
+def test_monitor_base_is_randomized_per_process():
+    from repro.core.trampoline import randomized_monitor_base
+    b1 = randomized_monitor_base("100:app")
+    b2 = randomized_monitor_base("101:app")
+    assert b1 != b2
+    assert b1 % 16 == 0 and b2 % 16 == 0
+
+
+def test_follower_thread_pkru_is_closed_in_region():
+    proc, monitor, _ = make()
+    thread = proc.main_thread()
+    monitor.region_start(thread, "worker", [1])
+    follower = monitor.region.variant.thread
+    assert follower.state.pkru == monitor.memory.pkru_closed
+    # the monitor's safe stacks are inaccessible to the follower too
+    with pytest.raises(ProtectionKeyFault):
+        follower.space.read(monitor.memory.safe_stack_area, 8,
+                            pkru=follower.state.pkru)
+    proc.guest_call(thread, proc.resolve("worker"), 1)
+    monitor.region_end(thread)
+
+
+def test_local_category_runs_on_both_heaps():
+    """malloc in-region: leader allocates from its heap, follower from its
+    shifted copy — the returned pointers differ by exactly the shift."""
+    proc, monitor, _ = make()
+    captured = {}
+
+    def observer(thread, name):
+        if name == "malloc":
+            captured.setdefault(thread.variant, []).append(
+                proc.heap_for(thread).base)
+    proc.libc_call_observers.append(observer)
+    proc.call_function("main", 5)
+    assert "leader" in captured and "follower" in captured
+    shift = monitor.last_variant_report.shift
+    assert captured["follower"][0] - captured["leader"][0] == shift
+
+
+def test_passthrough_errno_flows_to_caller():
+    proc, monitor, _ = make()
+
+    # a failing call outside any region still sets errno via the gate
+    builder = ImageBuilder("errno-probe")
+    builder.import_libc("open")
+
+    def probe(ctx):
+        path = ctx.stack_alloc(16)
+        ctx.write_cstring(path, b"/nope")
+        result = to_signed(ctx.libc("open", path, 0))
+        assert result == -1
+        return ctx.errno
+    builder.add_hl_function("probe", probe, 0)
+    proc.load_image(builder.build())
+    # note: this image's GOT is NOT patched (loaded after setup), so the
+    # call goes straight to libc — both paths must agree on errno
+    from repro.kernel.errno_codes import Errno
+    assert proc.call_function("probe") == Errno.ENOENT

@@ -1,0 +1,266 @@
+"""Unit tests: the pointer relocator and the lockstep IPC channel."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.divergence import CallRecord, DivergenceKind, \
+    DivergenceReport
+from repro.core.ipc import (
+    FOLLOWER,
+    LEADER,
+    LibcResult,
+    LockstepChannel,
+)
+from repro.core.relocate import OldRange, PointerRelocator
+from repro.errors import MvxDivergence
+from repro.machine import AddressSpace, PAGE_SIZE
+from repro.machine.costs import DEFAULT_COSTS
+
+SHIFT = 0x1000_0000
+
+
+def make_relocator(old_start=0x10_0000, old_size=0x10000):
+    space = AddressSpace()
+    space.mmap(old_start, old_size)
+    space.mmap(old_start + SHIFT, old_size)
+    ranges = [OldRange(old_start, old_start + old_size, "image")]
+    return space, PointerRelocator(space, ranges, SHIFT, DEFAULT_COSTS)
+
+
+# -- relocator --------------------------------------------------------------------
+
+def test_relocates_pointer_into_old_range():
+    space, relocator = make_relocator()
+    target = 0x10_0000 + 0x500
+    copy_base = 0x10_0000 + SHIFT
+    space.write_word(copy_base + 0x100, target, privileged=True)
+    stats = relocator.scan_data_region(copy_base, 0x1000, "data")
+    assert stats.pointers_found == 1
+    assert space.read_word(copy_base + 0x100, privileged=True) == \
+        target + SHIFT
+
+
+def test_leaves_non_pointers_alone():
+    space, relocator = make_relocator()
+    copy_base = 0x10_0000 + SHIFT
+    values = [0, 42, 0xFFFF_FFFF_FFFF_FFFF, 0x20_0000]   # outside ranges
+    for i, value in enumerate(values):
+        space.write_word(copy_base + 8 * i, value, privileged=True)
+    stats = relocator.scan_data_region(copy_base, 8 * len(values), "data")
+    assert stats.pointers_found == 0
+    for i, value in enumerate(values):
+        assert space.read_word(copy_base + 8 * i,
+                               privileged=True) == value
+
+
+def test_false_positive_integer_that_looks_like_pointer():
+    """The paper's acknowledged strawman hazard: an integer whose value
+    happens to fall inside an old range IS relocated (§3.4: 'There might
+    be integer values that look like pointers')."""
+    space, relocator = make_relocator()
+    copy_base = 0x10_0000 + SHIFT
+    innocent_integer = 0x10_0008          # not a pointer, but in-range
+    space.write_word(copy_base, innocent_integer, privileged=True)
+    stats = relocator.scan_data_region(copy_base, 8, "data")
+    assert stats.pointers_found == 1      # misidentified, by design
+    assert space.read_word(copy_base, privileged=True) == \
+        innocent_integer + SHIFT
+
+
+def test_alias_narrowed_scan_visits_only_known_slots():
+    space, relocator = make_relocator()
+    copy_base = 0x10_0000 + SHIFT
+    space.write_word(copy_base + 0, 0x10_0100, privileged=True)   # slot 0
+    space.write_word(copy_base + 8, 0x10_0200, privileged=True)   # slot 1
+    stats = relocator.scan_data_region(copy_base, 16, "data",
+                                       slot_offsets=[0])
+    assert stats.slots_scanned == 1
+    assert stats.pointers_found == 1
+    # the unlisted slot kept its stale value (the risk alias info takes)
+    assert space.read_word(copy_base + 8, privileged=True) == 0x10_0200
+
+
+def test_scan_charges_proportional_time():
+    space, relocator = make_relocator()
+    copy_base = 0x10_0000 + SHIFT
+    small = relocator.scan_data_region(copy_base, 64, "a")
+    large = relocator.scan_data_region(copy_base, 6400, "b")
+    assert large.time_ns > 10 * small.time_ns
+    heap = relocator.scan_heap_region(copy_base, 6400)
+    assert heap.time_ns > large.time_ns      # heap slots cost more
+
+
+def test_relocate_value_scalar():
+    _, relocator = make_relocator()
+    assert relocator.relocate_value(0x10_0010) == 0x10_0010 + SHIFT
+    assert relocator.relocate_value(12345) == 12345
+    assert relocator.relocate_value(0) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 47) - 8),
+                min_size=1, max_size=32))
+def test_relocation_idempotent_on_out_of_range(values):
+    """Values outside every old range survive any scan bit-identically."""
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE)
+    ranges = [OldRange(1 << 45, (1 << 45) + 0x1000, "image")]
+    relocator = PointerRelocator(space, ranges, SHIFT, DEFAULT_COSTS)
+    safe = [v for v in values if not (1 << 45) <= v < (1 << 45) + 0x1000]
+    for i, value in enumerate(safe[:32]):
+        space.write_word(base + 8 * i, value, privileged=True)
+    relocator.scan_data_region(base, 8 * len(safe[:32]), "fuzz")
+    for i, value in enumerate(safe[:32]):
+        assert space.read_word(base + 8 * i, privileged=True) == value
+
+
+# -- the lockstep channel -----------------------------------------------------------
+
+def run_follower(channel, script):
+    """Run `script(channel)` on a follower thread; returns the thread."""
+    thread = threading.Thread(target=script, args=(channel,), daemon=True)
+    thread.start()
+    return thread
+
+
+def test_happy_path_one_call():
+    channel = LockstepChannel()
+    result_seen = {}
+
+    def follower(ch):
+        ch.follower_wait_turn()
+        result = ch.follower_announce(
+            CallRecord(1, "read", (3, 100, 64), FOLLOWER))
+        result_seen["result"] = result
+        ch.follower_finish()
+
+    thread = run_follower(channel, follower)
+    record = channel.leader_announce(CallRecord(1, "read", (3, 200, 64),
+                                                LEADER))
+    assert record.name == "read"
+    channel.leader_publish(LibcResult(1, 64, 0))
+    status = channel.leader_finish()
+    thread.join(timeout=10)
+    assert status.done and status.fault is None
+    assert result_seen["result"].retval == 64
+    assert channel.rendezvous_count == 1
+
+
+def test_follower_missing_call_flags_divergence():
+    channel = LockstepChannel()
+
+    def follower(ch):
+        ch.follower_wait_turn()
+        ch.follower_finish()              # returns without any libc call
+
+    thread = run_follower(channel, follower)
+    with pytest.raises(MvxDivergence) as info:
+        channel.leader_announce(CallRecord(1, "write", (1,), LEADER))
+    thread.join(timeout=10)
+    assert info.value.report.kind is DivergenceKind.CALL_COUNT
+
+
+def test_follower_extra_call_flags_divergence():
+    channel = LockstepChannel()
+    errors = {}
+
+    def follower(ch):
+        ch.follower_wait_turn()
+        try:
+            ch.follower_announce(CallRecord(1, "getpid", (), FOLLOWER))
+        except MvxDivergence as exc:
+            errors["exc"] = exc
+
+    thread = run_follower(channel, follower)
+    with pytest.raises(MvxDivergence) as info:
+        channel.leader_finish()          # leader done without any call
+    thread.join(timeout=10)
+    assert info.value.report.kind is DivergenceKind.CALL_COUNT
+    assert isinstance(errors.get("exc"), MvxDivergence)
+    assert channel.divergence is not None
+
+
+def test_leader_abort_wakes_follower():
+    channel = LockstepChannel()
+    woken = {}
+
+    def follower(ch):
+        try:
+            ch.follower_wait_turn()
+        except MvxDivergence as exc:
+            woken["exc"] = exc
+
+    thread = run_follower(channel, follower)
+    channel.leader_abort(DivergenceReport(DivergenceKind.ARGUMENT,
+                                          1, "read", "test"))
+    thread.join(timeout=10)
+    assert isinstance(woken.get("exc"), MvxDivergence)
+
+
+def test_strict_serialization_sequence():
+    """The baton never lets both sides run at once: events interleave in
+    the documented order."""
+    channel = LockstepChannel()
+    events = []
+
+    def follower(ch):
+        ch.follower_wait_turn()
+        events.append("follower-running")
+        result = ch.follower_announce(CallRecord(1, "time", (0,), FOLLOWER))
+        events.append(f"follower-got-{result.retval}")
+        ch.follower_finish()
+
+    thread = run_follower(channel, follower)
+    events.append("leader-call")
+    follower_record = channel.leader_announce(
+        CallRecord(1, "time", (0,), LEADER))
+    events.append("leader-matched")
+    channel.leader_publish(LibcResult(1, 777, 0))
+    events.append("leader-continues")
+    channel.leader_finish()
+    thread.join(timeout=10)
+    assert events[0] == "leader-call"
+    assert events[1] == "follower-running"
+    assert events[2] == "leader-matched"
+    assert "follower-got-777" in events
+
+
+def test_multiple_sequential_calls():
+    channel = LockstepChannel()
+
+    def follower(ch):
+        ch.follower_wait_turn()
+        for seq in range(1, 6):
+            result = ch.follower_announce(
+                CallRecord(seq, "getpid", (), FOLLOWER))
+            assert result.retval == 100 + seq
+        ch.follower_finish()
+
+    thread = run_follower(channel, follower)
+    for seq in range(1, 6):
+        channel.leader_announce(CallRecord(seq, "getpid", (), LEADER))
+        channel.leader_publish(LibcResult(seq, 100 + seq, 0))
+    channel.leader_finish()
+    thread.join(timeout=10)
+    assert channel.rendezvous_count == 5
+
+
+# -- call-record comparison -----------------------------------------------------------
+
+def test_compare_calls_ignores_pointer_args():
+    from repro.core.divergence import compare_calls
+    leader = CallRecord(1, "read", (3, 0xAAAA_0000, 64), LEADER)
+    follower = CallRecord(1, "read", (3, 0xBBBB_0000, 64), FOLLOWER)
+    assert compare_calls(leader, follower, pointer_indexes=(1,)) is None
+    report = compare_calls(leader, follower, pointer_indexes=())
+    assert report is not None
+    assert report.kind is DivergenceKind.ARGUMENT
+
+
+def test_compare_calls_name_mismatch():
+    from repro.core.divergence import compare_calls
+    report = compare_calls(CallRecord(1, "read", (), LEADER),
+                           CallRecord(1, "write", (), FOLLOWER), ())
+    assert report.kind is DivergenceKind.CALL_NAME

@@ -1,0 +1,117 @@
+"""Edge cases for variant reuse: heap growth, multi-root caches, and
+heap bookkeeping roundtrips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.minx import MinxServer
+from repro.kernel import Kernel
+from repro.machine import AddressSpace, PAGE_SIZE
+from repro.process import Heap
+from repro.workloads import ApacheBench
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def make_server(kernel, **kwargs):
+    server = MinxServer(kernel, smvx=True,
+                        protect="minx_http_process_request_line",
+                        reuse_variants=True, **kwargs)
+    server.start()
+    return server
+
+
+def test_heap_growth_between_regions_is_refreshed(kernel):
+    """New allocations between regions land in the refreshed follower."""
+    server = make_server(kernel)
+    proc = server.process
+    ab = ApacheBench(kernel, server)
+    ab.run(2)                                   # warm the cache
+
+    # grow the leader heap after parking (host-side models app activity)
+    fresh = proc.heap.malloc(3 * PAGE_SIZE)
+    proc.space.write_word(fresh, 0xABCD, privileged=True)
+
+    result = ab.run(1)                          # region re-entered once
+    assert result.status_counts == {200: 1}
+    assert not server.alarms.triggered
+    # the first refresh after the growth swept the grown pages
+    refresh = server.monitor.last_refresh_stats
+    assert refresh.heap_pages_rescanned >= 3
+    # steady state afterwards is small again
+    ab.run(1)
+    assert server.monitor.last_refresh_stats.heap_pages_rescanned < 3
+
+
+def test_multiple_roots_cached_independently(kernel):
+    server = make_server(kernel)
+    proc = server.process
+    monitor = server.monitor
+    ApacheBench(kernel, server).run(1)
+    assert set(monitor._cached_variants) == \
+        {"minx_http_process_request_line"}
+
+    # enter a different root manually: gets its own cache entry
+    conn = proc.heap.malloc(128)
+    buf = proc.heap.malloc(2048)
+    proc.space.write_word(conn + 8, buf, privileged=True)
+    thread = proc.main_thread()
+    monitor.region_start(thread, "minx_http_log_access", [conn])
+    proc.guest_call(thread, proc.resolve("minx_http_log_access"), conn)
+    monitor.region_end(thread)
+    assert set(monitor._cached_variants) == {
+        "minx_http_process_request_line", "minx_http_log_access"}
+
+    # both caches refresh correctly on re-entry
+    result = ApacheBench(kernel, server).run(1)
+    assert result.status_counts == {200: 1}
+
+
+def test_refresh_count_increments(kernel):
+    server = make_server(kernel)
+    ApacheBench(kernel, server).run(5)
+    # first request built fresh; refreshes followed on re-entries
+    assert server.monitor.refresh_counts[
+        "minx_http_process_request_line"] >= 3
+
+
+# -- heap bookkeeping roundtrip ---------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=512), min_size=1,
+                max_size=24),
+       st.integers(min_value=256, max_value=4096).map(
+           lambda pages: pages * PAGE_SIZE))
+def test_heap_bookkeeping_clone_roundtrip(sizes, shift):
+    """clone_bookkeeping(shift) + adopt restores an equivalent allocator
+    whose next allocations mirror the original's, offset by the shift
+    (what variant creation does for the follower's heap)."""
+    space = AddressSpace()
+    base = space.mmap(0x10_0000, 256 * PAGE_SIZE)
+    heap = Heap(space, base, 256 * PAGE_SIZE)
+    live = []
+    for index, size in enumerate(sizes):
+        live.append(heap.malloc(size))
+        if index % 2:
+            heap.free(live.pop())
+
+    # the mirror region gets a content copy, like the variant's heap
+    space.mmap(0x10_0000 + shift, 256 * PAGE_SIZE)
+    used = heap.used_range()[1] - heap.base
+    if used:
+        space.write(base + shift, space.read(base, used, privileged=True),
+                    privileged=True)
+    mirror = Heap(space, base + shift, 256 * PAGE_SIZE)
+    mirror.adopt_bookkeeping(heap.clone_bookkeeping(shift))
+    assert mirror.allocated_bytes == heap.allocated_bytes
+    # identical future behaviour, shifted
+    for size in (8, 64, 200):
+        assert mirror.malloc(size) == heap.malloc(size) + shift
+    victim = live[0] if live else None
+    if victim is not None:
+        heap.free(victim)
+        mirror.free(victim + shift)
+        assert mirror.allocated_bytes == heap.allocated_bytes

@@ -1,0 +1,238 @@
+"""End-to-end tests for the sMVX runtime: setup, lockstep, divergence."""
+
+import pytest
+
+from repro.errors import MvxDivergence, ProtectionKeyFault, SegmentationFault
+from repro.machine.memory import PROT_READ
+
+
+def expected_result(vanilla):
+    """Ground truth from the vanilla run (same binary, stub mvx_*)."""
+    return vanilla.call_function("main", 5, 7)
+
+
+# -- vanilla baseline -----------------------------------------------------------
+
+def test_vanilla_app_runs(vanilla):
+    # helper(5)=10, b=7, first byte 'W' (87), strlen=14 -> 118+... plus
+    # unprotected calls 1001 + 1002
+    result = vanilla.call_function("main", 5, 7)
+    assert result == (10 + 7 + ord("W") + 14 + 1001 + 1002) & 0xFFFFFFFF
+
+
+# -- monitor setup ---------------------------------------------------------------
+
+def test_setup_patches_got_and_saves_originals(protected):
+    proc, monitor, _ = protected
+    target = monitor.target
+    for name in monitor.plt_names:
+        slot_value = proc.loader.read_got_slot(target, name)
+        stub = monitor.monitor_image.symbol_address(f"smvx_stub_{name}")
+        assert slot_value == stub
+        assert monitor.real_libc[name] == proc.resolve(name)
+
+
+def test_setup_reads_proc_self_maps(protected):
+    _, monitor, _ = protected
+    assert "protapp:.text" in monitor.self_maps
+    assert "heap" in monitor.self_maps
+
+
+def test_monitor_text_is_execute_only(protected):
+    proc, monitor, _ = protected
+    start, _size = monitor.monitor_image.section_range(".text")
+    page = proc.space.page_at(start)
+    assert page.prot & PROT_READ == 0          # XoM: no data reads
+    proc.space.fetch_check(start)              # but fetch is fine
+
+
+def test_app_thread_cannot_read_monitor_data(protected):
+    proc, monitor, _ = protected
+    private = monitor.monitor_image.symbol_address("smvx_private")
+    thread = proc.main_thread()
+    assert thread.state.pkru == monitor.memory.pkru_closed
+    with pytest.raises(SegmentationFault):
+        proc.space.read(private, 8, pkru=thread.state.pkru)
+
+
+def test_app_thread_cannot_read_safe_stacks(protected):
+    proc, monitor, _ = protected
+    thread = proc.main_thread()
+    with pytest.raises(ProtectionKeyFault):
+        proc.space.read(monitor.memory.safe_stack_area, 8,
+                        pkru=thread.state.pkru)
+
+
+def test_double_attach_rejected(protected):
+    from repro.core import SmvxMonitor
+    from repro.errors import MvxSetupError
+    proc, monitor, _ = protected
+    with pytest.raises(MvxSetupError):
+        SmvxMonitor(proc).setup(monitor.target)
+
+
+# -- passthrough interception ------------------------------------------------------
+
+def test_libc_interception_outside_region(protected, vanilla):
+    proc, monitor, _ = protected
+
+    # run only the unprotected function: all calls are passthrough
+    result = proc.call_function("unprotected_func", 1)
+    assert result == 1001
+    assert monitor.stats.intercepted_calls >= 1
+    assert monitor.stats.passthrough_calls == monitor.stats.intercepted_calls
+    assert monitor.stats.leader_calls == 0
+
+
+def test_passthrough_preserves_results(protected, vanilla):
+    proc, monitor, _ = protected
+    # file I/O through the gate must behave identically to vanilla
+    assert proc.call_function("unprotected_func", 41) == \
+        vanilla.call_function("unprotected_func", 41)
+
+
+# -- the protected region, end to end ------------------------------------------------
+
+def test_protected_run_matches_vanilla(protected, vanilla):
+    proc, monitor, alarms = protected
+    expected = expected_result(vanilla)
+    result = proc.call_function("main", 5, 7)
+    assert result == expected
+    assert not alarms.triggered
+    assert monitor.stats.regions_entered == 1
+    # both variants issued the same number of in-region libc calls
+    assert monitor.stats.leader_calls == monitor.stats.follower_calls
+    assert monitor.stats.leader_calls > 0
+    assert monitor.stats.emulated_calls > 0
+    assert monitor.stats.local_calls > 0
+
+
+def test_region_can_run_repeatedly(protected):
+    proc, monitor, alarms = protected
+    first = proc.call_function("main", 5, 7)
+    second = proc.call_function("main", 5, 7)
+    assert first == second
+    assert monitor.stats.regions_entered == 2
+    assert not alarms.triggered
+    assert monitor.region is None
+
+
+def test_leader_only_io_no_duplicate_writes(protected):
+    """The write() in the region must hit the log exactly once per run —
+    the monitor prevents the follower from re-executing I/O (§3.3)."""
+    proc, monitor, _ = protected
+    proc.call_function("main", 5, 7)
+    log = proc.kernel.vfs.read_file("/var/log/app.log")
+    assert log == b"protected ran\n"
+
+
+def test_follower_memory_torn_down_after_region(protected):
+    proc, monitor, _ = protected
+    proc.main_thread()                     # materialize the main stack
+    rss_before = proc.space.resident_bytes()
+    proc.call_function("main", 5, 7)
+    assert proc.space.resident_bytes() == rss_before
+    assert len(proc.threads) == 1
+
+
+def test_variant_report_shape(protected):
+    proc, monitor, _ = protected
+    proc.call_function("main", 5, 7)
+    report = monitor.last_variant_report
+    assert report.shift > 0
+    assert "protected_func" in report.protected_functions
+    assert "helper" in report.protected_functions
+    assert "unprotected_func" not in report.protected_functions
+    assert report.text_pages_copied >= 1
+    assert report.relocation.total_pointers >= 1   # helper_ptr at least
+    scans = {scan.region for scan in report.relocation.scans}
+    assert {".data", ".bss", "heap"} <= scans or {".data", ".bss"} <= scans
+
+
+def test_pointer_relocation_points_into_follower(protected):
+    """After relocation the follower's helper_ptr must equal the *copy's*
+    helper address (old + shift)."""
+    proc, monitor, _ = protected
+    target = monitor.target
+    captured = {}
+
+    original = proc.loader  # noqa: F841 (document intent)
+
+    def observer(thread, name):
+        if thread.variant == "follower" and "ptr" not in captured:
+            view = proc.loader.image_at(thread.state.regs.rip)
+            # read the follower's .data copy directly
+            for loaded in proc.loader.images:
+                if loaded.tag.startswith("variant:"):
+                    captured["ptr"] = proc.space.read_word(
+                        loaded.symbol_address("helper_ptr"),
+                        privileged=True)
+                    captured["helper"] = loaded.symbol_address("helper")
+    proc.libc_call_observers.append(observer)
+    proc.call_function("main", 5, 7)
+    assert captured["ptr"] == captured["helper"]
+
+
+def test_mvx_end_without_start_returns_error(protected):
+    proc, monitor, _ = protected
+
+    # craft a direct call to the monitor's mvx_end implementation
+    thread = proc.main_thread()
+    result = proc.guest_call(
+        thread, monitor.monitor_image.symbol_address("mvx_end"))
+    assert result == (1 << 64) - 1       # -1: no active region
+
+
+def test_nested_region_rejected(protected):
+    from repro.errors import MvxStateError
+    proc, monitor, _ = protected
+    thread = proc.main_thread()
+    monitor.region_start(thread, "protected_func", [5, 7])
+    with pytest.raises(MvxStateError):
+        monitor.region_start(thread, "protected_func", [5, 7])
+    # cleanly end the first region
+    proc.guest_call(thread, proc.resolve("protected_func"), 5, 7)
+    monitor.region_end(thread)
+
+
+def test_unknown_protected_function_rejected(protected):
+    from repro.errors import MvxSetupError
+    proc, monitor, _ = protected
+    with pytest.raises(MvxSetupError):
+        monitor.region_start(proc.main_thread(), "no_such_func", [])
+
+
+# -- follower isolation (the security core) --------------------------------------------
+
+def test_follower_cannot_reach_leader_image(protected):
+    """The leader's image region is unmapped in the follower's view —
+    jumping or reading there faults (non-overlapping address spaces)."""
+    proc, monitor, _ = protected
+    thread = proc.main_thread()
+    monitor.region_start(thread, "protected_func", [5, 7])
+    variant = monitor.region.variant
+    fspace = variant.thread.space
+    leader_text = monitor.target.symbol_address("protected_func")
+    assert not fspace.is_mapped(leader_text)
+    with pytest.raises(SegmentationFault):
+        fspace.read(leader_text, 8, privileged=True)
+    # but the copy *is* mapped in the follower view
+    assert fspace.is_mapped(variant.entry)
+    # and shared libc pages are visible
+    assert fspace.is_mapped(proc.resolve("strlen"))
+    # cleanup
+    proc.guest_call(thread, proc.resolve("protected_func"), 5, 7)
+    monitor.region_end(thread)
+
+
+def test_follower_shares_monitor_and_ipc_pages(protected):
+    proc, monitor, _ = protected
+    thread = proc.main_thread()
+    monitor.region_start(thread, "protected_func", [5, 7])
+    fspace = monitor.region.variant.thread.space
+    assert fspace.is_mapped(monitor.memory.ipc_area)
+    stub = monitor.monitor_image.symbol_address(
+        f"smvx_stub_{monitor.plt_names[0]}")
+    assert fspace.is_mapped(stub)
+    proc.guest_call(thread, proc.resolve("protected_func"), 5, 7)
+    monitor.region_end(thread)

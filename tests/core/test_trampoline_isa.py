@@ -1,0 +1,138 @@
+"""ISA-level verification of the interposition path (paper Figure 4).
+
+These tests watch the *instruction stream* of an intercepted libc call:
+the stub's PUSH of the PLT index, the trampoline's two real WRPKRU
+executions, the PKRU value actually changing around the gate, and the
+monitor's pages flipping between inaccessible and accessible exactly
+inside the gate window.
+"""
+
+import pytest
+
+from repro.core import AlarmLog, attach_smvx, build_smvx_stub_image
+from repro.errors import ProtectionKeyFault
+from repro.kernel import Kernel
+from repro.libc import build_libc_image
+from repro.loader import ImageBuilder
+from repro.machine.isa import Op
+from repro.process import GuestProcess
+
+
+@pytest.fixture
+def rig():
+    kernel = Kernel()
+    proc = GuestProcess(kernel, "rig")
+    proc.load_image(build_libc_image(), tag="libc")
+    proc.load_image(build_smvx_stub_image(), tag="libsmvx")
+    builder = ImageBuilder("rigapp")
+    builder.import_libc("mvx_init", "mvx_start", "mvx_end", "getpid",
+                        "time")
+
+    def caller(ctx):
+        return ctx.libc("getpid")
+    builder.add_hl_function("caller", caller, 0, calls=("getpid",))
+    target = proc.load_image(builder.build(), main=True)
+    monitor = attach_smvx(proc, target, alarm_log=AlarmLog())
+    return proc, monitor
+
+
+def trace_ops(proc):
+    """Collect (op, pkru_after) per executed instruction."""
+    trace = []
+
+    def hook(state, addr, instr):
+        trace.append((addr, instr.op, state.pkru))
+    proc.cpu.trace_hook = hook
+    return trace
+
+
+def test_gate_executes_two_wrpkru(rig):
+    proc, monitor = rig
+    trace = trace_ops(proc)
+    assert proc.call_function("caller") == proc.pid
+    wrpkru_events = [t for t in trace if t[1] is Op.WRPKRU]
+    assert len(wrpkru_events) == 2         # open + close
+
+
+def test_pkru_transitions_open_then_closed(rig):
+    proc, monitor = rig
+    opened = monitor.memory.pkru_open
+    closed = monitor.memory.pkru_closed
+    states = []
+
+    def hook(state, addr, instr):
+        states.append((instr.op, state.pkru))
+    proc.cpu.trace_hook = hook
+    proc.call_function("caller")
+    # PKRU observed *before* each instruction executes: the instruction
+    # after the first WRPKRU runs with the key open, and execution both
+    # starts and ends closed.
+    pkrus = [pkru for _op, pkru in states]
+    assert pkrus[0] == closed
+    assert pkrus[-1] == closed
+    assert opened in pkrus                  # the gate window existed
+    first_wrpkru = next(i for i, (op, _) in enumerate(states)
+                        if op is Op.WRPKRU)
+    assert states[first_wrpkru + 1][1] == opened
+
+
+def test_stub_pushes_correct_plt_index(rig):
+    proc, monitor = rig
+    pushes = []
+
+    def hook(state, addr, instr):
+        if instr.op is Op.PUSH_I:
+            pushes.append(instr.imm)
+    proc.cpu.trace_hook = hook
+    proc.call_function("caller")
+    assert pushes == [monitor.plt_names.index("getpid")]
+
+
+def test_interception_path_addresses(rig):
+    """The executed addresses walk app PLT -> monitor stub -> trampoline
+    -> gate, then return to the caller."""
+    proc, monitor = rig
+    trace = trace_ops(proc)
+    proc.call_function("caller")
+    addresses = [addr for addr, _op, _ in trace]
+    stub = monitor.monitor_image.symbol_address("smvx_stub_getpid")
+    trampoline = monitor.monitor_image.symbol_address("smvx_trampoline")
+    gate = monitor.monitor_image.symbol_address("smvx_gate")
+    assert stub in addresses
+    assert trampoline in addresses
+    assert gate in addresses
+    assert addresses.index(stub) < addresses.index(trampoline) \
+        < addresses.index(gate)
+
+
+def test_monitor_data_closed_outside_gate_open_inside(rig):
+    proc, monitor = rig
+    private = monitor.monitor_image.symbol_address("smvx_private")
+    observed = {}
+
+    def hook(state, addr, instr):
+        if instr.op is Op.WRPKRU and "inside" not in observed:
+            # probe with the *current* PKRU at this instant
+            try:
+                proc.space.read(private, 8, pkru=state.pkru)
+                observed.setdefault("readable_at", []).append(instr.op)
+            except ProtectionKeyFault:
+                observed.setdefault("blocked_at", []).append(instr.op)
+    proc.cpu.trace_hook = hook
+    thread = proc.main_thread()
+    # outside any call: closed
+    with pytest.raises(ProtectionKeyFault):
+        proc.space.read(private, 8, pkru=thread.state.pkru)
+    proc.call_function("caller")
+    # at the first WRPKRU the key was still closed; at the second (close
+    # gate) it was open — proving the window is exactly the gate
+    assert observed["blocked_at"]
+    assert observed["readable_at"]
+
+
+def test_trampoline_preserves_return_value_across_close(rig):
+    """The close sequence parks rax in r10 around WRPKRU; the caller must
+    still see the libc return value."""
+    proc, monitor = rig
+    for _ in range(3):
+        assert proc.call_function("caller") == proc.pid

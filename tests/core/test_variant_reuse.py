@@ -1,0 +1,142 @@
+"""Tests for variant reuse — the implemented §5 pre-scan/pre-update
+optimization (repro.core.reuse)."""
+
+import pytest
+
+from repro.apps.minx import MinxServer
+from repro.attacks import run_exploit
+from repro.core.reuse import DirtyTracker
+from repro.kernel import Kernel
+from repro.machine import AddressSpace, PAGE_SIZE
+from repro.workloads import ApacheBench
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def make_server(kernel, reuse):
+    server = MinxServer(kernel, smvx=True,
+                        protect="minx_http_process_request_line",
+                        reuse_variants=reuse)
+    server.start()
+    return server
+
+
+# -- the dirty tracker ----------------------------------------------------------
+
+def test_dirty_tracker_records_written_pages():
+    space = AddressSpace()
+    base = space.mmap(None, 4 * PAGE_SIZE)
+    tracker = DirtyTracker(space, [(base, base + 4 * PAGE_SIZE)]).attach()
+    space.write(base + 10, b"x")
+    space.write(base + PAGE_SIZE + 100, b"y" * 10)
+    tracker.detach()
+    assert tracker.dirty_pages == {base, base + PAGE_SIZE}
+
+
+def test_dirty_tracker_ignores_out_of_range_and_reads():
+    space = AddressSpace()
+    base = space.mmap(None, 2 * PAGE_SIZE)
+    other = space.mmap(None, PAGE_SIZE)
+    tracker = DirtyTracker(space, [(base, base + 2 * PAGE_SIZE)]).attach()
+    space.write(other, b"z")
+    space.read(base, 16)
+    tracker.detach()
+    assert tracker.dirty_pages == set()
+
+
+def test_dirty_tracker_spanning_write():
+    space = AddressSpace()
+    base = space.mmap(None, 4 * PAGE_SIZE)
+    tracker = DirtyTracker(space, [(base, base + 4 * PAGE_SIZE)]).attach()
+    space.write(base + PAGE_SIZE - 8, b"A" * 16)   # crosses a boundary
+    tracker.detach()
+    assert tracker.dirty_pages == {base, base + PAGE_SIZE}
+
+
+# -- end-to-end reuse --------------------------------------------------------------
+
+def test_reuse_serves_identically(kernel):
+    fresh = make_server(kernel, reuse=False)
+    reusing = make_server(Kernel(), reuse=True)
+    r1 = ApacheBench(kernel, fresh).run(6)
+    r2 = ApacheBench(reusing.kernel, reusing).run(6)
+    assert r1.status_counts == r2.status_counts == {200: 6}
+    assert not fresh.alarms.triggered
+    assert not reusing.alarms.triggered
+    # the cache kicked in: refreshes happened after the first region
+    assert reusing.monitor.last_refresh_stats is not None
+
+
+def test_reuse_is_cheaper_per_request(kernel):
+    """The point of the optimization: per-request busy time drops because
+    full duplication + full scans happen once, refreshes afterwards."""
+    fresh = make_server(kernel, reuse=False)
+    reusing = make_server(Kernel(), reuse=True)
+    cost_fresh = ApacheBench(kernel, fresh).run(10).busy_per_request_ns
+    cost_reuse = ApacheBench(reusing.kernel,
+                             reusing).run(10).busy_per_request_ns
+    assert cost_reuse < 0.75 * cost_fresh
+
+
+def test_reuse_refresh_touches_only_dirty_pages(kernel):
+    server = make_server(kernel, reuse=True)
+    ApacheBench(kernel, server).run(4)
+    refresh = server.monitor.last_refresh_stats
+    # a keep-alive request dirties a handful of pages, not the image
+    assert 0 < refresh.dirty_pages < 40
+    total_pages = server.process.space.resident_bytes() // PAGE_SIZE
+    assert refresh.dirty_pages < total_pages / 4
+
+
+def test_reuse_still_detects_the_exploit(kernel):
+    """Correctness under the optimization: the CVE is still caught —
+    the refreshed follower is a faithful replica."""
+    server = make_server(kernel, reuse=True)
+    ApacheBench(kernel, server).run(3)        # warm the cache
+    outcome = run_exploit(server)
+    assert outcome.attack_detected_and_blocked
+    assert not outcome.directory_created
+
+
+def test_reuse_divergence_destroys_cache(kernel):
+    server = make_server(kernel, reuse=True)
+    ApacheBench(kernel, server).run(2)
+    assert server.monitor._cached_variants
+    run_exploit(server)                       # divergence
+    # the active variant was destroyed, not parked
+    assert server.monitor.region is None
+    # the process still serves (a fresh variant is built next region)
+    result = ApacheBench(kernel, server).run(2)
+    assert result.status_counts == {200: 2}
+
+
+def test_drop_variant_caches_frees_memory(kernel):
+    server = make_server(kernel, reuse=True)
+    ApacheBench(kernel, server).run(2)
+    with_cache = server.process.space.resident_bytes()
+    server.monitor.drop_variant_caches()
+    assert server.process.space.resident_bytes() < with_cache
+    assert not server.monitor._cached_variants
+    # and serving still works after a cold restart of the cache
+    result = ApacheBench(kernel, server).run(2)
+    assert result.status_counts == {200: 2}
+
+
+def test_littled_reuse_whole_loop(kernel):
+    """littled's loop-rooted region also benefits from parking."""
+    from repro.apps.littled import LittledServer
+    fresh = LittledServer(kernel, smvx=True, protect="server_main_loop")
+    fresh.start()
+    reusing = LittledServer(Kernel(), smvx=True,
+                            protect="server_main_loop",
+                            reuse_variants=True, port=8085,
+                            name="littled-reuse")
+    reusing.start()
+    cost_fresh = ApacheBench(kernel, fresh).run(8).busy_per_request_ns
+    cost_reuse = ApacheBench(reusing.kernel,
+                             reusing).run(8).busy_per_request_ns
+    assert not reusing.alarms.triggered
+    assert cost_reuse < 0.8 * cost_fresh

@@ -1,0 +1,36 @@
+"""Shared fixtures: a minimal 'process' handle the kernel can serve."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.machine import AddressSpace, PAGE_SIZE
+from repro.machine.costs import CycleCounter
+
+
+class FakeProc:
+    """The minimal surface Kernel expects: pid, space, counter."""
+
+    def __init__(self, kernel, name="fake"):
+        self.space = AddressSpace(name)
+        self.counter = CycleCounter()
+        kernel.attach_counter(self.counter)
+        self.pid = kernel.register_process(self, name)
+        self.scratch = self.space.mmap(None, 16 * PAGE_SIZE, tag="scratch")
+
+    def put_cstring(self, text: str) -> int:
+        addr = self.scratch
+        self.space.write(addr, text.encode() + b"\x00", privileged=True)
+        return addr
+
+    def buffer(self, offset: int = 4096) -> int:
+        return self.scratch + offset
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def proc(kernel):
+    return FakeProc(kernel)

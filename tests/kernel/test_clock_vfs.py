@@ -1,0 +1,120 @@
+"""Unit tests for the virtual clock and virtual filesystem."""
+
+import time
+
+from repro.kernel.clock import DEFAULT_EPOCH_S, TmStruct, VirtualClock
+from repro.kernel.errno_codes import Errno
+from repro.kernel.vfs import S_IFDIR, S_IFREG, VirtualFS, normalize
+
+
+# -- clock --------------------------------------------------------------------
+
+def test_clock_advances_monotonically():
+    clock = VirtualClock()
+    clock.advance_ns(10)
+    clock.advance_ns(5)
+    assert clock.monotonic_ns == 15
+
+
+def test_advance_to_never_goes_backwards():
+    clock = VirtualClock()
+    clock.advance_ns(100)
+    clock.advance_to(50)
+    assert clock.monotonic_ns == 100
+    clock.advance_to(200)
+    assert clock.monotonic_ns == 200
+
+
+def test_gettimeofday_reflects_epoch():
+    clock = VirtualClock(epoch_s=1000)
+    clock.advance_ns(2_500_000)  # 2.5 ms
+    sec, usec = clock.gettimeofday()
+    assert sec == 1000
+    assert usec == 2500
+
+
+def test_localtime_matches_cpython_gmtime():
+    clock = VirtualClock()
+    for offset in (0, 3600 * 5 + 17, 86400 * 100 + 12345, 86400 * 400):
+        ts = DEFAULT_EPOCH_S + offset
+        ours = clock.localtime(ts)
+        ref = time.gmtime(ts)
+        assert ours.tm_year == ref.tm_year - 1900
+        assert ours.tm_mon == ref.tm_mon - 1
+        assert ours.tm_mday == ref.tm_mday
+        assert ours.tm_hour == ref.tm_hour
+        assert ours.tm_min == ref.tm_min
+        assert ours.tm_sec == ref.tm_sec
+        # ours is C-style (0 == Sunday); CPython's is 0 == Monday
+        assert ours.tm_wday == (ref.tm_wday + 1) % 7
+        assert ours.tm_yday == ref.tm_yday - 1
+
+
+def test_tmstruct_pack_roundtrip():
+    tm = VirtualClock().localtime(DEFAULT_EPOCH_S + 98765)
+    assert TmStruct.unpack(tm.pack()) == tm
+
+
+# -- vfs ----------------------------------------------------------------------
+
+def test_normalize_paths():
+    assert normalize("/a//b/./c/../d") == "/a/b/d"
+    assert normalize("tmp/x") == "/tmp/x"
+    assert normalize("/") == "/"
+
+
+def test_write_and_read_file():
+    vfs = VirtualFS()
+    vfs.write_file("/var/www/index.html", b"<html>")
+    assert vfs.read_file("/var/www/index.html") == b"<html>"
+    assert vfs.read_file("/var/www/missing.html") is None
+
+
+def test_write_file_autocreates_parents():
+    vfs = VirtualFS()
+    vfs.write_file("/srv/deep/nested/file.txt", b"x")
+    assert vfs.is_dir("/srv/deep/nested")
+
+
+def test_mkdir_semantics():
+    vfs = VirtualFS()
+    assert vfs.mkdir("/tmp/newdir") == 0
+    assert vfs.mkdir("/tmp/newdir") == -Errno.EEXIST
+    assert vfs.mkdir("/nonexistent/child") == -Errno.ENOENT
+    assert vfs.is_dir("/tmp/newdir")
+
+
+def test_listdir():
+    vfs = VirtualFS()
+    vfs.write_file("/var/www/a.html", b"")
+    vfs.write_file("/var/www/b.html", b"")
+    vfs.mkdir("/var/www/imgs")
+    assert vfs.listdir("/var/www") == ["a.html", "b.html", "imgs"]
+
+
+def test_stat_file_and_dir():
+    vfs = VirtualFS()
+    vfs.write_file("/tmp/f", b"abc", mtime_s=42)
+    mode, size, mtime = vfs.stat("/tmp/f")
+    assert mode & S_IFREG
+    assert size == 3
+    assert mtime == 42
+    mode, _, _ = vfs.stat("/tmp")
+    assert mode & S_IFDIR
+    assert vfs.stat("/missing") == -Errno.ENOENT
+
+
+def test_unlink():
+    vfs = VirtualFS()
+    vfs.write_file("/tmp/f", b"")
+    assert vfs.unlink("/tmp/f") == 0
+    assert vfs.unlink("/tmp/f") == -Errno.ENOENT
+
+
+def test_urandom_is_deterministic_per_seed_and_stateful():
+    vfs1, vfs2 = VirtualFS(), VirtualFS()
+    first = vfs1.urandom.read(32)
+    assert first == vfs2.urandom.read(32)
+    # stream advances: the next read differs
+    assert vfs1.urandom.read(32) != first
+    assert len(vfs1.urandom.read(7)) == 7

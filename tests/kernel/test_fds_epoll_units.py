@@ -1,0 +1,126 @@
+"""Unit coverage for file descriptions and the epoll interest list."""
+
+import pytest
+
+from repro.kernel.epoll_impl import (
+    EPOLL_CTL_ADD,
+    EPOLL_CTL_DEL,
+    EPOLL_CTL_MOD,
+    EPOLLIN,
+    EPOLLOUT,
+    EpollInstance,
+)
+from repro.kernel.errno_codes import Errno
+from repro.kernel.fds import FileDescription, FileFD, UrandomFD
+from repro.kernel.vfs import O_RDONLY, O_RDWR, O_WRONLY, RegularFile, \
+    S_IFCHR, UrandomStream
+
+
+# -- base description defaults ---------------------------------------------------
+
+def test_base_description_defaults():
+    fd = FileDescription()
+    assert fd.read(4, 0) == -Errno.EINVAL
+    assert fd.write(b"x", 0) == -Errno.EINVAL
+    assert not fd.readable(0) and not fd.writable(0) and not fd.hup(0)
+    assert fd.next_ready_at() is None
+    assert fd.stat() == -Errno.EINVAL
+    assert fd.seek_set(0) == -Errno.ESPIPE
+    fd.close()                                  # no-op, never raises
+
+
+# -- regular files -----------------------------------------------------------------
+
+def test_filefd_mode_enforcement():
+    node = RegularFile(bytearray(b"data"))
+    rd = FileFD(node, O_RDONLY)
+    assert rd.write(b"x", 0) == -Errno.EBADF
+    wr = FileFD(node, O_WRONLY)
+    assert wr.read(4, 0) == -Errno.EBADF
+    rw = FileFD(node, O_RDWR)
+    assert rw.read(4, 0) == b"data"
+    assert rw.write(b"!", 0) == 1
+
+
+def test_filefd_sparse_write_beyond_eof():
+    node = RegularFile(bytearray(b"ab"))
+    fd = FileFD(node, O_RDWR)
+    assert fd.seek_set(6) == 6
+    assert fd.write(b"Z", 0) == 1
+    assert bytes(node.data) == b"ab\x00\x00\x00\x00Z"
+
+
+def test_filefd_negative_seek_rejected():
+    fd = FileFD(RegularFile(), O_RDWR)
+    assert fd.seek_set(-1) == -Errno.EINVAL
+
+
+def test_urandom_fd_properties():
+    fd = UrandomFD(UrandomStream(b"seed"))
+    assert fd.readable(0)
+    first = fd.read(8, 0)
+    second = fd.read(8, 0)
+    assert first != second                     # stream advances
+    mode, _, _ = fd.stat()
+    assert mode & S_IFCHR
+
+
+# -- epoll interest list --------------------------------------------------------------
+
+def test_epoll_ctl_semantics():
+    ep = EpollInstance()
+    assert ep.ctl(EPOLL_CTL_ADD, 3, EPOLLIN, 0xAA) == 0
+    assert ep.ctl(EPOLL_CTL_ADD, 3, EPOLLIN, 0xAA) == -Errno.EEXIST
+    assert ep.ctl(EPOLL_CTL_MOD, 3, EPOLLOUT, 0xBB) == 0
+    assert ep.ctl(EPOLL_CTL_MOD, 9, EPOLLIN, 0) == -Errno.ENOENT
+    assert ep.ctl(EPOLL_CTL_DEL, 3) == 0
+    assert ep.ctl(EPOLL_CTL_DEL, 3) == -Errno.ENOENT
+    assert ep.ctl(99, 3) == -Errno.EINVAL
+
+
+def test_epoll_poll_masks_and_maxevents():
+    ep = EpollInstance()
+    for fd in range(5):
+        ep.ctl(EPOLL_CTL_ADD, fd, EPOLLIN, fd * 10)
+
+    ready = ep.poll(0, lambda fd: (True, False, False), max_events=3)
+    assert len(ready) == 3                     # capped
+    assert all(events & EPOLLIN for events, _data in ready)
+
+    # an interest in OUT only does not fire on readable-only fds
+    ep2 = EpollInstance()
+    ep2.ctl(EPOLL_CTL_ADD, 1, EPOLLOUT, 7)
+    assert ep2.poll(0, lambda fd: (True, False, False), 8) == []
+    assert ep2.poll(0, lambda fd: (False, True, False), 8) == \
+        [(EPOLLOUT, 7)]
+
+
+def test_epoll_poll_skips_stale_fds():
+    ep = EpollInstance()
+    ep.ctl(EPOLL_CTL_ADD, 4, EPOLLIN, 1)
+    assert ep.poll(0, lambda fd: None, 8) == []
+
+
+def test_epoll_mod_replaces_data():
+    ep = EpollInstance()
+    ep.ctl(EPOLL_CTL_ADD, 2, EPOLLIN, 111)
+    ep.ctl(EPOLL_CTL_MOD, 2, EPOLLIN, 222)
+    ready = ep.poll(0, lambda fd: (True, False, False), 8)
+    assert ready == [(EPOLLIN, 222)]
+
+
+def test_epoll_next_ready_horizon():
+    ep = EpollInstance()
+    ep.ctl(EPOLL_CTL_ADD, 1, EPOLLIN, 0)
+    ep.ctl(EPOLL_CTL_ADD, 2, EPOLLIN, 0)
+    horizon = {1: 500.0, 2: 100.0}
+    assert ep.next_ready_at(lambda fd: horizon.get(fd)) == 100.0
+    assert ep.next_ready_at(lambda fd: None) is None
+
+
+def test_epoll_forget_on_close():
+    ep = EpollInstance()
+    ep.ctl(EPOLL_CTL_ADD, 7, EPOLLIN, 0)
+    ep.forget(7)
+    assert ep.watched_fds == []
+    ep.forget(7)                               # idempotent

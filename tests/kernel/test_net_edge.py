@@ -1,0 +1,119 @@
+"""Edge cases in the loopback network and epoll layers."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.errno_codes import Errno
+from repro.kernel.net import Listener, Network, Socket
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def test_backlog_overflow_refuses(kernel):
+    listener = kernel.network.listen(9000, backlog=2)
+    assert isinstance(listener, Listener)
+    assert not isinstance(kernel.network.connect(9000), int)
+    assert not isinstance(kernel.network.connect(9000), int)
+    assert kernel.network.connect(9000) == -Errno.ECONNREFUSED
+
+
+def test_send_after_close_is_ebadf(kernel):
+    kernel.network.listen(9001)
+    sock = kernel.network.connect(9001)
+    sock.close()
+    assert sock.send(b"x") == -Errno.EBADF
+    assert sock.recv(4) == -Errno.EBADF
+
+
+def test_send_to_closed_peer_is_epipe(kernel):
+    listener = kernel.network.listen(9002)
+    client = kernel.network.connect(9002)
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    server_end = listener.accept()
+    assert isinstance(server_end, Socket)
+    server_end.close()
+    assert client.send(b"x") == -Errno.EPIPE
+
+
+def test_delayed_segments_preserve_order(kernel):
+    listener = kernel.network.listen(9003)
+    client = kernel.network.connect(9003)
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    server_end = listener.accept()
+    client.send(b"first")
+    client.send(b"second", extra_delay_ns=5000)
+    client.send(b"third", extra_delay_ns=10_000)
+    out = b""
+    for _ in range(3):
+        chunk = server_end.recv(64)
+        if isinstance(chunk, int):
+            kernel.clock.advance_to(server_end.next_ready_at())
+            chunk = server_end.recv(64)
+        out += chunk
+    assert out == b"firstsecondthird"
+
+
+def test_partial_recv_keeps_remainder(kernel):
+    listener = kernel.network.listen(9004)
+    client = kernel.network.connect(9004)
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    server_end = listener.accept()
+    client.send(b"abcdefgh")
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    assert server_end.recv(3) == b"abc"
+    assert server_end.recv(100) == b"defgh"
+    assert server_end.recv(4) == -Errno.EAGAIN
+
+
+def test_listener_close_releases_port(kernel):
+    listener = kernel.network.listen(9005)
+    listener.close()
+    again = kernel.network.listen(9005)
+    assert isinstance(again, Listener)
+
+
+def test_accept_before_arrival_is_eagain(kernel):
+    listener = kernel.network.listen(9006)
+    kernel.network.connect(9006)
+    # connection is still in flight (latency not elapsed)
+    assert listener.accept() == -Errno.EAGAIN
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    assert isinstance(listener.accept(), Socket)
+
+
+def test_bytes_counters(kernel):
+    listener = kernel.network.listen(9007)
+    client = kernel.network.connect(9007)
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    server_end = listener.accept()
+    client.send(b"12345")
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    server_end.recv(64)
+    assert client.bytes_sent == 5
+    assert server_end.bytes_received == 5
+
+
+def test_custom_latency():
+    from repro.kernel.clock import VirtualClock
+    clock = VirtualClock()
+    network = Network(clock, latency_ns=42_000)
+    listener = network.listen(1)
+    client = network.connect(1)
+    t0 = clock.monotonic_ns
+    client.send(b"x")
+    kernel_end = listener
+    assert client.peer.next_ready_at() == t0 + 42_000
+
+
+def test_readable_tracks_clock(kernel):
+    listener = kernel.network.listen(9008)
+    client = kernel.network.connect(9008)
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    server_end = listener.accept()
+    client.send(b"x")
+    now = kernel.clock.monotonic_ns
+    assert not server_end.readable(now)
+    assert server_end.readable(now + kernel.network.latency_ns)

@@ -1,0 +1,333 @@
+"""Integration tests for the kernel syscall surface."""
+
+import struct
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.epoll_impl import (
+    EPOLL_CTL_ADD,
+    EPOLL_CTL_DEL,
+    EPOLLHUP,
+    EPOLLIN,
+)
+from repro.kernel.errno_codes import Errno
+from repro.kernel.vfs import O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
+
+from tests.kernel.conftest import FakeProc
+
+
+def sys(kernel, proc, name, *args):
+    return kernel.syscall(proc, name, *args)
+
+
+# -- files ----------------------------------------------------------------------
+
+def test_open_read_file(kernel, proc):
+    kernel.vfs.write_file("/var/www/page.html", b"hello world")
+    fd = sys(kernel, proc, "open", proc.put_cstring("/var/www/page.html"),
+             O_RDONLY)
+    assert fd >= 3
+    buf = proc.buffer()
+    n = sys(kernel, proc, "read", fd, buf, 5)
+    assert n == 5
+    assert proc.space.read(buf, 5, privileged=True) == b"hello"
+    # cursor advanced
+    n = sys(kernel, proc, "read", fd, buf, 64)
+    assert n == 6
+    assert sys(kernel, proc, "close", fd) == 0
+    assert sys(kernel, proc, "close", fd) == -Errno.EBADF
+
+
+def test_open_missing_file(kernel, proc):
+    assert sys(kernel, proc, "open", proc.put_cstring("/nope"),
+               O_RDONLY) == -Errno.ENOENT
+
+
+def test_open_creat_and_write(kernel, proc):
+    fd = sys(kernel, proc, "open", proc.put_cstring("/tmp/out.log"),
+             O_WRONLY | O_CREAT)
+    buf = proc.buffer()
+    proc.space.write(buf, b"LOG", privileged=True)
+    assert sys(kernel, proc, "write", fd, buf, 3) == 3
+    assert kernel.vfs.read_file("/tmp/out.log") == b"LOG"
+
+
+def test_writev_gathers(kernel, proc):
+    fd = sys(kernel, proc, "open", proc.put_cstring("/tmp/v.log"),
+             O_WRONLY | O_CREAT)
+    b1, b2 = proc.buffer(0), proc.buffer(64)
+    proc.space.write(b1, b"head:", privileged=True)
+    proc.space.write(b2, b"body", privileged=True)
+    iov = proc.buffer(128)
+    proc.space.write(iov, struct.pack("<4q", b1, 5, b2, 4), privileged=True)
+    assert sys(kernel, proc, "writev", fd, iov, 2) == 9
+    assert kernel.vfs.read_file("/tmp/v.log") == b"head:body"
+
+
+def test_stat_and_fstat(kernel, proc):
+    kernel.vfs.write_file("/tmp/s", b"12345", mtime_s=9)
+    statbuf = proc.buffer()
+    assert sys(kernel, proc, "stat", proc.put_cstring("/tmp/s"), statbuf) == 0
+    mode, size, mtime = struct.unpack(
+        "<3q", proc.space.read(statbuf, 24, privileged=True))
+    assert size == 5 and mtime == 9
+    fd = sys(kernel, proc, "open", proc.put_cstring("/tmp/s"), O_RDONLY)
+    assert sys(kernel, proc, "fstat", fd, statbuf) == 0
+    _, size2, _ = struct.unpack(
+        "<3q", proc.space.read(statbuf, 24, privileged=True))
+    assert size2 == 5
+
+
+def test_mkdir_and_unlink(kernel, proc):
+    assert sys(kernel, proc, "mkdir", proc.put_cstring("/tmp/d")) == 0
+    assert kernel.vfs.is_dir("/tmp/d")
+    kernel.vfs.write_file("/tmp/d/f", b"")
+    assert sys(kernel, proc, "unlink", proc.put_cstring("/tmp/d/f")) == 0
+
+
+def test_urandom_read(kernel, proc):
+    fd = sys(kernel, proc, "open", proc.put_cstring("/dev/urandom"), O_RDONLY)
+    buf = proc.buffer()
+    assert sys(kernel, proc, "read", fd, buf, 16) == 16
+    data = proc.space.read(buf, 16, privileged=True)
+    assert data != b"\x00" * 16
+
+
+def test_proc_self_maps(kernel, proc):
+    fd = sys(kernel, proc, "open", proc.put_cstring("/proc/self/maps"),
+             O_RDONLY)
+    buf = proc.buffer()
+    n = sys(kernel, proc, "read", fd, buf, 4096)
+    text = proc.space.read(buf, n, privileged=True).decode()
+    assert "scratch" in text
+    assert "rw-p" in text
+
+
+def test_gettimeofday(kernel, proc):
+    kernel.clock.advance_ns(3_000_000)
+    tv = proc.buffer()
+    assert sys(kernel, proc, "gettimeofday", tv) == 0
+    sec, usec = struct.unpack("<2q",
+                              proc.space.read(tv, 16, privileged=True))
+    assert sec == kernel.clock.epoch_s
+    assert usec == 3000
+
+
+def test_lseek(kernel, proc):
+    kernel.vfs.write_file("/tmp/s", b"abcdef")
+    fd = sys(kernel, proc, "open", proc.put_cstring("/tmp/s"), O_RDONLY)
+    assert sys(kernel, proc, "lseek", fd, 3, 0) == 3
+    buf = proc.buffer()
+    assert sys(kernel, proc, "read", fd, buf, 2) == 2
+    assert proc.space.read(buf, 2, privileged=True) == b"de"
+
+
+# -- sockets -----------------------------------------------------------------------
+
+def test_listen_accept_recv_send(kernel, proc):
+    listen_fd = sys(kernel, proc, "listen_on", 8080, 16)
+    assert listen_fd >= 3
+    client = kernel.network.connect(8080)
+    assert not isinstance(client, int)
+    conn_fd = sys(kernel, proc, "accept4", listen_fd, 0)
+    assert conn_fd > listen_fd
+
+    client.send(b"GET / HTTP/1.1\r\n\r\n")
+    buf = proc.buffer()
+    n = sys(kernel, proc, "recvfrom", conn_fd, buf, 4096, 0)
+    assert n == 18
+
+    proc.space.write(buf, b"HTTP/1.1 200 OK\r\n", privileged=True)
+    assert sys(kernel, proc, "sendto", conn_fd, buf, 17, 0) == 17
+    assert client.recv_wait(64) == b"HTTP/1.1 200 OK\r\n"
+
+
+def test_latency_delays_delivery(kernel, proc):
+    listen_fd = sys(kernel, proc, "listen_on", 9000)
+    client = kernel.network.connect(9000)
+    conn_fd = sys(kernel, proc, "accept4", listen_fd, 0)
+    t0 = kernel.clock.monotonic_ns
+    client.send(b"x")
+    # recvfrom blocks by advancing virtual time past the one-way latency
+    n = sys(kernel, proc, "recvfrom", conn_fd, proc.buffer(), 16, 0)
+    assert n == 1
+    assert kernel.clock.monotonic_ns - t0 >= kernel.network.latency_ns
+
+
+def test_connect_refused_without_listener(kernel):
+    assert kernel.network.connect(1) == -Errno.ECONNREFUSED
+
+
+def test_port_collision(kernel, proc):
+    assert sys(kernel, proc, "listen_on", 8080) >= 0
+    assert sys(kernel, proc, "listen_on", 8080) == -Errno.EADDRINUSE
+
+
+def test_recv_after_peer_close_gives_eof(kernel, proc):
+    listen_fd = sys(kernel, proc, "listen_on", 8081)
+    client = kernel.network.connect(8081)
+    conn_fd = sys(kernel, proc, "accept4", listen_fd, 0)
+    client.send(b"bye")
+    client.close()
+    buf = proc.buffer()
+    assert sys(kernel, proc, "recvfrom", conn_fd, buf, 16, 0) == 3
+    assert sys(kernel, proc, "recvfrom", conn_fd, buf, 16, 0) == 0  # EOF
+
+
+def test_setsockopt_getsockopt_roundtrip(kernel, proc):
+    listen_fd = sys(kernel, proc, "listen_on", 8082)
+    client = kernel.network.connect(8082)
+    conn_fd = sys(kernel, proc, "accept4", listen_fd, 0)
+    val = proc.buffer()
+    proc.space.write(val, struct.pack("<q", 1), privileged=True)
+    assert sys(kernel, proc, "setsockopt", conn_fd, 1, 9, val, 8) == 0
+    out, outlen = proc.buffer(64), proc.buffer(128)
+    assert sys(kernel, proc, "getsockopt", conn_fd, 1, 9, out, outlen) == 0
+    assert struct.unpack("<q",
+                         proc.space.read(out, 8, privileged=True))[0] == 1
+
+
+def test_ioctl_fionread(kernel, proc):
+    listen_fd = sys(kernel, proc, "listen_on", 8083)
+    client = kernel.network.connect(8083)
+    conn_fd = sys(kernel, proc, "accept4", listen_fd, 0)
+    client.send(b"12345")
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    arg = proc.buffer()
+    assert sys(kernel, proc, "ioctl", conn_fd, Kernel.FIONREAD, arg) == 0
+    assert proc.space.read_word(arg, privileged=True) == 5
+
+
+def test_sendfile_from_file_to_socket(kernel, proc):
+    kernel.vfs.write_file("/var/www/f.bin", b"A" * 100)
+    file_fd = sys(kernel, proc, "open", proc.put_cstring("/var/www/f.bin"),
+                  O_RDONLY)
+    listen_fd = sys(kernel, proc, "listen_on", 8084)
+    client = kernel.network.connect(8084)
+    conn_fd = sys(kernel, proc, "accept4", listen_fd, 0)
+    off = proc.buffer()
+    proc.space.write_word(off, 10, privileged=True)
+    assert sys(kernel, proc, "sendfile", conn_fd, file_fd, off, 50) == 50
+    assert proc.space.read_word(off, privileged=True) == 60
+    assert client.recv_wait(100) == b"A" * 50
+
+
+# -- epoll ----------------------------------------------------------------------------
+
+def test_epoll_lifecycle(kernel, proc):
+    listen_fd = sys(kernel, proc, "listen_on", 8090)
+    epfd = sys(kernel, proc, "epoll_create1", 0)
+    ev = proc.buffer()
+    proc.space.write(ev, struct.pack("<2q", EPOLLIN, listen_fd),
+                     privileged=True)
+    assert sys(kernel, proc, "epoll_ctl", epfd, EPOLL_CTL_ADD, listen_fd,
+               ev) == 0
+
+    events = proc.buffer(256)
+    # nothing pending: returns 0 without blocking forever
+    assert sys(kernel, proc, "epoll_wait", epfd, events, 8, 0) == 0
+
+    kernel.network.connect(8090)
+    # in-flight connection: epoll_wait advances the clock to its arrival
+    n = sys(kernel, proc, "epoll_wait", epfd, events, 8, -1)
+    assert n == 1
+    got_events, got_data = struct.unpack(
+        "<2q", proc.space.read(events, 16, privileged=True))
+    assert got_events & EPOLLIN
+    assert got_data == listen_fd
+
+
+def test_epoll_data_carries_opaque_pointer(kernel, proc):
+    """epoll_data is a raw 64-bit union; a pointer stored there comes back
+    bit-identical (this is what forces sMVX's special emulation)."""
+    listen_fd = sys(kernel, proc, "listen_on", 8091)
+    epfd = sys(kernel, proc, "epoll_create1", 0)
+    fake_ptr = 0x7F12_3456_7008
+    ev = proc.buffer()
+    proc.space.write(ev, struct.pack("<2q", EPOLLIN, fake_ptr),
+                     privileged=True)
+    sys(kernel, proc, "epoll_ctl", epfd, EPOLL_CTL_ADD, listen_fd, ev)
+    kernel.network.connect(8091)
+    events = proc.buffer(256)
+    assert sys(kernel, proc, "epoll_wait", epfd, events, 8, -1) == 1
+    _, data = struct.unpack("<2q",
+                            proc.space.read(events, 16, privileged=True))
+    assert data == fake_ptr
+
+
+def test_epoll_hup_on_peer_close(kernel, proc):
+    listen_fd = sys(kernel, proc, "listen_on", 8092)
+    client = kernel.network.connect(8092)
+    conn_fd = sys(kernel, proc, "accept4", listen_fd, 0)
+    epfd = sys(kernel, proc, "epoll_create1", 0)
+    ev = proc.buffer()
+    proc.space.write(ev, struct.pack("<2q", EPOLLIN, conn_fd),
+                     privileged=True)
+    sys(kernel, proc, "epoll_ctl", epfd, EPOLL_CTL_ADD, conn_fd, ev)
+    client.close()
+    events = proc.buffer(256)
+    assert sys(kernel, proc, "epoll_wait", epfd, events, 8, -1) == 1
+    got_events, _ = struct.unpack(
+        "<2q", proc.space.read(events, 16, privileged=True))
+    assert got_events & EPOLLHUP
+
+
+def test_epoll_ctl_del_and_close_forgets(kernel, proc):
+    listen_fd = sys(kernel, proc, "listen_on", 8093)
+    epfd = sys(kernel, proc, "epoll_create1", 0)
+    ev = proc.buffer()
+    proc.space.write(ev, struct.pack("<2q", EPOLLIN, listen_fd),
+                     privileged=True)
+    sys(kernel, proc, "epoll_ctl", epfd, EPOLL_CTL_ADD, listen_fd, ev)
+    assert sys(kernel, proc, "epoll_ctl", epfd, EPOLL_CTL_DEL, listen_fd,
+               0) == 0
+    assert sys(kernel, proc, "epoll_ctl", epfd, EPOLL_CTL_DEL, listen_fd,
+               0) == -Errno.ENOENT
+
+
+# -- accounting -------------------------------------------------------------------------
+
+def test_syscalls_are_counted_per_process(kernel, proc):
+    other = FakeProc(kernel, "other")
+    sys(kernel, proc, "getpid")
+    sys(kernel, proc, "getpid")
+    sys(kernel, other, "getpid")
+    assert kernel.syscall_count(proc.pid) == 2
+    assert kernel.syscall_count(other.pid) == 1
+    assert kernel.syscall_breakdown(proc.pid) == {"getpid": 2}
+
+
+def test_syscalls_charge_virtual_time(kernel, proc):
+    t0 = kernel.clock.monotonic_ns
+    c0 = proc.counter.total_ns
+    sys(kernel, proc, "getpid")
+    per_call = (2 * kernel.costs.kernel_crossing_ns
+                + kernel.costs.syscall_work_ns)
+    assert kernel.clock.monotonic_ns - t0 == per_call
+    assert proc.counter.total_ns - c0 == per_call
+
+
+def test_clone_and_fork_costs(kernel, proc):
+    t0 = kernel.clock.monotonic_ns
+    tid = sys(kernel, proc, "clone", 0)
+    assert tid > 0
+    clone_elapsed = kernel.clock.monotonic_ns - t0
+    assert clone_elapsed >= kernel.costs.clone_thread_ns
+
+    t1 = kernel.clock.monotonic_ns
+    child = sys(kernel, proc, "fork")
+    assert child > 0
+    fork_elapsed = kernel.clock.monotonic_ns - t1
+    assert fork_elapsed >= kernel.costs.fork_base_ns
+    assert fork_elapsed > clone_elapsed  # the Table 2 ordering
+
+
+def test_unknown_syscall_is_enosys(kernel, proc):
+    assert sys(kernel, proc, "bogus") == -Errno.ENOSYS
+
+
+def test_syscall_by_number_roundtrip(kernel, proc):
+    from repro.kernel.kernel import SYSCALL_NUMBERS
+    assert kernel.syscall_by_number(proc, SYSCALL_NUMBERS["getpid"]) == proc.pid
+    assert kernel.syscall_by_number(proc, 999) == -Errno.ENOSYS

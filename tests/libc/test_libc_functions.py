@@ -1,0 +1,298 @@
+"""Per-function coverage of the guest libc (the paper's 35+ calls)."""
+
+import struct
+
+import pytest
+
+from repro.core import build_smvx_stub_image
+from repro.kernel import Kernel
+from repro.kernel.epoll_impl import EPOLL_CTL_ADD, EPOLLIN
+from repro.kernel.errno_codes import Errno
+from repro.kernel.vfs import O_APPEND, O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
+from repro.libc import LIBC_ARITIES, LIBC_FUNCTIONS, build_libc_image
+from repro.loader import ImageBuilder
+from repro.process import GuestProcess, to_signed
+
+
+@pytest.fixture
+def guest():
+    """A process plus a run(fn) helper executing fn as a guest function."""
+    kernel = Kernel()
+    kernel.vfs.write_file("/etc/sample", b"0123456789abcdef")
+    process = GuestProcess(kernel, "libc-test")
+    process.load_image(build_libc_image(), tag="libc")
+
+    class Guest:
+        def __init__(self):
+            self.kernel = kernel
+            self.process = process
+            self._counter = 0
+
+        def run(self, fn, *args):
+            self._counter += 1
+            builder = ImageBuilder(f"probe{self._counter}")
+            builder.import_libc(*LIBC_FUNCTIONS.keys())
+            builder.add_hl_function("probe", fn, len(args))
+            process.load_image(builder.build())
+            return to_signed(process.call_function("probe", *args))
+    return Guest()
+
+
+def test_every_libc_function_has_matching_arity():
+    import inspect
+    for name, (fn, arity) in LIBC_FUNCTIONS.items():
+        params = inspect.signature(fn).parameters
+        fixed = [p for p in params.values()
+                 if p.kind is inspect.Parameter.POSITIONAL_OR_KEYWORD]
+        assert len(fixed) - 1 == arity, name     # minus ctx
+
+
+def test_open_rdwr_and_append(guest):
+    def probe(ctx):
+        path = ctx.stack_alloc(32)
+        ctx.write_cstring(path, b"/tmp/rw")
+        fd = to_signed(ctx.libc("open", path, O_RDWR | O_CREAT))
+        buf = ctx.stack_alloc(8)
+        ctx.write(buf, b"abc")
+        ctx.libc("write", fd, buf, 3)
+        ctx.libc("close", fd)
+        fd = to_signed(ctx.libc("open", path, O_WRONLY | O_APPEND))
+        ctx.write(buf, b"def")
+        ctx.libc("write", fd, buf, 3)
+        ctx.libc("close", fd)
+        return 0
+    guest.run(probe)
+    assert guest.kernel.vfs.read_file("/tmp/rw") == b"abcdef"
+
+
+def test_lseek_and_read(guest):
+    def probe(ctx):
+        path = ctx.stack_alloc(32)
+        ctx.write_cstring(path, b"/etc/sample")
+        fd = to_signed(ctx.libc("open", path, O_RDONLY))
+        ctx.libc("lseek", fd, 10, 0)
+        buf = ctx.stack_alloc(8)
+        n = to_signed(ctx.libc("read", fd, buf, 6))
+        assert ctx.read(buf, n) == b"abcdef"
+        ctx.libc("close", fd)
+        return n
+    assert guest.run(probe) == 6
+
+
+def test_stat_fstat_consistency(guest):
+    def probe(ctx):
+        path = ctx.stack_alloc(32)
+        ctx.write_cstring(path, b"/etc/sample")
+        s1 = ctx.stack_alloc(24)
+        ctx.libc("stat", path, s1)
+        fd = to_signed(ctx.libc("open", path, O_RDONLY))
+        s2 = ctx.stack_alloc(24)
+        ctx.libc("fstat", fd, s2)
+        ctx.libc("close", fd)
+        assert ctx.read(s1, 24) == ctx.read(s2, 24)
+        return ctx.read_word(s1 + 8)           # size field
+    assert guest.run(probe) == 16
+
+
+def test_mkdir_unlink(guest):
+    def probe(ctx):
+        path = ctx.stack_alloc(32)
+        ctx.write_cstring(path, b"/tmp/newdir")
+        first = to_signed(ctx.libc("mkdir", path, 0o755))
+        second = to_signed(ctx.libc("mkdir", path, 0o755))
+        assert second == -1 and ctx.errno == Errno.EEXIST
+        return first
+    assert guest.run(probe) == 0
+    assert guest.kernel.vfs.is_dir("/tmp/newdir")
+
+
+def test_getpid_matches_process(guest):
+    def probe(ctx):
+        return ctx.libc("getpid")
+    assert guest.run(probe) == guest.process.pid
+
+
+def test_time_and_gettimeofday_agree(guest):
+    def probe(ctx):
+        tv = ctx.stack_alloc(16)
+        ctx.libc("gettimeofday", tv, 0)
+        t = ctx.libc("time", 0)
+        return abs(t - ctx.read_word(tv))
+    assert guest.run(probe) <= 1
+
+
+def test_memcmp_orderings(guest):
+    def probe(ctx):
+        a = ctx.stack_alloc(8)
+        b = ctx.stack_alloc(8)
+        ctx.write(a, b"apple")
+        ctx.write(b, b"apply")
+        less = to_signed(ctx.libc("memcmp", a, b, 5))
+        equal = to_signed(ctx.libc("memcmp", a, b, 4))
+        greater = to_signed(ctx.libc("memcmp", b, a, 5))
+        assert less < 0 and equal == 0 and greater > 0
+        return 1
+    assert guest.run(probe) == 1
+
+
+def test_memmove_overlapping(guest):
+    def probe(ctx):
+        buf = ctx.stack_alloc(16)
+        ctx.write(buf, b"0123456789")
+        ctx.libc("memmove", buf + 2, buf, 8)   # overlap forward
+        assert ctx.read(buf, 10) == b"0101234567"
+        return 1
+    assert guest.run(probe) == 1
+
+
+def test_strncmp_prefix(guest):
+    def probe(ctx):
+        a = ctx.stack_alloc(32)
+        b = ctx.stack_alloc(32)
+        ctx.write_cstring(a, b"Transfer-Encoding")
+        ctx.write_cstring(b, b"Transfer-Bogus")
+        same_prefix = to_signed(ctx.libc("strncmp", a, b, 9))
+        differs = to_signed(ctx.libc("strncmp", a, b, 12))
+        assert same_prefix == 0 and differs != 0
+        return 1
+    assert guest.run(probe) == 1
+
+
+def test_strchr_missing_returns_null(guest):
+    def probe(ctx):
+        buf = ctx.stack_alloc(8)
+        ctx.write_cstring(buf, b"abc")
+        return ctx.libc("strchr", buf, ord("z"))
+    assert guest.run(probe) == 0
+
+
+def test_realloc_grows_and_preserves(guest):
+    def probe(ctx):
+        p = ctx.libc("malloc", 8)
+        ctx.write(p, b"12345678")
+        q = ctx.libc("realloc", p, 256)
+        assert ctx.read(q, 8) == b"12345678"
+        ctx.libc("free", q)
+        return 1
+    assert guest.run(probe) == 1
+
+
+def test_calloc_zero_fill(guest):
+    def probe(ctx):
+        p = ctx.libc("calloc", 8, 16)
+        data = ctx.read(p, 128)
+        assert data == b"\x00" * 128
+        ctx.libc("free", p)
+        return 1
+    assert guest.run(probe) == 1
+
+
+def test_send_recv_shutdown_roundtrip(guest):
+    def probe(ctx, port):
+        listen_fd = to_signed(ctx.libc("listen_on", port, 4))
+        return listen_fd
+    listen_fd = guest.run(probe, 7100)
+    client = guest.kernel.network.connect(7100)
+    client.send(b"ping")
+
+    def probe2(ctx, listen_fd):
+        conn = to_signed(ctx.libc("accept4", listen_fd, 0))
+        buf = ctx.stack_alloc(16)
+        n = to_signed(ctx.libc("recv", conn, buf, 16, 0))
+        assert ctx.read(buf, n) == b"ping"
+        ctx.write(buf, b"pong")
+        ctx.libc("send", conn, buf, 4, 0)
+        ctx.libc("shutdown", conn, 1)
+        return n
+    assert guest.run(probe2, listen_fd) == 4
+    assert client.recv_wait(16) == b"pong"
+
+
+def test_epoll_full_cycle(guest):
+    def setup(ctx, port):
+        listen_fd = to_signed(ctx.libc("listen_on", port, 4))
+        epfd = to_signed(ctx.libc("epoll_create1", 0))
+        ev = ctx.stack_alloc(16)
+        ctx.write_words(ev, [EPOLLIN, listen_fd])
+        ctx.libc("epoll_ctl", epfd, EPOLL_CTL_ADD, listen_fd, ev)
+        return epfd * 1000 + listen_fd
+    packed = guest.run(setup, 7200)
+    epfd, listen_fd = divmod(packed, 1000)
+    guest.kernel.network.connect(7200)
+
+    def wait(ctx, epfd, listen_fd):
+        events = ctx.stack_alloc(64)
+        n = to_signed(ctx.libc("epoll_wait", epfd, events, 4, -1))
+        assert n == 1
+        assert ctx.read_word(events + 8) == listen_fd
+        # epoll_pwait behaves identically with a sigmask argument
+        n2 = to_signed(ctx.libc("epoll_pwait", epfd, events, 4, 0, 0))
+        return n + n2
+    assert guest.run(wait, epfd, listen_fd) >= 1
+
+
+def test_writev_and_sendfile(guest):
+    guest.kernel.vfs.write_file("/var/www/blob", b"B" * 32)
+
+    def probe(ctx, port):
+        listen_fd = to_signed(ctx.libc("listen_on", port, 4))
+        return listen_fd
+    listen_fd = guest.run(probe, 7300)
+    client = guest.kernel.network.connect(7300)
+
+    def probe2(ctx, listen_fd):
+        conn = to_signed(ctx.libc("accept4", listen_fd, 0))
+        a = ctx.stack_alloc(8)
+        b = ctx.stack_alloc(8)
+        ctx.write(a, b"hdr:")
+        ctx.write(b, b"body")
+        iov = ctx.stack_alloc(32)
+        ctx.write_words(iov, [a, 4, b, 4])
+        ctx.libc("writev", conn, iov, 2)
+        path = ctx.stack_alloc(16)
+        ctx.write_cstring(path, b"/var/www/blob")
+        from repro.kernel.vfs import O_RDONLY as RD
+        fd = to_signed(ctx.libc("open", path, RD))
+        off = ctx.stack_alloc(8)
+        ctx.write_word(off, 0)
+        sent = to_signed(ctx.libc("sendfile", conn, fd, off, 32))
+        ctx.libc("close", fd)
+        return sent
+    assert guest.run(probe2, listen_fd) == 32
+    received = b""
+    while len(received) < 40:
+        chunk = client.recv_wait(64)
+        if isinstance(chunk, int) or chunk == b"":
+            break
+        received += chunk
+    assert received == b"hdr:body" + b"B" * 32
+
+
+def test_setsockopt_getsockopt(guest):
+    def probe(ctx, port):
+        listen_fd = to_signed(ctx.libc("listen_on", port, 4))
+        return listen_fd
+    listen_fd = guest.run(probe, 7400)
+    guest.kernel.network.connect(7400)
+
+    def probe2(ctx, listen_fd):
+        conn = to_signed(ctx.libc("accept4", listen_fd, 0))
+        val = ctx.stack_alloc(8)
+        ctx.write_word(val, 1)
+        ctx.libc("setsockopt", conn, 6, 1, val, 8)
+        out = ctx.stack_alloc(8)
+        outlen = ctx.stack_alloc(8)
+        ctx.libc("getsockopt", conn, 6, 1, out, outlen)
+        return ctx.read_word(out)
+    assert guest.run(probe2, listen_fd) == 1
+
+
+def test_errno_preserved_per_thread(guest):
+    def probe(ctx):
+        path = ctx.stack_alloc(16)
+        ctx.write_cstring(path, b"/absent")
+        ctx.libc("open", path, O_RDONLY)
+        first = ctx.errno
+        ctx.libc("getpid")                  # success doesn't clear errno
+        return first
+    assert guest.run(probe) == Errno.ENOENT

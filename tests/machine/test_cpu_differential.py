@@ -1,0 +1,113 @@
+"""Differential testing of the CPU: random straight-line programs are
+executed by the interpreter and by an independent Python model of the
+ISA's semantics; the architectural state must agree exactly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    AddressSpace,
+    Assembler,
+    CPU,
+    PAGE_SIZE,
+    PROT_RW,
+    PROT_RX,
+)
+from repro.machine.cpu import ExecState, HOST_RETURN_ADDRESS
+from repro.machine.registers import RegisterFile
+
+_MASK = (1 << 64) - 1
+
+REGS = ("rax", "rbx", "rcx", "rdx", "rsi", "rdi", "r8", "r9")
+
+_OPS = ("mov_rr", "mov_ri", "add_rr", "add_ri", "sub_rr", "sub_ri",
+        "and_rr", "and_ri", "or_rr", "or_ri", "xor_rr", "xor_ri",
+        "shl_ri", "shr_ri", "mul_rr", "not_r")
+
+op_strategy = st.tuples(
+    st.sampled_from(_OPS),
+    st.sampled_from(REGS),
+    st.sampled_from(REGS),
+    st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+)
+
+
+def model_step(state, op, dst, src, imm):
+    """Reference semantics, written independently of the CPU."""
+    value = state[dst]
+    other = state[src]
+    if op == "mov_rr":
+        value = other
+    elif op == "mov_ri":
+        value = imm
+    elif op == "add_rr":
+        value = value + other
+    elif op == "add_ri":
+        value = value + imm
+    elif op == "sub_rr":
+        value = value - other
+    elif op == "sub_ri":
+        value = value - imm
+    elif op == "and_rr":
+        value = value & other
+    elif op == "and_ri":
+        value = value & imm
+    elif op == "or_rr":
+        value = value | other
+    elif op == "or_ri":
+        value = value | imm
+    elif op == "xor_rr":
+        value = value ^ other
+    elif op == "xor_ri":
+        value = value ^ imm
+    elif op == "shl_ri":
+        value = value << (imm & 63)
+    elif op == "shr_ri":
+        value = value >> (imm & 63)
+    elif op == "mul_rr":
+        value = value * other
+    elif op == "not_r":
+        value = ~value
+    state[dst] = value & _MASK
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=40),
+       st.lists(st.integers(min_value=0, max_value=_MASK),
+                min_size=len(REGS), max_size=len(REGS)))
+def test_cpu_matches_reference_model(program, initial):
+    assembler = Assembler()
+    for op, dst, src, imm in program:
+        method = getattr(assembler, op)
+        if op.endswith("_ri"):
+            method(dst, imm)
+        elif op == "not_r":
+            method(dst)
+        else:
+            method(dst, src)
+    assembler.ret()
+
+    space = AddressSpace()
+    code = assembler.assemble(0x40_0000)
+    space.mmap(0x40_0000, max(len(code), 1), prot=PROT_RX)
+    for offset in range(0, len(code), PAGE_SIZE):
+        page = space.page_at(0x40_0000 + offset)
+        page.data[:len(code[offset:offset + PAGE_SIZE])] = \
+            code[offset:offset + PAGE_SIZE]
+    space.mmap(0x50_0000, PAGE_SIZE, prot=PROT_RW)
+
+    cpu = CPU(space)
+    state = ExecState(RegisterFile())
+    state.regs.rip = 0x40_0000
+    state.regs.set("rsp", 0x50_0000 + PAGE_SIZE - 16)
+    reference = {}
+    for name, value in zip(REGS, initial):
+        state.regs.set(name, value)
+        reference[name] = value
+    cpu._push(state, HOST_RETURN_ADDRESS)
+    cpu.run(state, max_steps=len(program) + 2)
+
+    for op, dst, src, imm in program:
+        model_step(reference, op, dst, src, imm)
+    for name in REGS:
+        assert state.regs.get(name) == reference[name], (name, program)

@@ -1,0 +1,89 @@
+"""Tests for the disassembler listing utilities and the cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Assembler, Instruction, Op
+from repro.machine.costs import CostModel, CycleCounter, DEFAULT_COSTS
+from repro.machine.disasm import disassemble_bytes, format_listing
+from repro.machine.isa import INSTR_SIZE
+
+
+def test_format_listing():
+    a = Assembler()
+    a.mov_ri("rax", 16)
+    a.ret()
+    pairs = disassemble_bytes(a.assemble(0), base=0x40_0000)
+    listing = format_listing(pairs)
+    lines = listing.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("0x000000400000:")
+    assert "mov_ri %rax, $0x10" in lines[0]
+    assert "ret" in lines[1]
+
+
+def test_negative_immediate_rendering():
+    text = Instruction(Op.ADD_RI, "rsp", None, -32).text()
+    assert "$-0x20" in text
+
+
+def test_disassemble_respects_base():
+    a = Assembler()
+    a.nop()
+    a.nop()
+    pairs = disassemble_bytes(a.assemble(0), base=0x1000)
+    assert [addr for addr, _ in pairs] == [0x1000, 0x1000 + INSTR_SIZE]
+
+
+# -- cost model ------------------------------------------------------------------
+
+def test_default_costs_paper_anchors():
+    """The constants that anchor Table 2 directly."""
+    assert DEFAULT_COSTS.clone_thread_ns == 9_500
+    assert DEFAULT_COSTS.fork_base_ns == 640_000
+    assert DEFAULT_COSTS.heap_scan_slot_ns > DEFAULT_COSTS.data_scan_slot_ns
+
+
+def test_costmodel_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_COSTS.rendezvous_ns = 1
+
+
+def test_counter_categories_and_listeners():
+    counter = CycleCounter()
+    seen = []
+    counter.add_listener(lambda ns, cat: seen.append((ns, cat)))
+    counter.charge(100, "cpu")
+    counter.charge(50, "syscall")
+    counter.charge(25, "cpu")
+    assert counter.total_ns == 175
+    assert counter.by_category == {"cpu": 125, "syscall": 50}
+    assert seen == [(100, "cpu"), (50, "syscall"), (25, "cpu")]
+    counter.remove_listener(counter.listeners[0])
+    counter.charge(1)
+    assert len(seen) == 3
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        CycleCounter().charge(-1)
+
+
+def test_counter_advances_attached_clock():
+    from repro.kernel.clock import VirtualClock
+    clock = VirtualClock()
+    counter = CycleCounter(clock=clock)
+    counter.charge(123)
+    assert clock.monotonic_ns == 123
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e6),
+                          st.sampled_from(["cpu", "libc", "syscall"])),
+                max_size=30))
+def test_counter_total_equals_category_sum(charges):
+    counter = CycleCounter()
+    for ns, category in charges:
+        counter.charge(ns, category)
+    assert counter.total_ns == pytest.approx(
+        sum(counter.by_category.values()))

@@ -1,0 +1,201 @@
+"""Unit tests for the paged address space and MMU checks."""
+
+import pytest
+
+from repro.errors import (
+    AlignmentFault,
+    ExecuteFault,
+    ProtectionKeyFault,
+    SegmentationFault,
+)
+from repro.machine import (
+    PAGE_SIZE,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+    AddressSpace,
+    page_align_down,
+    page_align_up,
+)
+from repro.machine.mpk import pkru_disable_access, pkru_disable_write
+
+
+def test_page_alignment_helpers():
+    assert page_align_down(0) == 0
+    assert page_align_down(PAGE_SIZE - 1) == 0
+    assert page_align_down(PAGE_SIZE) == PAGE_SIZE
+    assert page_align_up(1) == PAGE_SIZE
+    assert page_align_up(PAGE_SIZE) == PAGE_SIZE
+    assert page_align_up(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+
+def test_mmap_and_rw_roundtrip():
+    space = AddressSpace()
+    base = space.mmap(None, 100)  # rounded up to one page
+    space.write(base + 10, b"hello")
+    assert space.read(base + 10, 5) == b"hello"
+
+
+def test_mmap_fixed_address():
+    space = AddressSpace()
+    base = space.mmap(0x40_0000, PAGE_SIZE)
+    assert base == 0x40_0000
+    assert space.is_mapped(0x40_0000)
+    assert not space.is_mapped(0x40_0000 + PAGE_SIZE)
+
+
+def test_mmap_rejects_overlap_without_fixed():
+    space = AddressSpace()
+    space.mmap(0x40_0000, PAGE_SIZE)
+    with pytest.raises(SegmentationFault):
+        space.mmap(0x40_0000, PAGE_SIZE)
+
+
+def test_mmap_fixed_replaces_mapping():
+    space = AddressSpace()
+    base = space.mmap(0x40_0000, PAGE_SIZE)
+    space.write(base, b"x")
+    space.mmap(0x40_0000, PAGE_SIZE, fixed=True)
+    assert space.read(base, 1) == b"\x00"
+
+
+def test_read_unmapped_faults():
+    space = AddressSpace()
+    with pytest.raises(SegmentationFault):
+        space.read(0xDEAD_0000, 1)
+
+
+def test_write_crossing_page_boundary():
+    space = AddressSpace()
+    base = space.mmap(None, 2 * PAGE_SIZE)
+    data = bytes(range(64))
+    space.write(base + PAGE_SIZE - 32, data)
+    assert space.read(base + PAGE_SIZE - 32, 64) == data
+
+
+def test_write_to_readonly_page_faults():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE, prot=PROT_READ)
+    with pytest.raises(SegmentationFault):
+        space.write(base, b"x")
+
+
+def test_privileged_access_bypasses_permissions():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE, prot=PROT_NONE)
+    space.write(base, b"k", privileged=True)
+    assert space.read(base, 1, privileged=True) == b"k"
+
+
+def test_mprotect_changes_permissions():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE, prot=PROT_RW)
+    space.mprotect(base, PAGE_SIZE, PROT_READ)
+    with pytest.raises(SegmentationFault):
+        space.write(base, b"x")
+    assert space.read(base, 1) == b"\x00"
+
+
+def test_pkey_denies_read_and_write():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE)
+    space.pkey_mprotect(base, PAGE_SIZE, PROT_RW, pkey=3)
+
+    blocked = pkru_disable_access(0, 3)
+    with pytest.raises(ProtectionKeyFault):
+        space.read(base, 1, pkru=blocked)
+    with pytest.raises(ProtectionKeyFault):
+        space.write(base, b"x", pkru=blocked)
+    # a PKRU that only write-disables still allows reads
+    wd_only = pkru_disable_write(0, 3)
+    assert space.read(base, 1, pkru=wd_only) == b"\x00"
+    with pytest.raises(ProtectionKeyFault):
+        space.write(base, b"x", pkru=wd_only)
+
+
+def test_pkey_does_not_gate_instruction_fetch():
+    """XoM: exec-only page with access-disabled key is fetchable only."""
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE, prot=PROT_EXEC)
+    space.pkey_mprotect(base, PAGE_SIZE, PROT_EXEC, pkey=5)
+    blocked = pkru_disable_access(0, 5)
+    space.fetch_check(base)  # must not raise
+    with pytest.raises(SegmentationFault):
+        space.read(base, 1, pkru=blocked)
+
+
+def test_fetch_from_non_exec_page_faults():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE, prot=PROT_RW)
+    with pytest.raises(ExecuteFault):
+        space.fetch_check(base)
+
+
+def test_word_alignment_enforced():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE)
+    space.write_word(base + 8, 0x1122334455667788)
+    assert space.read_word(base + 8) == 0x1122334455667788
+    with pytest.raises(AlignmentFault):
+        space.read_word(base + 4)
+    with pytest.raises(AlignmentFault):
+        space.write_word(base + 1, 1)
+
+
+def test_read_cstring():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE)
+    space.write(base, b"GET /index.html\x00garbage")
+    assert space.read_cstring(base) == b"GET /index.html"
+
+
+def test_munmap_removes_pages():
+    space = AddressSpace()
+    base = space.mmap(None, 2 * PAGE_SIZE)
+    space.munmap(base, PAGE_SIZE)
+    with pytest.raises(SegmentationFault):
+        space.read(base, 1)
+    assert space.read(base + PAGE_SIZE, 1) == b"\x00"
+
+
+def test_mapped_regions_coalesce():
+    space = AddressSpace()
+    space.mmap(0x10_0000, 2 * PAGE_SIZE, prot=PROT_READ, tag="text")
+    space.mmap(0x10_0000 + 2 * PAGE_SIZE, PAGE_SIZE, prot=PROT_RW, tag="data")
+    regions = space.mapped_regions()
+    assert regions == [
+        (0x10_0000, 2 * PAGE_SIZE, PROT_READ, "text"),
+        (0x10_0000 + 2 * PAGE_SIZE, PAGE_SIZE, PROT_RW, "data"),
+    ]
+
+
+def test_resident_bytes_counts_pages():
+    space = AddressSpace()
+    space.mmap(None, 3 * PAGE_SIZE)
+    assert space.resident_bytes() == 3 * PAGE_SIZE
+
+
+def test_fork_into_deep_copies():
+    parent = AddressSpace("parent")
+    child = AddressSpace("child")
+    base = parent.mmap(None, PAGE_SIZE, tag="heap")
+    parent.write(base, b"orig")
+    parent.fork_into(child)
+    child.write(base, b"chld")
+    assert parent.read(base, 4) == b"orig"
+    assert child.read(base, 4) == b"chld"
+    assert child.page_at(base).tag == "heap"
+
+
+def test_observers_see_accesses():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE)
+    events = []
+    space.add_observer(lambda op, a, n, v: events.append((op, a, n)))
+    space.write(base, b"ab")
+    space.read(base, 2)
+    assert events == [("write", base, 2), ("read", base, 2)]
+    space.remove_observer(space._observers[0])
+    space.read(base, 2)
+    assert len(events) == 2

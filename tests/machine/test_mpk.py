@@ -1,0 +1,82 @@
+"""Unit tests for MPK/PKRU semantics and the pkey allocator."""
+
+import pytest
+
+from repro.machine.mpk import (
+    NUM_PKEYS,
+    PKEY_DEFAULT,
+    PKRU_ALLOW_ALL,
+    PkeyAllocator,
+    pkru_allows_read,
+    pkru_allows_write,
+    pkru_disable_access,
+    pkru_disable_write,
+    pkru_enable_all,
+)
+
+
+def test_allow_all_allows_everything():
+    for key in range(NUM_PKEYS):
+        assert pkru_allows_read(PKRU_ALLOW_ALL, key)
+        assert pkru_allows_write(PKRU_ALLOW_ALL, key)
+
+
+def test_access_disable_blocks_read_and_write():
+    pkru = pkru_disable_access(PKRU_ALLOW_ALL, 4)
+    assert not pkru_allows_read(pkru, 4)
+    assert not pkru_allows_write(pkru, 4)
+    # other keys untouched
+    assert pkru_allows_read(pkru, 3)
+    assert pkru_allows_write(pkru, 5)
+
+
+def test_write_disable_blocks_only_writes():
+    pkru = pkru_disable_write(PKRU_ALLOW_ALL, 7)
+    assert pkru_allows_read(pkru, 7)
+    assert not pkru_allows_write(pkru, 7)
+
+
+def test_enable_all_clears_both_bits():
+    pkru = pkru_disable_access(pkru_disable_write(0, 2), 2)
+    pkru = pkru_enable_all(pkru, 2)
+    assert pkru_allows_read(pkru, 2)
+    assert pkru_allows_write(pkru, 2)
+
+
+def test_bits_layout_matches_sdm():
+    """AD is bit 2k, WD is bit 2k+1 — the layout the SDM documents."""
+    assert pkru_disable_access(0, 0) == 0b01
+    assert pkru_disable_write(0, 0) == 0b10
+    assert pkru_disable_access(0, 1) == 0b0100
+    assert pkru_disable_write(0, 15) == 1 << 31
+
+
+def test_key_range_validated():
+    with pytest.raises(ValueError):
+        pkru_disable_access(0, NUM_PKEYS)
+    with pytest.raises(ValueError):
+        pkru_allows_read(0, -1)
+
+
+def test_allocator_hands_out_distinct_keys():
+    alloc = PkeyAllocator()
+    keys = {alloc.alloc() for _ in range(NUM_PKEYS - 1)}
+    assert len(keys) == NUM_PKEYS - 1
+    assert PKEY_DEFAULT not in keys
+    with pytest.raises(RuntimeError):
+        alloc.alloc()
+
+
+def test_allocator_free_and_reuse():
+    alloc = PkeyAllocator()
+    key = alloc.alloc()
+    alloc.free(key)
+    assert alloc.alloc() == key
+
+
+def test_allocator_guards():
+    alloc = PkeyAllocator()
+    with pytest.raises(ValueError):
+        alloc.free(PKEY_DEFAULT)
+    with pytest.raises(ValueError):
+        alloc.free(9)  # never allocated

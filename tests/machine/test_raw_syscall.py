@@ -1,0 +1,63 @@
+"""The raw SYSCALL instruction path: ISA code trapping into the kernel
+directly (no libc), via the Linux syscall-number table."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.kernel import SYSCALL_NUMBERS
+from repro.loader import ImageBuilder
+from repro.machine import Assembler
+from repro.process import GuestProcess, to_signed
+
+
+@pytest.fixture
+def process():
+    return GuestProcess(Kernel(), "raw")
+
+
+def test_raw_getpid(process):
+    builder = ImageBuilder("rawapp")
+    a = Assembler()
+    a.mov_ri("rax", SYSCALL_NUMBERS["getpid"])
+    a.syscall()
+    a.ret()
+    builder.add_isa_function("raw_getpid", a)
+    process.load_image(builder.build(), main=True)
+    assert process.call_function("raw_getpid") == process.pid
+
+
+def test_raw_mkdir_and_bad_number(process):
+    from repro.kernel.errno_codes import Errno
+    builder = ImageBuilder("rawapp")
+    a = Assembler()
+    a.lea("rdi", "dirname")
+    a.mov_ri("rsi", 0o755)
+    a.mov_ri("rax", SYSCALL_NUMBERS["mkdir"])
+    a.syscall()
+    a.ret()
+    builder.add_isa_function("raw_mkdir", a)
+    bad = Assembler()
+    bad.mov_ri("rax", 9999)
+    bad.syscall()
+    bad.ret()
+    builder.add_isa_function("raw_bad", bad)
+    builder.add_rodata("dirname", b"/tmp/rawdir\x00")
+    process.load_image(builder.build(), main=True)
+    assert process.call_function("raw_mkdir") == 0
+    assert process.kernel.vfs.is_dir("/tmp/rawdir")
+    assert to_signed(process.call_function("raw_bad")) == -Errno.ENOSYS
+
+
+def test_raw_syscalls_counted(process):
+    builder = ImageBuilder("rawapp")
+    a = Assembler()
+    a.mov_ri("rax", SYSCALL_NUMBERS["getpid"])
+    a.syscall()
+    a.mov_ri("rax", SYSCALL_NUMBERS["getpid"])   # rax held the pid
+    a.syscall()
+    a.ret()
+    builder.add_isa_function("raw_twice", a)
+    process.load_image(builder.build(), main=True)
+    before = process.kernel.syscall_count(process.pid)
+    process.call_function("raw_twice")
+    assert process.kernel.syscall_count(process.pid) == before + 2

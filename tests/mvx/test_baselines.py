@@ -1,0 +1,91 @@
+"""Tests for the whole-program MVX baselines."""
+
+import pytest
+
+from repro.apps import MinxServer
+from repro.kernel import Kernel
+from repro.mvx import PtraceMvx, ReMonMvx, spawn_duplicate
+from repro.workloads import ApacheBench
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def run_with(kernel, baseline_cls, requests=5):
+    server = MinxServer(kernel, port=8080 + (0 if baseline_cls else 1))
+    if baseline_cls is None:
+        server.start()
+        result = ApacheBench(kernel, server).run(requests)
+        return server, None, result
+    baseline = baseline_cls(server.process).attach()
+    server.start()
+    result = ApacheBench(kernel, server).run(requests)
+    baseline.detach()
+    return server, baseline, result
+
+
+def test_remon_intercepts_every_syscall(kernel):
+    server, remon, result = run_with(kernel, ReMonMvx)
+    assert result.status_counts == {200: 5}
+    assert remon.stats.intercepted == \
+        server.process.kernel.syscall_count(server.process.pid)
+    assert remon.stats.fast_path > remon.stats.slow_path > 0
+
+
+def test_remon_adds_overhead_but_less_than_naive_ptrace(kernel):
+    k1, k2, k3 = Kernel(), Kernel(), Kernel()
+    _, _, vanilla = run_with(k1, None)
+    _, remon, with_remon = run_with(k2, ReMonMvx)
+    _, ptrace, with_ptrace = run_with(k3, PtraceMvx)
+    assert vanilla.busy_per_request_ns < with_remon.busy_per_request_ns
+    assert with_remon.busy_per_request_ns < with_ptrace.busy_per_request_ns
+
+
+def test_whole_program_replication_doubles_cpu(kernel):
+    server, remon, result = run_with(kernel, ReMonMvx)
+    # the follower mirrors all leader work: total CPU ~ 2x the leader's
+    leader = server.process.counter.total_ns
+    total = remon.total_cpu_ns()
+    assert total == pytest.approx(2 * leader, rel=0.01)
+
+
+def test_duplicate_doubles_memory(kernel):
+    from repro.analysis.pmap import rss_kb
+    first = MinxServer(kernel, port=8080, name="minx-a")
+    first.start()
+    second = spawn_duplicate(MinxServer, kernel, port=9080, name="minx-b")
+    second.start()
+    rss_first = rss_kb(first.process)
+    rss_second = rss_kb(second.process)
+    assert rss_second == pytest.approx(rss_first, rel=0.05)
+    assert rss_first + rss_second > 1.9 * rss_first
+
+
+def test_smvx_replicates_less_cpu_than_full_mvx(kernel):
+    """The headline resource claim (§4.1): selective replication burns
+    less *follower* CPU than whole-program replication, relative to each
+    system's own leader."""
+    k_smvx, k_remon = Kernel(), Kernel()
+    smvx_server = MinxServer(k_smvx, smvx=True,
+                             protect="minx_http_process_request_line")
+    smvx_server.start()
+    ApacheBench(k_smvx, smvx_server).run(5)
+
+    remon_server = MinxServer(k_remon)
+    remon = ReMonMvx(remon_server.process).attach()
+    remon_server.start()
+    ApacheBench(k_remon, remon_server).run(5)
+    remon.detach()
+
+    # whole-program MVX: the follower mirrors the leader completely
+    remon_replication = (remon.follower_counter.total_ns
+                         / remon_server.process.counter.total_ns)
+    # sMVX: the follower only executed the protected subtree
+    smvx_leader = smvx_server.process.counter.total_ns
+    smvx_follower = smvx_server.process._retired_follower_ns
+    smvx_replication = smvx_follower / smvx_leader
+    assert remon_replication == pytest.approx(1.0, rel=0.01)
+    assert 0.0 < smvx_replication < 0.8
+    assert smvx_replication < remon_replication

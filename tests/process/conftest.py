@@ -1,0 +1,19 @@
+"""Fixtures: a kernel + a process with libc loaded."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.libc import build_libc_image
+from repro.process import GuestProcess
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def process(kernel):
+    proc = GuestProcess(kernel, "testproc")
+    proc.load_image(build_libc_image(), tag="libc")
+    return proc

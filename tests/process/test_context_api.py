@@ -1,0 +1,139 @@
+"""Coverage of the remaining GuestContext / GuestProcess API surface."""
+
+import pytest
+
+from repro.errors import MachineFault
+from repro.kernel import Kernel
+from repro.libc import build_libc_image
+from repro.loader import ImageBuilder
+from repro.machine.cpu import HOST_RETURN_ADDRESS
+from repro.process import GuestProcess, to_signed, to_unsigned
+
+
+@pytest.fixture
+def process():
+    proc = GuestProcess(Kernel(), "ctxapi")
+    proc.load_image(build_libc_image(), tag="libc")
+    return proc
+
+
+def install(process, *functions, rodata=()):
+    builder = ImageBuilder("ctxapp")
+    builder.import_libc("strlen")
+    for name, fn, arity in functions:
+        builder.add_hl_function(name, fn, arity)
+    for name, content in rodata:
+        builder.add_rodata(name, content)
+    return process.load_image(builder.build(), main=True)
+
+
+def test_signed_helpers_roundtrip():
+    assert to_signed(to_unsigned(-1)) == -1
+    assert to_signed(5) == 5
+    assert to_unsigned(-2) == (1 << 64) - 2
+    assert to_signed((1 << 63)) == -(1 << 63)
+
+
+def test_push_and_guest_stack_discipline(process):
+    def pusher(ctx):
+        before = ctx.regs.get("rsp")
+        ctx.push(0xCAFE)
+        after = ctx.regs.get("rsp")
+        assert before - after == 8
+        assert ctx.read_word(after) == 0xCAFE
+        return 1
+    install(process, ("pusher", pusher, 0))
+    assert process.call_function("pusher") == 1
+
+
+def test_scratch_alias(process):
+    def user(ctx):
+        a = ctx.scratch(32)
+        b = ctx.stack_alloc(32)
+        assert a - b == 32
+        return 1
+    install(process, ("user", user, 0))
+    assert process.call_function("user") == 1
+
+
+def test_write_words_masks_to_64_bits(process):
+    def writer(ctx):
+        buf = ctx.stack_alloc(16)
+        ctx.write_words(buf, [-1, 1 << 65])
+        assert ctx.read_word(buf) == (1 << 64) - 1
+        assert ctx.read_word(buf + 8) == 0
+        return 1
+    install(process, ("writer", writer, 0))
+    assert process.call_function("writer") == 1
+
+
+def test_symbol_falls_back_to_global_exports(process):
+    def resolver(ctx):
+        # "strlen" lives in libc, not this image: global fallback
+        return ctx.symbol("strlen")
+    install(process, ("resolver", resolver, 0))
+    assert process.call_function("resolver") == process.resolve("strlen")
+
+
+def test_ctx_fault_raises_machine_fault(process):
+    def aborter(ctx):
+        ctx.fault("guest assertion failed")
+    install(process, ("aborter", aborter, 0))
+    with pytest.raises(MachineFault, match="guest assertion"):
+        process.call_function("aborter")
+
+
+def test_guest_call_masks_arguments(process):
+    def echo(ctx, a):
+        return a
+    install(process, ("echo", echo, 1))
+    assert process.call_function("echo", -1) == (1 << 64) - 1
+
+
+def test_deep_nested_guest_calls_use_unique_sentinels(process):
+    def leaf(ctx, n):
+        return n
+
+    def recurse(ctx, n):
+        if to_signed(n) <= 0:
+            return ctx.call("leaf", 99)
+        return ctx.call("recurse", n - 1) + 1
+    install(process, ("leaf", leaf, 1), ("recurse", recurse, 1))
+    assert process.call_function("recurse", 20) == 119
+
+
+def test_call_function_explicit_thread(process):
+    def whoami(ctx):
+        return 1 if ctx.thread.name == "aux" else 0
+    install(process, ("whoami", whoami, 0))
+    process.main_thread()                  # materialize "main" first
+    aux = process.create_thread("aux")
+    assert process.call_function("whoami", thread=aux) == 1
+    assert process.call_function("whoami") == 0
+
+
+def test_total_cpu_includes_retired_followers(process):
+    base = process.total_cpu_ns()
+    process._retired_follower_ns += 1234.0
+    assert process.total_cpu_ns() == pytest.approx(base + 1234.0)
+
+
+def test_host_return_sentinel_not_mapped(process):
+    assert not process.space.is_mapped(HOST_RETURN_ADDRESS)
+
+
+def test_resident_kb(process):
+    assert process.resident_kb() == process.space.resident_bytes() / 1024
+
+
+def test_read_words_and_cstring_limits(process):
+    from repro.errors import SegmentationFault
+
+    def prober(ctx):
+        buf = ctx.stack_alloc(32)
+        ctx.write(buf, b"\xFF" * 32)       # no NUL anywhere nearby is fine
+        ctx.write_cstring(buf, b"ok")
+        assert ctx.read_cstring(buf) == b"ok"
+        return 1
+    install(process, ("prober", prober, 0))
+    assert process.call_function("prober") == 1

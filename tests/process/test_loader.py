@@ -1,0 +1,207 @@
+"""Tests for image building, loading, linking, and the profile tool."""
+
+import pytest
+
+from repro.errors import ImageError, SymbolNotFound
+from repro.kernel import Kernel
+from repro.libc import build_libc_image
+from repro.loader import ImageBuilder, Loader, generate_profile
+from repro.loader.profile_tool import (
+    BinaryProfile,
+    read_profile,
+    write_profile,
+)
+from repro.machine import Assembler, AddressSpace, PAGE_SIZE
+from repro.machine.isa import INSTR_SIZE
+from repro.process import GuestProcess
+
+
+def build_tiny_image(name="tiny"):
+    builder = ImageBuilder(name)
+
+    a = Assembler()
+    a.mov_ri("rax", 7)
+    a.ret()
+    builder.add_isa_function("seven", a)
+
+    def forty_two(ctx):
+        return 42
+    builder.add_hl_function("forty_two", forty_two, 0)
+
+    builder.add_rodata("greeting", b"hello\x00")
+    builder.add_data("counter", (5).to_bytes(8, "little"))
+    builder.add_bss("buffer", 256)
+    builder.add_data_pointer("fn_ptr", "seven")
+    builder.add_pointer_table("handlers", ["seven", "forty_two"])
+    return builder.build()
+
+
+def test_section_layout_is_page_aligned():
+    image = build_tiny_image()
+    for section, offset, _size in image.section_layout():
+        assert offset % PAGE_SIZE == 0
+
+
+def test_symbols_present():
+    image = build_tiny_image()
+    assert image.symbol("seven").section == ".text"
+    assert image.symbol("greeting").section == ".rodata"
+    assert image.symbol("buffer").section == ".bss"
+    with pytest.raises(SymbolNotFound):
+        image.symbol("nope")
+
+
+def test_load_and_call_isa_and_hl(kernel):
+    proc = GuestProcess(kernel, "p")
+    proc.load_image(build_tiny_image())
+    assert proc.call_function("seven") == 7
+    assert proc.call_function("forty_two") == 42
+
+
+def test_load_applies_data_relocations(kernel):
+    proc = GuestProcess(kernel, "p")
+    loaded = proc.load_image(build_tiny_image())
+    fn_ptr_addr = loaded.symbol_address("fn_ptr")
+    target = proc.space.read_word(fn_ptr_addr, privileged=True)
+    assert target == loaded.symbol_address("seven")
+    handlers = loaded.symbol_address("handlers")
+    assert proc.space.read_word(handlers + 8, privileged=True) == \
+        loaded.symbol_address("forty_two")
+
+
+def test_function_pointer_call_through_data(kernel):
+    """Calling through a relocated pointer exercises the exact mechanism
+    the sMVX relocator must keep working in the follower."""
+    proc = GuestProcess(kernel, "p")
+    loaded = proc.load_image(build_tiny_image())
+    fn_ptr_addr = loaded.symbol_address("fn_ptr")
+    target = proc.space.read_word(fn_ptr_addr, privileged=True)
+    assert proc.guest_call(proc.main_thread(), target) == 7
+
+
+def test_pie_load_at_two_bases_gives_same_behaviour(kernel):
+    image = build_tiny_image()
+    p1 = GuestProcess(kernel, "p1")
+    p2 = GuestProcess(kernel, "p2")
+    l1 = p1.load_image(image, base=0x5555_0000_0000)
+    l2 = p2.load_image(image, base=0x1234_5600_0000)
+    assert l1.base != l2.base
+    assert p1.call_function("seven") == p2.call_function("seven") == 7
+    assert p1.call_function("forty_two") == 42
+    assert p2.call_function("forty_two") == 42
+
+
+def test_text_pages_are_not_writable_by_guest(kernel):
+    from repro.errors import SegmentationFault
+    proc = GuestProcess(kernel, "p")
+    loaded = proc.load_image(build_tiny_image())
+    with pytest.raises(SegmentationFault):
+        proc.space.write(loaded.symbol_address("seven"), b"\x00")
+
+
+def test_unresolved_import_fails_loudly():
+    builder = ImageBuilder("needy")
+    builder.import_libc("write")
+
+    def main(ctx):
+        return 0
+    builder.add_hl_function("main", main, 0)
+    image = builder.build()
+    space = AddressSpace()
+    loader = Loader(space)
+    with pytest.raises(ImageError):
+        loader.load(image)
+
+
+def test_plt_call_reaches_libc(kernel, process):
+    builder = ImageBuilder("app")
+    builder.import_libc("getpid", "strlen")
+    builder.add_rodata("msg", b"four\x00")
+
+    def main(ctx):
+        return ctx.libc("strlen", ctx.symbol("msg"))
+    builder.add_hl_function("main", main, 0)
+    process.load_image(builder.build(), main=True)
+    assert process.call_function("main") == 4
+
+
+def test_isa_code_calls_plt(kernel, process):
+    """An ISA function calling through the PLT — the path a ROP gadget
+    chain uses to reach mkdir."""
+    builder = ImageBuilder("app")
+    builder.import_libc("getpid")
+    a = Assembler()
+    a.call("getpid@plt")
+    a.ret()
+    builder.add_isa_function("call_getpid", a)
+    process.load_image(builder.build())
+    assert process.call_function("call_getpid") == process.pid
+
+
+def test_function_at_maps_addresses(kernel):
+    proc = GuestProcess(kernel, "p")
+    loaded = proc.load_image(build_tiny_image())
+    addr = loaded.symbol_address("seven")
+    found = proc.function_at(addr + INSTR_SIZE)
+    assert found is not None
+    assert found[1].name == "seven"
+    assert proc.function_at(0xDEAD_BEEF_0000) is None
+
+
+def test_got_patching_roundtrip(kernel, process):
+    builder = ImageBuilder("app")
+    builder.import_libc("getpid")
+
+    def main(ctx):
+        return ctx.libc("getpid")
+    builder.add_hl_function("main", main, 0)
+    loaded = process.load_image(builder.build())
+    original = process.loader.read_got_slot(loaded, "getpid")
+    assert original == process.resolve("getpid")
+    # divert to another function, then restore
+    other = process.resolve("strlen") if process.loader._exports.get(
+        "strlen") else original
+    old = process.loader.patch_got_slot(loaded, "getpid", other)
+    assert old == original
+    process.loader.patch_got_slot(loaded, "getpid", original)
+    assert process.call_function("main") == process.pid
+
+
+# -- profile tool ---------------------------------------------------------------
+
+def test_profile_contains_sections_and_symbols():
+    image = build_tiny_image()
+    profile = generate_profile(image)
+    for section in (".text", ".data", ".bss", ".plt", ".got.plt"):
+        assert section in profile.sections
+    assert "seven" in profile.symbols
+    assert "forty_two" in profile.function_names()
+    assert "greeting" not in profile.function_names()
+
+
+def test_profile_roundtrip_through_tmp_file():
+    kernel = Kernel()
+    image = build_tiny_image()
+    path = write_profile(kernel.vfs, image)
+    assert path == "/tmp/tiny.profile"
+    parsed = read_profile(kernel.vfs, path)
+    original = generate_profile(image)
+    assert parsed.sections == original.sections
+    assert parsed.symbols == original.symbols
+
+
+def test_profile_symbol_offset_matches_loader():
+    kernel = Kernel()
+    proc = GuestProcess(kernel, "p")
+    image = build_tiny_image()
+    loaded = proc.load_image(image)
+    profile = generate_profile(image)
+    assert (loaded.base + profile.symbol_offset_from_base("seven")
+            == loaded.symbol_address("seven"))
+
+
+def test_profile_parse_rejects_garbage():
+    with pytest.raises(ImageError):
+        BinaryProfile.parse("not a profile\n")
+    with pytest.raises(ImageError):
+        BinaryProfile.parse("")

@@ -1,0 +1,204 @@
+"""Tests for the taint engine, the report pipeline, and auth-diff."""
+
+import pytest
+
+from repro.apps.minx import MinxServer
+from repro.kernel import Kernel
+from repro.machine import AddressSpace, PAGE_SIZE
+from repro.taint import TaintEngine, first_divergent_function, trace_diff
+from repro.taint.authdiff import collect_trace
+from repro.taint.report import build_report
+from repro.workloads import ApacheBench, UrlFuzzer
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def server(kernel):
+    server = MinxServer(kernel)
+    server.start()
+    return server
+
+
+def send_and_pump(kernel, server, raw: bytes) -> bytes:
+    sock = kernel.network.connect(server.port)
+    sock.send(raw)
+    server.pump()
+    out = b""
+    while True:
+        chunk = sock.recv_wait(8192)
+        if isinstance(chunk, int) or chunk == b"":
+            break
+        out += chunk
+    sock.close()
+    server.pump()
+    return out
+
+
+# -- engine basics ------------------------------------------------------------------
+
+def test_socket_input_is_taint_source(kernel, server):
+    engine = TaintEngine(server.process).attach()
+    send_and_pump(kernel, server,
+                  b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+    engine.detach()
+    assert engine.source_bytes > 0
+    assert engine.tainted_count() > 0
+
+
+def test_tainted_reads_record_app_functions(kernel, server):
+    engine = TaintEngine(server.process).attach()
+    send_and_pump(kernel, server,
+                  b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+    engine.detach()
+    report = build_report(engine, server.loaded)
+    # the request path functions that touch network bytes
+    assert "minx_http_process_request_line" in report.sensitive_functions
+    assert "minx_http_wait_request_handler" in report.sensitive_functions
+    # functions that never see input data are not flagged
+    assert "minx_event_accept" not in report.sensitive_functions
+    assert "minx_main" not in report.sensitive_functions
+
+
+def test_report_filters_to_target_text(kernel, server):
+    engine = TaintEngine(server.process).attach()
+    send_and_pump(kernel, server,
+                  b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+    engine.detach()
+    # libc touches tainted bytes too (strlen etc.) but the report keeps
+    # only the application's .text, like the paper's filtering step
+    report = build_report(engine, server.loaded)
+    assert all(name.startswith("minx") for name in
+               report.sensitive_functions)
+
+
+def test_propagation_through_copy():
+    """memcpy-style: a copy of tainted bytes is tainted at the new site."""
+    from repro.machine.costs import CycleCounter
+
+    class Dummy:
+        pass
+
+    from repro.kernel import Kernel as K
+    from repro.process import GuestProcess
+    kernel = K()
+    proc = GuestProcess(kernel, "t")
+    engine = TaintEngine(proc).attach()
+    src = proc.space.mmap(None, PAGE_SIZE)
+    dst = proc.space.mmap(None, PAGE_SIZE)
+    # mark source bytes tainted via the source hook
+    proc.space.write(src, b"tainted-token", privileged=True)
+    engine._on_io(proc, src, 13, "socket")
+    # a guest-level copy: read then write the same bytes
+    data = proc.space.read(src, 13)
+    proc.space.write(dst, data)
+    assert engine.is_tainted(dst, 13)
+    engine.detach()
+
+
+def test_propagation_through_substring():
+    from repro.kernel import Kernel as K
+    from repro.process import GuestProcess
+    kernel = K()
+    proc = GuestProcess(kernel, "t")
+    engine = TaintEngine(proc).attach()
+    src = proc.space.mmap(None, PAGE_SIZE)
+    dst = proc.space.mmap(None, PAGE_SIZE)
+    proc.space.write(src, b"GET /secret/path HTTP/1.1", privileged=True)
+    engine._on_io(proc, src, 26, "socket")
+    data = proc.space.read(src, 26)
+    proc.space.write(dst, data[4:16])        # extract the URI token
+    assert engine.is_tainted(dst, 12)
+    engine.detach()
+
+
+def test_overwrite_clears_taint():
+    from repro.kernel import Kernel as K
+    from repro.process import GuestProcess
+    proc = GuestProcess(K(), "t")
+    engine = TaintEngine(proc).attach()
+    buf = proc.space.mmap(None, PAGE_SIZE)
+    engine._on_io(proc, buf, 8, "socket")
+    assert engine.is_tainted(buf, 8)
+    proc.space.write(buf, b"\x00" * 8)       # clean constant data
+    assert not engine.is_tainted(buf, 8)
+    engine.detach()
+
+
+# -- coverage growth (Figure 9 shape) -------------------------------------------------
+
+def test_fuzzing_finds_more_functions_than_ab(kernel, server):
+    engine = TaintEngine(server.process).attach()
+    ApacheBench(kernel, server).run(5)
+    ab_count = build_report(engine, server.loaded).count
+    assert ab_count >= 3
+
+    fuzzer = UrlFuzzer(seed=7)
+    for method, path, body in fuzzer.batch(40):
+        raw = fuzzer.request_bytes(method, path, body)
+        send_and_pump(kernel, server, raw)
+    fuzz_count = build_report(engine, server.loaded).count
+    engine.detach()
+    assert fuzz_count > ab_count             # coverage grows with fuzzing
+
+
+# -- auth discovery --------------------------------------------------------------------
+
+def test_auth_diff_finds_auth_function(kernel, server):
+    def login(secret):
+        def do():
+            send_and_pump(
+                kernel, server,
+                b"GET /admin HTTP/1.1\r\nHost: x\r\n"
+                b"Authorization: " + secret + b"\r\n\r\n")
+        return do
+
+    good = collect_trace(server.process, login(b"secret123"))
+    bad = collect_trace(server.process, login(b"wrong-pass"))
+    assert trace_diff(good, bad)             # the traces do diverge
+    assert first_divergent_function(good, bad) == "minx_http_auth_basic"
+
+
+def test_auth_endpoint_behaviour(kernel, server):
+    ok = send_and_pump(kernel, server,
+                       b"GET /admin HTTP/1.1\r\nHost: x\r\n"
+                       b"Authorization: secret123\r\n\r\n")
+    assert ok.startswith(b"HTTP/1.1 200")
+    assert b"minx admin" in ok
+    denied = send_and_pump(kernel, server,
+                           b"GET /admin HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert denied.startswith(b"HTTP/1.1 403")
+
+
+def test_trace_diff_identical_traces():
+    trace = [(1, "a"), (2, "b")]
+    assert trace_diff(trace, trace) == []
+    assert first_divergent_function(trace, trace) is None
+
+
+def test_littled_taint_candidates(kernel):
+    """The taint pipeline works on the second server too: littled's
+    request-path functions are flagged, its init is not."""
+    from repro.apps.littled import LittledServer
+    server = LittledServer(kernel, port=8099)
+    server.start()
+    engine = TaintEngine(server.process).attach()
+    ApacheBench(kernel, server).run(5)
+    engine.detach()
+    report = build_report(engine, server.loaded)
+    assert "littled_http_request_parse" in report.sensitive_functions
+    assert "littled_main" not in report.sensitive_functions
+
+
+def test_report_dump_format(kernel, server):
+    engine = TaintEngine(server.process).attach()
+    ApacheBench(kernel, server).run(3)
+    engine.detach()
+    report = build_report(engine, server.loaded)
+    dump = report.dump_function_names()
+    assert dump.startswith("# sensitive-function candidates for minx")
+    for name in report.sensitive_functions:
+        assert name in dump

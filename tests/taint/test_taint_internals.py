@@ -1,0 +1,109 @@
+"""Internals of the taint engine and auth-diff helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Kernel
+from repro.machine import PAGE_SIZE
+from repro.process import GuestProcess
+from repro.taint import TaintEngine, first_divergent_function, trace_diff
+from repro.taint.engine import _MAX_MATCH_LEN, _RECENT_WINDOW
+
+
+@pytest.fixture
+def rig():
+    proc = GuestProcess(Kernel(), "ti")
+    engine = TaintEngine(proc).attach()
+    yield proc, engine
+    engine.detach()
+
+
+def test_recent_window_is_bounded(rig):
+    proc, engine = rig
+    src = proc.space.mmap(None, PAGE_SIZE)
+    engine._on_io(proc, src, 256, "socket")
+    for _ in range(_RECENT_WINDOW * 2):
+        proc.space.read(src, 16)
+    assert len(engine._recent) <= _RECENT_WINDOW
+
+
+def test_giant_accesses_skipped(rig):
+    proc, engine = rig
+    big = proc.space.mmap(None, 8 * PAGE_SIZE)
+    engine._on_io(proc, big, _MAX_MATCH_LEN + 1, "socket")
+    # reading more than the match cap doesn't enter the window
+    proc.space.read(big, _MAX_MATCH_LEN + 1)
+    assert not engine._recent
+
+
+def test_non_socket_io_not_a_source(rig):
+    proc, engine = rig
+    buf = proc.space.mmap(None, PAGE_SIZE)
+    engine._on_io(proc, buf, 32, "file")
+    assert engine.tainted_count() == 0
+
+
+def test_other_process_io_ignored(rig):
+    proc, engine = rig
+    other = GuestProcess(proc.kernel, "other")
+    buf = other.space.mmap(None, PAGE_SIZE)
+    engine._on_io(other, buf, 32, "socket")
+    assert engine.tainted_count() == 0
+
+
+def test_clean_write_does_not_propagate(rig):
+    proc, engine = rig
+    src = proc.space.mmap(None, PAGE_SIZE)
+    dst = proc.space.mmap(None, PAGE_SIZE)
+    proc.space.write(src, b"tainted-bytes!!!", privileged=True)
+    engine._on_io(proc, src, 16, "socket")
+    proc.space.read(src, 16)
+    proc.space.write(dst, b"unrelated-cnsts!")     # different content
+    assert not engine.is_tainted(dst, 16)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=4, max_size=64),
+       st.integers(min_value=0, max_value=60))
+def test_property_copy_always_propagates(data, offset):
+    """Any full copy of a tainted read is tainted, whatever the bytes."""
+    proc = GuestProcess(Kernel(), "tp")
+    engine = TaintEngine(proc).attach()
+    try:
+        src = proc.space.mmap(None, PAGE_SIZE)
+        dst = proc.space.mmap(None, PAGE_SIZE)
+        proc.space.write(src, data, privileged=True)
+        engine._on_io(proc, src, len(data), "socket")
+        copied = proc.space.read(src, len(data))
+        proc.space.write(dst + (offset & ~7), copied)
+        assert engine.is_tainted(dst + (offset & ~7), len(data))
+    finally:
+        engine.detach()
+
+
+# -- trace diff --------------------------------------------------------------------
+
+def test_trace_diff_positions():
+    a = [(1, "m"), (2, "x"), (2, "y")]
+    b = [(1, "m"), (2, "x"), (2, "z"), (2, "w")]
+    diffs = trace_diff(a, b)
+    assert diffs[0][0] == 2
+    assert diffs[0][1] == (2, "y") and diffs[0][2] == (2, "z")
+    assert diffs[-1][1] == (0, "<end>")
+
+
+def test_first_divergent_walks_to_enclosing_frame():
+    success = [(1, "main"), (2, "auth"), (3, "strcmp"), (3, "grant")]
+    failure = [(1, "main"), (2, "auth"), (3, "strcmp"), (3, "deny")]
+    assert first_divergent_function(success, failure) == "auth"
+
+
+def test_first_divergent_at_root():
+    assert first_divergent_function([(1, "a")], [(1, "b")]) == "a"
+    assert first_divergent_function([], []) is None
+
+
+def test_first_divergent_on_truncated_trace():
+    success = [(1, "main"), (2, "work")]
+    failure = [(1, "main")]
+    assert first_divergent_function(success, failure) == "main"

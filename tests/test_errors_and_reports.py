@@ -1,0 +1,75 @@
+"""Tests for the error hierarchy and divergence-report surfaces."""
+
+import pytest
+
+from repro.core.divergence import (
+    AlarmLog,
+    CallRecord,
+    DivergenceKind,
+    DivergenceReport,
+)
+from repro.errors import (
+    AlignmentFault,
+    ExecuteFault,
+    MachineFault,
+    MvxDivergence,
+    MvxError,
+    ProtectionKeyFault,
+    ReproError,
+    SegmentationFault,
+)
+
+
+def test_fault_hierarchy():
+    assert issubclass(SegmentationFault, MachineFault)
+    assert issubclass(ProtectionKeyFault, SegmentationFault)
+    assert issubclass(ExecuteFault, SegmentationFault)
+    assert issubclass(AlignmentFault, MachineFault)
+    assert issubclass(MachineFault, ReproError)
+    assert issubclass(MvxDivergence, MvxError)
+
+
+def test_fault_carries_address():
+    fault = SegmentationFault("boom", 0xDEAD0000)
+    assert fault.address == 0xDEAD0000
+    assert "boom" in str(fault)
+
+
+def test_pkey_fault_is_catchable_as_segfault():
+    try:
+        raise ProtectionKeyFault("pkey denied", 0x1000)
+    except SegmentationFault as caught:
+        assert caught.address == 0x1000
+
+
+def test_divergence_report_str():
+    report = DivergenceReport(DivergenceKind.ARGUMENT, 3, "read",
+                              "scalar args differ")
+    text = str(report)
+    assert "scalar argument mismatch" in text
+    assert "call=read" in text
+    assert "seq=3" in text
+    assert "scalar args differ" in text
+
+
+def test_mvx_divergence_wraps_report():
+    report = DivergenceReport(DivergenceKind.FOLLOWER_FAULT, detail="x")
+    exc = MvxDivergence(report)
+    assert exc.report is report
+    assert "follower variant faulted" in str(exc)
+
+
+def test_alarm_log():
+    log = AlarmLog()
+    assert not log.triggered
+    log.raise_alarm(DivergenceReport(DivergenceKind.RETVAL))
+    assert log.triggered and len(log.alarms) == 1
+    log.clear()
+    assert not log.triggered
+
+
+def test_call_record_scalar_extraction():
+    record = CallRecord(1, "recv", (3, 0xAAAA, 64, 0), "leader")
+    assert record.scalar_args((1,)) == (3, 64, 0)
+    assert record.scalar_args(()) == (3, 0xAAAA, 64, 0)
+    assert record.scalar_args((0, 1, 2, 3)) == ()
