@@ -48,13 +48,23 @@ class DivergenceReport:
     detail: str = ""
     leader: Optional[CallRecord] = None
     follower: Optional[CallRecord] = None
+    #: guest task (thread) id observed at detection time; -1 if unknown.
+    task_id: int = -1
+    #: guest program counter at detection time; -1 if unknown.  For a
+    #: follower fault this is the faulting address (e.g. the leader-space
+    #: gadget the CVE-2013-2028 chain jumped to).
+    guest_pc: int = -1
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
+    def __str__(self) -> str:
         parts = [self.kind.value]
         if self.libc_name:
             parts.append(f"call={self.libc_name}")
         if self.seq >= 0:
             parts.append(f"seq={self.seq}")
+        if self.task_id >= 0:
+            parts.append(f"task={self.task_id}")
+        if self.guest_pc >= 0:
+            parts.append(f"pc={self.guest_pc:#x}")
         if self.detail:
             parts.append(self.detail)
         return " | ".join(parts)
@@ -84,9 +94,14 @@ class AlarmLog:
     'trigger an alarm' channel; tests and benches read it)."""
 
     alarms: List[DivergenceReport] = field(default_factory=list)
+    #: observers fn(report) notified on every alarm — the flight recorder
+    #: snapshots a divergence capsule from here.
+    listeners: List = field(default_factory=list)
 
     def raise_alarm(self, report: DivergenceReport) -> None:
         self.alarms.append(report)
+        for listener in self.listeners:
+            listener(report)
 
     @property
     def triggered(self) -> bool:

@@ -58,6 +58,11 @@ class VariantStatus:
     done: bool = False
     fault: Optional[str] = None
     calls_made: int = 0
+    #: guest PC at the fault (e.g. the unmapped gadget address); -1 if
+    #: not applicable.
+    fault_pc: int = -1
+    #: guest task id of the faulting variant thread; -1 if unknown.
+    fault_task: int = -1
 
 
 class LockstepTimeout(MvxError):
@@ -120,7 +125,8 @@ class LockstepChannel:
                     kind, record.seq, record.name,
                     status.fault or
                     f"follower returned after {status.calls_made} calls; "
-                    f"leader issued call #{record.seq} ({record.name})")
+                    f"leader issued call #{record.seq} ({record.name})",
+                    task_id=status.fault_task, guest_pc=status.fault_pc)
                 self._flag_divergence(report)
                 raise MvxDivergence(report)
             follower_record = self._pending[FOLLOWER]
@@ -201,11 +207,14 @@ class LockstepChannel:
         with self._cond:
             self._flag_divergence(report)
 
-    def follower_finish(self, fault: Optional[str] = None) -> None:
+    def follower_finish(self, fault: Optional[str] = None,
+                        fault_pc: int = -1, fault_task: int = -1) -> None:
         with self._cond:
             status = self.status[FOLLOWER]
             status.done = True
             status.fault = fault
+            status.fault_pc = fault_pc
+            status.fault_task = fault_task
             self._give_baton(LEADER)
 
 

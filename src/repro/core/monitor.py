@@ -22,7 +22,7 @@ At runtime the monitor implements the ``mvx_init``/``mvx_start``/
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.divergence import (
@@ -129,6 +129,9 @@ class SmvxMonitor:
         self._libc_loaded: Optional[LoadedImage] = None
         self._region_lock = threading.Lock()
         self.last_variant_report = None
+        #: flight-recorder taps: fn(variant, record) at every lockstep
+        #: rendezvous ("leader"/"follower" announce).
+        self.call_taps: List = []
 
     # ------------------------------------------------------------------
     # setup (the LD_PRELOAD constructor)
@@ -307,7 +310,9 @@ class SmvxMonitor:
         except MachineFault as fault:
             channel.follower_finish(
                 fault=f"{type(fault).__name__}: {fault} "
-                      f"(address {fault.address:#x})")
+                      f"(address {fault.address:#x})",
+                fault_pc=getattr(fault, "address", -1) or -1,
+                fault_task=variant.thread.tid)
             return
         except LockstepTimeout as timeout:
             channel.follower_finish(fault=f"lockstep timeout: {timeout}")
@@ -327,7 +332,8 @@ class SmvxMonitor:
             raise
         if status.fault:
             report = DivergenceReport(
-                DivergenceKind.FOLLOWER_FAULT, detail=status.fault)
+                DivergenceKind.FOLLOWER_FAULT, detail=status.fault,
+                task_id=status.fault_task, guest_pc=status.fault_pc)
             self._teardown_region(alarm=report)
             raise MvxDivergence(report)
         self._teardown_region()
@@ -439,6 +445,8 @@ class SmvxMonitor:
         record = CallRecord(region.leader_seq, name, tuple(args), LEADER)
         self.stats.leader_calls += 1
         self.process.charge(self.costs.rendezvous_ns, "smvx-rendezvous")
+        for tap in self.call_taps:
+            tap(LEADER, record)
 
         try:
             follower_record = region.channel.leader_announce(record)
@@ -448,6 +456,8 @@ class SmvxMonitor:
 
         report = compare_calls(record, follower_record, spec.pointer_args)
         if report is not None:
+            report = replace(report, task_id=thread.tid,
+                             guest_pc=thread.state.regs.rip)
             region.channel.leader_abort(report)
             self._teardown_region(alarm=report)
             raise MvxDivergence(report)
@@ -546,6 +556,8 @@ class SmvxMonitor:
         region.follower_seq += 1
         record = CallRecord(region.follower_seq, name, tuple(args), FOLLOWER)
         self.stats.follower_calls += 1
+        for tap in self.call_taps:
+            tap(FOLLOWER, record)
         # follower-side wait burns its own core, not wall time (the wall
         # cost of the rendezvous is charged once, on the leader side)
         thread.counter.charge(self.costs.rendezvous_ns, "smvx-rendezvous")
@@ -560,7 +572,8 @@ class SmvxMonitor:
                 report = DivergenceReport(
                     DivergenceKind.RETVAL, record.seq, name,
                     f"local call returned {mine:#x} in the follower vs "
-                    f"{result.retval:#x} in the leader")
+                    f"{result.retval:#x} in the leader",
+                    task_id=thread.tid, guest_pc=thread.state.regs.rip)
                 region.channel.follower_abort(report)
                 raise MvxDivergence(report)
             return mine

@@ -81,6 +81,10 @@ class VirtualClock:
     def __init__(self, epoch_s: int = DEFAULT_EPOCH_S):
         self.epoch_s = epoch_s
         self._mono_ns = 0
+        #: optional observer of time *reads*: fn(kind, value) — the
+        #: flight recorder (repro.trace) verifies on replay that the
+        #: guest observed an identical stream of clock values.
+        self.read_hook = None
 
     # -- advancing -----------------------------------------------------------
 
@@ -106,12 +110,17 @@ class VirtualClock:
     def gettimeofday(self):
         """Return ``(tv_sec, tv_usec)``."""
         total_usec = int(self.wall_ns // 1000)
-        return total_usec // USEC_PER_SEC, total_usec % USEC_PER_SEC
+        result = total_usec // USEC_PER_SEC, total_usec % USEC_PER_SEC
+        if self.read_hook is not None:
+            self.read_hook("gettimeofday", result)
+        return result
 
     def localtime(self, epoch_seconds=None) -> TmStruct:
         """Break an epoch timestamp into civil time (UTC; no DST model)."""
         if epoch_seconds is None:
             epoch_seconds = int(self.wall_ns // NSEC_PER_SEC)
+        if self.read_hook is not None:
+            self.read_hook("localtime", int(epoch_seconds))
         days, rem = divmod(int(epoch_seconds), 86400)
         year, month, day, weekday = _civil_from_days(days)
         yday = day - 1 + sum(_DAYS_IN_MONTH[:month - 1])

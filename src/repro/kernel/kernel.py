@@ -30,7 +30,13 @@ from repro.kernel.fds import (
 )
 from repro.kernel.net import Listener, Network, Socket
 from repro.kernel.tasks import TaskManager
-from repro.kernel.vfs import O_CREAT, O_TRUNC, VirtualFS, normalize
+from repro.kernel.vfs import (
+    DEFAULT_URANDOM_SEED,
+    O_CREAT,
+    O_TRUNC,
+    VirtualFS,
+    normalize,
+)
 from repro.machine.costs import CostModel, DEFAULT_COSTS
 
 #: Syscall numbers (Linux x86-64 values where one exists).
@@ -76,10 +82,14 @@ class Kernel:
 
     def __init__(self, clock: Optional[VirtualClock] = None,
                  costs: CostModel = DEFAULT_COSTS,
-                 latency_ns: Optional[int] = None):
+                 latency_ns: Optional[int] = None,
+                 seed: "bytes | str | None" = None):
         self.clock = clock or VirtualClock()
         self.costs = costs
-        self.vfs = VirtualFS()
+        #: the one top-level determinism knob: every nondeterminism source
+        #: the machine owns (today: /dev/urandom) derives from it.
+        self.seed = seed if seed is not None else DEFAULT_URANDOM_SEED
+        self.vfs = VirtualFS(urandom_seed=self.seed)
         self.network = Network(self.clock,
                                latency_ns if latency_ns is not None
                                else 100_000)
@@ -93,6 +103,9 @@ class Kernel:
         #: syscall interposition hooks: fn(proc, name) on every syscall —
         #: how syscall-boundary MVX monitors (ReMon, ptrace) attach.
         self.syscall_hooks: List[Callable] = []
+        #: post-syscall hooks: fn(proc, name, result) after the handler
+        #: ran — the flight recorder digests the retval/errno stream here.
+        self.syscall_result_hooks: List[Callable] = []
         self._handler_arity: Dict[str, int] = {}
 
     # -- process lifecycle -----------------------------------------------------
@@ -151,7 +164,10 @@ class Kernel:
         self._charge(proc, self._syscall_cost_ns, "syscall")
         for hook in self.syscall_hooks:
             hook(proc, name)
-        return handler(proc, pcb, *args[:max_args])
+        result = handler(proc, pcb, *args[:max_args])
+        for hook in self.syscall_result_hooks:
+            hook(proc, name, result)
+        return result
 
     def syscall_by_number(self, proc, number: int, *args):
         name = SYSCALL_NAMES.get(number)

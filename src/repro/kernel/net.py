@@ -29,6 +29,9 @@ class Socket:
     def __init__(self, network: "Network", label: str):
         self._network = network
         self.label = label
+        #: connection number assigned by :meth:`Network.connect` (both
+        #: ends share it); host-provisioned sockets keep -1.
+        self.conn_id = -1
         self.peer: Optional["Socket"] = None
         #: inbound segments: (ready_at_ns, bytearray)
         self._inbox: Deque[Tuple[float, bytearray]] = deque()
@@ -42,6 +45,8 @@ class Socket:
 
     def _deliver(self, data: bytes, ready_at: float) -> None:
         self._inbox.append((ready_at, bytearray(data)))
+        if self._network.ingress_hook is not None:
+            self._network.ingress_hook(self, data, ready_at)
 
     def next_ready_at(self) -> Optional[float]:
         """Earliest instant at which this socket becomes readable."""
@@ -166,6 +171,8 @@ class Listener:
             return -Errno.EAGAIN
         self._pending.popleft()
         self.accepted_total += 1
+        if self._network.accept_hook is not None:
+            self._network.accept_hook(self, sock)
         return sock
 
     def close(self) -> None:
@@ -182,6 +189,14 @@ class Network:
         self.latency_ns = latency_ns
         self._listeners: Dict[int, Listener] = {}
         self.connections_total = 0
+        #: flight-recorder taps (repro.trace): all default to None so the
+        #: fast path stays a single attribute test.
+        #: fn(client_socket, port) after a successful connect
+        self.connect_hook = None
+        #: fn(receiving_socket, data, ready_at_ns) on every delivery
+        self.ingress_hook = None
+        #: fn(listener, server_socket) on every successful accept
+        self.accept_hook = None
 
     def listen(self, port: int, backlog: int = 128) -> "Listener | int":
         if port in self._listeners:
@@ -209,5 +224,8 @@ class Network:
         rc = listener.enqueue(server, now + self.latency_ns)
         if rc < 0:
             return rc
+        client.conn_id = server.conn_id = self.connections_total
         self.connections_total += 1
+        if self.connect_hook is not None:
+            self.connect_hook(client, port)
         return client

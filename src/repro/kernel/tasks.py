@@ -34,6 +34,10 @@ class TaskManager:
         self.costs = costs
         self._next_pid = 100
         self.tasks: Dict[int, TaskRecord] = {}
+        #: flight-recorder tap: fn(pid, name, parent) on every spawn —
+        #: the task-creation order is a scheduler decision the replayer
+        #: verifies against the recorded trace.
+        self.spawn_hook = None
 
     def spawn(self, name: str, parent: Optional[int] = None) -> int:
         pid = self._next_pid
@@ -42,6 +46,8 @@ class TaskManager:
         self.tasks[pid] = record
         if parent is not None and parent in self.tasks:
             self.tasks[parent].children.append(pid)
+        if self.spawn_hook is not None:
+            self.spawn_hook(pid, name, parent)
         return pid
 
     def exit(self, pid: int, code: int = 0) -> None:

@@ -61,31 +61,46 @@ class RegularFile:
         return len(self.data)
 
 
+#: default /dev/urandom seed; override per-kernel with ``Kernel(seed=…)``.
+DEFAULT_URANDOM_SEED = b"smvx-repro"
+
+
 class UrandomStream:
     """Deterministic /dev/urandom: SHA-256 counter-mode stream."""
 
-    def __init__(self, seed: bytes = b"smvx-repro"):
-        self._seed = seed
+    def __init__(self, seed: "bytes | str" = DEFAULT_URANDOM_SEED):
+        if isinstance(seed, str):
+            seed = seed.encode()
+        self.seed = seed
         self._counter = 0
+        self.bytes_served = 0
+        #: optional observer: fn(chunk) on every read — the flight
+        #: recorder captures the nondeterminism stream through this.
+        self.tap = None
 
     def read(self, count: int) -> bytes:
         out = bytearray()
         while len(out) < count:
             block = hashlib.sha256(
-                self._seed + self._counter.to_bytes(8, "little")).digest()
+                self.seed + self._counter.to_bytes(8, "little")).digest()
             out += block
             self._counter += 1
-        return bytes(out[:count])
+        chunk = bytes(out[:count])
+        self.bytes_served += len(chunk)
+        if self.tap is not None:
+            self.tap(chunk)
+        return chunk
 
 
 class VirtualFS:
     """The in-memory filesystem tree."""
 
-    def __init__(self) -> None:
+    def __init__(self, urandom_seed: "bytes | str" = DEFAULT_URANDOM_SEED
+                 ) -> None:
         self._files: Dict[str, RegularFile] = {}
         self._dirs = {"/", "/tmp", "/dev", "/proc", "/etc", "/var",
                       "/var/log", "/var/www"}
-        self.urandom = UrandomStream()
+        self.urandom = UrandomStream(urandom_seed)
 
     # -- structure -----------------------------------------------------------
 

@@ -68,8 +68,12 @@ class CPU:
         self.costs = costs
         self.syscall_handler = syscall_handler
         self.hl_dispatch = hl_dispatch
-        #: optional per-instruction hook: (state, addr, instruction)
+        #: optional per-instruction hook: (state, addr, instruction).
+        #: A hook that raises is detached (the error is kept in
+        #: :attr:`trace_hook_error`) — observation must never perturb the
+        #: observed execution.
         self.trace_hook: Optional[Callable] = None
+        self.trace_hook_error: Optional[BaseException] = None
         self.instructions_retired = 0
 
     # -- helpers -------------------------------------------------------------
@@ -127,7 +131,11 @@ class CPU:
         addr = state.regs.rip
         instr = self._fetch(state)
         if self.trace_hook is not None:
-            self.trace_hook(state, addr, instr)
+            try:
+                self.trace_hook(state, addr, instr)
+            except Exception as exc:
+                self.trace_hook_error = exc
+                self.trace_hook = None
         self.counter.charge(self.costs.instruction_ns, "cpu")
         self.instructions_retired += 1
         regs = state.regs

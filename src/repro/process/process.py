@@ -40,6 +40,10 @@ class GuestThread:
                  stack_base: int, stack_size: int):
         self.process = process
         self.name = name
+        #: per-process task id (main thread is 1); divergence reports and
+        #: trace events carry it.
+        process._next_tid += 1
+        self.tid = process._next_tid
         self.state = ExecState(RegisterFile())
         self.state.thread = self          # back-pointer for CPU hooks
         self.errno = 0
@@ -99,6 +103,7 @@ class GuestProcess:
         self.threads: List[GuestThread] = []
         self.main_image: Optional[LoadedImage] = None
         self._next_stack_top = STACK_AREA_TOP
+        self._next_tid = 0
         self._sentinel_seq = 0
         self.active_thread: Optional[GuestThread] = None
         #: PKRU applied to new threads; the sMVX monitor sets this to its

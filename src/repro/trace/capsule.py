@@ -1,0 +1,118 @@
+"""Divergence capsules: a replayable snapshot taken when an alarm fires.
+
+When ``AlarmLog.raise_alarm`` goes off mid-run, the attached recorder
+freezes the last-N ring events and — once the stimulus op that triggered
+the alarm has landed in the script — packs them together with the full
+recording so far into a :class:`DivergenceCapsule`.  The capsule is
+self-contained: it embeds the divergence report (kind, libc call seq,
+task id, guest PC), the event window leading up to the alarm, and a
+complete :class:`~repro.trace.record.Trace` whose replay re-executes the
+run from scratch and must re-raise the *same* alarm at the *same* guest
+PC.  That turns a one-in-a-thousand divergence into a deterministic unit
+test you can ship in a bug report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+CAPSULE_VERSION = 1
+
+
+@dataclass
+class CapsuleReplayResult:
+    """Verdict of replaying a capsule: did the same alarm come back?"""
+
+    reproduced: bool                 # same alarm kind at the same guest PC
+    replay_ok: bool                  # full bit-identical replay
+    matched_alarm: Optional[Dict] = None
+    mismatches: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.reproduced:
+            alarm = self.matched_alarm or {}
+            pc = alarm.get("guest_pc", -1)
+            return (f"capsule reproduced: {alarm.get('kind')} at "
+                    f"pc={pc:#x} (replay "
+                    f"{'bit-identical' if self.replay_ok else 'diverged'})")
+        lines = ["capsule NOT reproduced"]
+        lines += [f"  - {m}" for m in self.mismatches[:20]]
+        return "\n".join(lines)
+
+
+@dataclass
+class DivergenceCapsule:
+    """Alarm report + event window + the full recording that led there."""
+
+    version: int = CAPSULE_VERSION
+    report: Dict = field(default_factory=dict)
+    window: List[Dict] = field(default_factory=list)
+    trace: Dict = field(default_factory=dict)
+
+    @classmethod
+    def from_recording(cls, recorder, report, window) -> "DivergenceCapsule":
+        return cls(
+            version=CAPSULE_VERSION,
+            report={"kind": report.kind.name, "seq": report.seq,
+                    "libc_name": report.libc_name,
+                    "task_id": report.task_id,
+                    "guest_pc": report.guest_pc,
+                    "detail": report.detail},
+            window=recorder.ring.to_dicts(window),
+            trace=recorder.build_trace().to_dict())
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {"version": self.version, "report": self.report,
+                "window": self.window, "trace": self.trace}
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "DivergenceCapsule":
+        version = raw.get("version")
+        if version != CAPSULE_VERSION:
+            raise ValueError(
+                f"unsupported capsule version {version!r} "
+                f"(this build reads version {CAPSULE_VERSION})")
+        return DivergenceCapsule(version, raw.get("report", {}),
+                                 raw.get("window", []),
+                                 raw.get("trace", {}))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, sort_keys=True)
+
+    @staticmethod
+    def load(path: str) -> "DivergenceCapsule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return DivergenceCapsule.from_dict(json.load(fh))
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self) -> CapsuleReplayResult:
+        """Re-execute the embedded trace and check the alarm comes back
+        with the same kind at the same guest PC."""
+        from repro.trace.record import Trace
+        from repro.trace.replay import replay_trace
+
+        result = replay_trace(Trace.from_dict(self.trace))
+        want_kind = self.report.get("kind")
+        want_pc = self.report.get("guest_pc")
+        matched = None
+        for alarm in result.replayed_footer.get("alarms", []):
+            if (alarm.get("kind") == want_kind
+                    and alarm.get("guest_pc") == want_pc):
+                matched = alarm
+                break
+        mismatches = list(result.mismatches)
+        if matched is None:
+            mismatches.insert(0, (
+                f"no replayed alarm matches {want_kind} at "
+                f"pc={want_pc:#x}; replay raised "
+                f"{[a.get('kind') for a in result.replayed_footer.get('alarms', [])]}"))
+        return CapsuleReplayResult(reproduced=matched is not None,
+                                   replay_ok=result.ok,
+                                   matched_alarm=matched,
+                                   mismatches=mismatches)

@@ -1,0 +1,146 @@
+"""Typed trace events, the bounded ring recorder, and a metrics registry.
+
+Every observable moment of a guest run maps to one :class:`TraceEvent`.
+The recorder is a *ring*: it keeps the most recent ``capacity`` events and
+counts what it dropped, so always-on tracing has bounded memory no matter
+how long the run — the shape a production flight recorder needs.  The
+last-N window is exactly what a divergence capsule snapshots.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional
+
+
+class EventKind(enum.Enum):
+    """What happened.  Values are the wire names used in trace files."""
+
+    INSTRUCTION = "instruction"      # one retired guest instruction
+    SYSCALL = "syscall"              # kernel entry (name + result)
+    LIBC = "libc"                    # an intercepted/observed libc call
+    RENDEZVOUS = "rendezvous"        # MVX lockstep announce (leader/follower)
+    PAGE_FAULT = "page_fault"        # a MachineFault surfacing to the host
+    PKRU_FLIP = "pkru_flip"          # WRPKRU retired (monitor gate edges)
+    TASK_SWITCH = "task_switch"      # scheduler decision: task spawn/exit
+    ALARM = "alarm"                  # divergence alarm raised
+    CLOCK_READ = "clock_read"        # guest observed the virtual clock
+    URANDOM = "urandom"              # /dev/urandom bytes entered the guest
+    NET_INGRESS = "net_ingress"      # payload delivered toward a socket
+    NET_ACCEPT = "net_accept"        # a listener handed out a connection
+    STIMULUS = "stimulus"            # host-boundary input (the record script)
+    MARK = "mark"                    # free-form annotation
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped, sequence-numbered event."""
+
+    seq: int
+    kind: EventKind
+    t_ns: float                      # virtual monotonic time
+    name: str = ""
+    data: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        out = {"seq": self.seq, "kind": self.kind.value, "t_ns": self.t_ns}
+        if self.name:
+            out["name"] = self.name
+        if self.data:
+            out["data"] = self.data
+        return out
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "TraceEvent":
+        return TraceEvent(raw["seq"], EventKind(raw["kind"]), raw["t_ns"],
+                          raw.get("name", ""), raw.get("data", {}))
+
+
+class MetricsRegistry:
+    """Monotonic counters keyed by name (the recorder's /metrics page)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def clear(self) -> None:
+        self._counters.clear()
+
+
+class RingRecorder:
+    """Bounded in-memory event store with per-kind counters.
+
+    ``emit`` is the single hot entry point; with ``enabled`` False it is
+    one attribute test, so an attached-but-disabled recorder costs next
+    to nothing (``benchmarks/test_trace_overhead.py`` holds it to a ≤1%
+    virtual-cycle delta — in practice 0, since emitting charges no
+    virtual time).
+    """
+
+    def __init__(self, capacity: int = 4096,
+                 metrics: Optional[MetricsRegistry] = None):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self.enabled = True
+        self.metrics = metrics or MetricsRegistry()
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self.emitted = 0
+        self.dropped = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def emit(self, kind: EventKind, t_ns: float, name: str = "",
+             **data) -> Optional[TraceEvent]:
+        if not self.enabled:
+            return None
+        self._seq += 1
+        event = TraceEvent(self._seq, kind, t_ns, name, data)
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+        self.emitted += 1
+        self.metrics.inc(f"events.{kind.value}")
+        return event
+
+    # -- reading -------------------------------------------------------------
+
+    def events(self, kind: Optional[EventKind] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._ring)
+        return [e for e in self._ring if e.kind is kind]
+
+    def tail(self, n: int) -> List[TraceEvent]:
+        """The most recent ``n`` events (the capsule window)."""
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]
+
+    def count(self, kind: EventKind) -> int:
+        return self.metrics.get(f"events.{kind.value}")
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        prefix = "events."
+        return {name[len(prefix):]: value
+                for name, value in self.metrics.as_dict().items()
+                if name.startswith(prefix)}
+
+    def to_dicts(self, events: Optional[Iterable[TraceEvent]] = None
+                 ) -> List[Dict]:
+        return [e.to_dict() for e in (events if events is not None
+                                      else self._ring)]
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0

@@ -49,6 +49,38 @@ def run_protected(proc, monitor, func_name, *args):
             monitor.region_end(thread)
 
 
+# -- report rendering ---------------------------------------------------------------
+
+def test_report_str_renders_all_fields():
+    from repro.core.divergence import DivergenceReport
+    report = DivergenceReport(
+        DivergenceKind.FOLLOWER_FAULT, seq=18, libc_name="mkdir",
+        detail="fetch from unmapped address", task_id=2, guest_pc=0x55550002E000)
+    text = str(report)
+    assert text == ("follower variant faulted | call=mkdir | seq=18 | "
+                    "task=2 | pc=0x55550002e000 | "
+                    "fetch from unmapped address")
+
+
+def test_report_str_omits_unknown_fields():
+    from repro.core.divergence import DivergenceReport
+    minimal = str(DivergenceReport(DivergenceKind.MONITOR))
+    assert minimal == DivergenceKind.MONITOR.value
+    assert "task=" not in minimal and "pc=" not in minimal and \
+        "seq=" not in minimal
+
+
+def test_alarm_log_notifies_listeners():
+    from repro.core.divergence import DivergenceReport
+    log = AlarmLog()
+    heard = []
+    log.listeners.append(heard.append)
+    report = DivergenceReport(DivergenceKind.ARGUMENT, seq=3)
+    log.raise_alarm(report)
+    assert heard == [report]
+    assert log.triggered
+
+
 # -- call-sequence divergence -------------------------------------------------------
 
 def test_layout_dependent_call_sequence_detected():
@@ -68,6 +100,27 @@ def test_layout_dependent_call_sequence_detected():
     assert info.value.report.kind is DivergenceKind.CALL_NAME
     assert alarms.triggered
     assert monitor.region is None          # torn down
+
+
+def test_report_carries_task_and_pc_at_detection():
+    """Reports record *where* the divergence was seen: the guest task and
+    the program counter at detection time."""
+    def two_faced(ctx):
+        if ctx.loaded.tag.startswith("variant:"):
+            ctx.libc("getpid")
+        else:
+            ctx.libc("time", 0)
+        return 0
+
+    proc, monitor, alarms = make_process(
+        ("two_faced", two_faced, 0, {"calls": ("getpid", "time")}))
+    with pytest.raises(MvxDivergence) as info:
+        run_protected(proc, monitor, "two_faced")
+    report = info.value.report
+    assert report.task_id == proc.main_thread().tid
+    assert report.guest_pc > 0
+    assert f"task={report.task_id}" in str(report)
+    assert f"pc={report.guest_pc:#x}" in str(report)
 
 
 def test_scalar_argument_divergence_detected():

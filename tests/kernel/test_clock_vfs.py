@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.kernel.clock import DEFAULT_EPOCH_S, TmStruct, VirtualClock
 from repro.kernel.errno_codes import Errno
 from repro.kernel.vfs import S_IFDIR, S_IFREG, VirtualFS, normalize
@@ -53,6 +55,71 @@ def test_localtime_matches_cpython_gmtime():
 def test_tmstruct_pack_roundtrip():
     tm = VirtualClock().localtime(DEFAULT_EPOCH_S + 98765)
     assert TmStruct.unpack(tm.pack()) == tm
+
+
+def test_localtime_leap_year_feb_29():
+    clock = VirtualClock()
+    # 2024-02-29T12:34:56Z (2024 is a leap year)
+    ts = 1709210096
+    assert time.gmtime(ts)[:3] == (2024, 2, 29)   # self-check the constant
+    tm = clock.localtime(ts)
+    assert (tm.tm_year, tm.tm_mon, tm.tm_mday) == (124, 1, 29)
+    assert (tm.tm_hour, tm.tm_min, tm.tm_sec) == (12, 34, 56)
+    assert tm.tm_yday == 59                        # Jan(31) + Feb 29 - 1
+    # the day after is March 1st, yday keeps counting through the leap day
+    tm2 = clock.localtime(ts + 86400)
+    assert (tm2.tm_mon, tm2.tm_mday, tm2.tm_yday) == (2, 1, 60)
+    # century leap rule: 1900 is not a leap year, 2000 is
+    assert VirtualClock().localtime(951782400).tm_mday == 29  # 2000-02-29
+
+
+def test_localtime_non_leap_year_has_no_feb_29():
+    clock = VirtualClock()
+    # 2023-03-01T00:00:00Z: the day after Feb 28 in a non-leap year
+    tm = clock.localtime(1677628800)
+    assert (tm.tm_year, tm.tm_mon, tm.tm_mday) == (123, 2, 1)
+    assert tm.tm_yday == 59                        # Jan(31) + Feb(28) - 1 + 1
+
+
+def test_advance_ns_rejects_negative():
+    clock = VirtualClock()
+    clock.advance_ns(5)
+    with pytest.raises(ValueError):
+        clock.advance_ns(-1)
+    assert clock.monotonic_ns == 5
+
+
+def test_advance_to_is_idempotent_at_same_instant():
+    clock = VirtualClock()
+    clock.advance_to(70)
+    clock.advance_to(70)
+    assert clock.monotonic_ns == 70
+
+
+def test_gettimeofday_truncates_sub_microsecond_ns():
+    clock = VirtualClock(epoch_s=0)
+    clock.advance_ns(1_999)                        # 1.999 µs
+    assert clock.gettimeofday() == (0, 1)          # truncated, not rounded
+    clock.advance_ns(1)                            # exactly 2 µs
+    assert clock.gettimeofday() == (0, 2)
+
+
+def test_gettimeofday_usec_rolls_over_to_seconds():
+    clock = VirtualClock(epoch_s=10)
+    clock.advance_ns(999_999_999)                  # 1 ns short of a second
+    assert clock.gettimeofday() == (10, 999_999)
+    clock.advance_ns(1)
+    assert clock.gettimeofday() == (11, 0)
+
+
+def test_clock_read_hook_observes_reads():
+    clock = VirtualClock(epoch_s=100)
+    seen = []
+    clock.read_hook = lambda kind, value: seen.append((kind, value))
+    tod = clock.gettimeofday()
+    clock.localtime(DEFAULT_EPOCH_S)
+    assert seen == [("gettimeofday", tod),
+                    ("localtime", DEFAULT_EPOCH_S)]
 
 
 # -- vfs ----------------------------------------------------------------------

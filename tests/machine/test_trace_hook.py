@@ -1,0 +1,96 @@
+"""The per-instruction trace hook: fires once per retired instruction,
+and a misbehaving hook can never corrupt the observed execution."""
+
+from repro.machine import Assembler, Instruction, Op
+from repro.machine.cpu import ExecState
+
+from tests.machine.test_cpu import make_machine, run_to_host
+
+
+def _sum_program():
+    a = Assembler()
+    a.mov_ri("rax", 0)
+    a.mov_ri("rcx", 0)
+    a.label("loop")
+    a.add_rr("rax", "rcx")
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 10)
+    a.jne("loop")
+    a.ret()
+    return a
+
+
+def test_hook_fires_once_per_retired_instruction():
+    cpu, state, _ = make_machine(_sum_program())
+    calls = []
+    cpu.trace_hook = lambda st, addr, instr: calls.append((st, addr, instr))
+    assert run_to_host(cpu, state) == sum(range(10))
+    assert len(calls) == cpu.instructions_retired
+    for hooked_state, addr, instr in calls:
+        assert hooked_state is state
+        assert isinstance(addr, int)
+        assert isinstance(instr, Instruction)
+    # the hook saw the actual opcode stream, starting at the entry point
+    assert calls[0][2].op is Op.MOV_RI
+    assert calls[-1][2].op is Op.RET
+    # the loop body retired 10 times
+    assert sum(1 for _, _, i in calls if i.op is Op.JNE) == 10
+
+
+def test_hook_sees_pre_execution_pc():
+    """The addr argument is the instruction's own address (rip before
+    execution), so a tracer can reconstruct the control flow."""
+    cpu, state, _ = make_machine(_sum_program())
+    addrs = []
+    cpu.trace_hook = lambda st, addr, instr: addrs.append(addr)
+    run_to_host(cpu, state)
+    from repro.machine import INSTR_SIZE
+    from tests.machine.test_cpu import CODE_BASE
+    assert addrs[0] == CODE_BASE
+    assert addrs[1] == CODE_BASE + INSTR_SIZE
+
+
+def test_raising_hook_is_detached_and_execution_unharmed():
+    # ground truth: the run without any hook
+    cpu, state, _ = make_machine(_sum_program())
+    expected = run_to_host(cpu, state)
+    expected_retired = cpu.instructions_retired
+
+    boom = RuntimeError("observer crashed")
+
+    def bad_hook(st, addr, instr):
+        raise boom
+
+    cpu2, state2, _ = make_machine(_sum_program())
+    cpu2.trace_hook = bad_hook
+    assert run_to_host(cpu2, state2) == expected
+    assert cpu2.instructions_retired == expected_retired
+    assert cpu2.trace_hook is None              # detached at first raise
+    assert cpu2.trace_hook_error is boom        # but the error is kept
+
+
+def test_hook_charges_no_virtual_time():
+    cpu, state, _ = make_machine(_sum_program())
+    run_to_host(cpu, state)
+    silent_ns = cpu.counter.total_ns
+
+    cpu2, state2, _ = make_machine(_sum_program())
+    cpu2.trace_hook = lambda st, addr, instr: None
+    run_to_host(cpu2, state2)
+    assert cpu2.counter.total_ns == silent_ns
+
+
+def test_hook_not_called_when_detached_midway():
+    """After the hook detaches itself (by raising), later instructions
+    retire without calling it."""
+    cpu, state, _ = make_machine(_sum_program())
+    seen = []
+
+    def one_shot(st, addr, instr):
+        seen.append(addr)
+        raise ValueError("stop observing")
+
+    cpu.trace_hook = one_shot
+    run_to_host(cpu, state)
+    assert len(seen) == 1
+    assert cpu.instructions_retired > 1

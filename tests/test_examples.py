@@ -47,6 +47,17 @@ def test_resource_comparison_numbers():
     assert "(paper: ~7%)" in out
 
 
+def test_record_replay_capsule_roundtrip():
+    out = run_example("record_replay_capsule.py")
+    assert "attack detected and blocked: True" in out
+    assert "replay OK: bit-identical" in out
+    assert "capsule reproduced: FOLLOWER_FAULT" in out
+    # the capsule replay re-raised at the same guest PC it detected at
+    import re
+    pc = re.search(r"guest pc at detection: (0x[0-9a-f]+)", out).group(1)
+    assert f"at pc={pc}" in out
+
+
 def test_variant_strategies_all_catch():
     out = run_example("variant_strategies.py")
     assert out.count("caught") == 3

@@ -1,0 +1,97 @@
+"""End-to-end tests of ``python -m repro.trace.cli`` (driven in-process)."""
+
+import json
+
+import pytest
+
+from repro.trace.cli import main
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """One recorded attack run shared by the read-only subcommand tests."""
+    root = tmp_path_factory.mktemp("cli")
+    trace = str(root / "trace.json")
+    capsule = str(root / "capsule.json")
+    rc = main(["record", trace, "--requests", "2", "--attack",
+               "--capsule", capsule])
+    assert rc == 0
+    return trace, capsule
+
+
+def test_record_writes_trace_and_capsule(artifacts, capsys):
+    trace, capsule = artifacts
+    with open(trace) as fh:
+        raw = json.load(fh)
+    assert raw["version"] == 1
+    assert raw["footer"]["alarms"]
+    with open(capsule) as fh:
+        assert json.load(fh)["report"]["kind"] == "FOLLOWER_FAULT"
+
+
+def test_info_summarizes(artifacts, capsys):
+    trace, _ = artifacts
+    assert main(["info", trace]) == 0
+    out = capsys.readouterr().out
+    assert "trace version 1" in out
+    assert "FOLLOWER_FAULT" in out
+    assert "counter_total_ns" in out
+
+
+def test_events_filters_by_kind(artifacts, capsys):
+    trace, _ = artifacts
+    assert main(["events", trace, "--kind", "alarm"]) == 0
+    out = capsys.readouterr().out
+    assert "(1 events)" in out
+    assert "FOLLOWER_FAULT" in out
+    assert main(["events", trace, "--kind", "libc", "--limit", "5"]) == 0
+    assert "(5 events)" in capsys.readouterr().out
+
+
+def test_export_chrome_trace(artifacts, tmp_path, capsys):
+    trace, _ = artifacts
+    out_path = str(tmp_path / "chrome.json")
+    assert main(["export", trace, out_path]) == 0
+    with open(out_path) as fh:
+        doc = json.load(fh)
+    rows = [r for r in doc["traceEvents"] if r["ph"] == "i"]
+    assert rows and all("ts" in r and "name" in r for r in rows)
+    names = {r["name"] for r in doc["traceEvents"] if r["ph"] == "M"}
+    assert "thread_name" in names
+
+
+def test_replay_exits_zero_on_identical(artifacts, capsys):
+    trace, _ = artifacts
+    assert main(["replay", trace]) == 0
+    assert "replay OK" in capsys.readouterr().out
+
+
+def test_replay_exits_nonzero_on_tamper(artifacts, tmp_path, capsys):
+    trace, _ = artifacts
+    with open(trace) as fh:
+        raw = json.load(fh)
+    raw["footer"]["libc_calls_total"] += 1
+    bad = str(tmp_path / "bad.json")
+    with open(bad, "w") as fh:
+        json.dump(raw, fh)
+    assert main(["replay", bad]) == 1
+    assert "DIVERGED" in capsys.readouterr().out
+
+
+def test_capsule_info_and_replay(artifacts, capsys):
+    _, capsule = artifacts
+    assert main(["capsule-info", capsule]) == 0
+    out = capsys.readouterr().out
+    assert "FOLLOWER_FAULT" in out and "window" in out
+    assert main(["capsule-replay", capsule]) == 0
+    assert "reproduced" in capsys.readouterr().out
+
+
+def test_record_vanilla_smoke(tmp_path, capsys):
+    """Unprotected server: the same CLI records, no capsule appears."""
+    trace = str(tmp_path / "v.json")
+    assert main(["record", trace, "--vanilla", "--requests", "1",
+                 "--capsule", str(tmp_path / "c.json")]) == 0
+    out = capsys.readouterr().out
+    assert "no capsule captured" in out
+    assert main(["replay", trace]) == 0

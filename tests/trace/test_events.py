@@ -1,0 +1,105 @@
+"""Unit tests for trace events, the ring recorder, and metrics."""
+
+import pytest
+
+from repro.trace.events import (
+    EventKind,
+    MetricsRegistry,
+    RingRecorder,
+    TraceEvent,
+)
+
+
+# -- events -------------------------------------------------------------------
+
+def test_event_dict_roundtrip():
+    event = TraceEvent(7, EventKind.LIBC, 1234.0, "write",
+                       {"task": 1, "variant": "leader"})
+    raw = event.to_dict()
+    assert raw == {"seq": 7, "kind": "libc", "t_ns": 1234.0,
+                   "name": "write", "data": {"task": 1, "variant": "leader"}}
+    assert TraceEvent.from_dict(raw) == event
+
+
+def test_event_dict_omits_empty_fields():
+    raw = TraceEvent(1, EventKind.MARK, 0.0).to_dict()
+    assert "name" not in raw and "data" not in raw
+    assert TraceEvent.from_dict(raw) == TraceEvent(1, EventKind.MARK, 0.0)
+
+
+def test_every_kind_has_a_stable_wire_name():
+    wire_names = {kind.value for kind in EventKind}
+    assert len(wire_names) == len(EventKind)
+    for kind in EventKind:
+        assert EventKind(kind.value) is kind
+
+
+# -- metrics ------------------------------------------------------------------
+
+def test_metrics_registry_counts():
+    metrics = MetricsRegistry()
+    metrics.inc("a")
+    metrics.inc("a", 4)
+    metrics.inc("b")
+    assert metrics.get("a") == 5
+    assert metrics.get("missing") == 0
+    assert metrics.as_dict() == {"a": 5, "b": 1}
+    metrics.clear()
+    assert metrics.as_dict() == {}
+
+
+# -- ring recorder ------------------------------------------------------------
+
+def test_ring_emit_assigns_monotonic_seq_and_counts():
+    ring = RingRecorder(capacity=16)
+    first = ring.emit(EventKind.SYSCALL, 10.0, "read", ret=5)
+    second = ring.emit(EventKind.LIBC, 11.0, "write")
+    assert (first.seq, second.seq) == (1, 2)
+    assert ring.emitted == 2 and ring.dropped == 0
+    assert ring.count(EventKind.SYSCALL) == 1
+    assert ring.counts_by_kind() == {"syscall": 1, "libc": 1}
+    assert ring.events(EventKind.LIBC) == [second]
+
+
+def test_ring_is_bounded_and_counts_drops():
+    ring = RingRecorder(capacity=4)
+    for i in range(10):
+        ring.emit(EventKind.MARK, float(i), f"m{i}")
+    events = ring.events()
+    assert len(events) == 4
+    assert [e.name for e in events] == ["m6", "m7", "m8", "m9"]
+    assert ring.emitted == 10 and ring.dropped == 6
+    # counters still see everything that was emitted
+    assert ring.count(EventKind.MARK) == 10
+
+
+def test_ring_tail_window():
+    ring = RingRecorder(capacity=8)
+    for i in range(5):
+        ring.emit(EventKind.MARK, float(i), f"m{i}")
+    assert [e.name for e in ring.tail(2)] == ["m3", "m4"]
+    assert len(ring.tail(100)) == 5
+    assert ring.tail(0) == []
+
+
+def test_disabled_ring_records_nothing():
+    ring = RingRecorder(capacity=8)
+    ring.enabled = False
+    assert ring.emit(EventKind.MARK, 0.0, "x") is None
+    assert ring.events() == []
+    assert ring.emitted == 0
+    assert ring.metrics.as_dict() == {}
+
+
+def test_ring_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        RingRecorder(capacity=0)
+
+
+def test_ring_clear_keeps_seq_monotonic():
+    ring = RingRecorder(capacity=8)
+    ring.emit(EventKind.MARK, 0.0)
+    ring.clear()
+    event = ring.emit(EventKind.MARK, 1.0)
+    assert event.seq == 2          # seq never restarts within a recording
+    assert len(ring.events()) == 1
