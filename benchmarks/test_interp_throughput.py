@@ -1,0 +1,179 @@
+"""Interpreter throughput (ISSUE acceptance criterion): guest MIPS on an
+nbench-flavoured compute kernel, fast path vs. the precise path vs. an
+emulation of the pre-fast-path interpreter.
+
+Three configurations run the identical LCG-fill + checksum loop:
+
+* **fast**     — the default interpreter: per-page decoded-instruction
+  cache, inlined dispatch, software TLB, batched charging;
+* **precise**  — ``force_slow_path=True``: per-instruction ``step()``
+  (still decode-cached — this is what tracing/taint pay);
+* **baseline** — precise plus a per-fetch re-decode ``_fetch`` override,
+  reproducing the pre-PR interpreter's fetch behavior (the "before"
+  number recorded in ``BENCH_interp.json``).
+
+The acceptance bound is fast ≥ 3× baseline host instructions/sec, and
+all three configurations must retire the same instruction count, produce
+the same checksum, and charge identical virtual cycles.
+"""
+
+import json
+import os
+import time
+
+from repro.errors import InvalidInstruction
+from repro.machine import (
+    INSTR_SIZE,
+    PAGE_SIZE,
+    PROT_RW,
+    PROT_RX,
+    AddressSpace,
+    Assembler,
+    CPU,
+    Instruction,
+)
+from repro.machine.cpu import ExecState, HOST_RETURN_ADDRESS
+from repro.machine.registers import RegisterFile
+
+CODE_BASE = 0x40_0000
+DATA_BASE = 0x50_0000
+STACK_TOP = 0x7000_0000
+ITERATIONS = 12_000
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_interp.json")
+
+
+class BaselineCPU(CPU):
+    """The pre-fast-path interpreter: precise stepping with a full
+    fetch + decode from raw page bytes on every instruction."""
+
+    force_slow_path = True
+
+    def _fetch(self, state):
+        addr = state.regs.rip
+        page = self.space.fetch_check(addr)
+        offset = addr % PAGE_SIZE
+        if offset + INSTR_SIZE <= PAGE_SIZE:
+            raw = bytes(page.data[offset:offset + INSTR_SIZE])
+        else:
+            head = bytes(page.data[offset:])
+            next_page = self.space.fetch_check(addr + (PAGE_SIZE - offset))
+            raw = head + bytes(next_page.data[:INSTR_SIZE - len(head)])
+        try:
+            return Instruction.decode(raw)
+        except InvalidInstruction as exc:  # pragma: no cover
+            exc.address = addr
+            raise
+
+
+def lcg_checksum_kernel(iterations):
+    """nbench-flavoured compute loop: an LCG stream written through a
+    512-word working set, read back and mixed into a checksum —
+    MUL/ADD/AND/SHL/STORE/LOAD/XOR/CMP/JNE per iteration."""
+    a = Assembler()
+    a.mov_ri("rax", 0x5DEECE66D)       # LCG state
+    a.mov_ri("r8", 6364136223846793005)
+    a.mov_ri("rbx", 0)                 # checksum
+    a.mov_ri("rcx", 0)                 # i
+    a.label("loop")
+    a.mul_rr("rax", "r8")
+    a.add_ri("rax", 1442695040888963407)
+    a.mov_rr("rsi", "rcx")
+    a.and_ri("rsi", 511)
+    a.shl_ri("rsi", 3)
+    a.add_ri("rsi", DATA_BASE)
+    a.store("rsi", "rax", 0)
+    a.load("rdx", "rsi", 0)
+    a.xor_rr("rbx", "rdx")
+    a.add_rr("rbx", "rcx")
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", iterations)
+    a.jne("loop")
+    a.mov_rr("rax", "rbx")
+    a.ret()
+    return a
+
+
+def _run(cpu_cls):
+    space = AddressSpace()
+    code = lcg_checksum_kernel(ITERATIONS).assemble(CODE_BASE)
+    space.mmap(CODE_BASE, len(code), prot=PROT_RX, tag="text")
+    for offset in range(0, len(code), PAGE_SIZE):
+        page = space.page_at(CODE_BASE + offset)
+        chunk = code[offset:offset + PAGE_SIZE]
+        page.data[:len(chunk)] = chunk
+    space.mmap(DATA_BASE, 512 * 8, prot=PROT_RW, tag="data")
+    space.mmap(STACK_TOP - 4 * PAGE_SIZE, 4 * PAGE_SIZE, prot=PROT_RW,
+               tag="stack")
+    cpu = cpu_cls(space)
+    state = ExecState(RegisterFile())
+    state.regs.rip = CODE_BASE
+    state.regs.set("rsp", STACK_TOP - 64)
+    cpu._push(state, HOST_RETURN_ADDRESS)
+    host_t0 = time.perf_counter()
+    reason = cpu.run(state)
+    host_s = time.perf_counter() - host_t0
+    assert reason == "host-return"
+    return {
+        "checksum": state.regs.get("rax"),
+        "instructions": cpu.instructions_retired,
+        "virtual_ns": cpu.counter.total_ns,
+        "host_s": host_s,
+        "mips": cpu.instructions_retired / host_s / 1e6,
+    }
+
+
+def _precise_cpu(space):
+    cpu = CPU(space)
+    cpu.force_slow_path = True
+    return cpu
+
+
+def test_interp_throughput(table):
+    runs = {
+        "fast": _run(CPU),
+        "precise": _run(_precise_cpu),
+        "baseline": _run(BaselineCPU),
+    }
+    fast, precise, baseline = (runs["fast"], runs["precise"],
+                               runs["baseline"])
+
+    # identical architectural results in every configuration
+    for other in (precise, baseline):
+        assert other["checksum"] == fast["checksum"]
+        assert other["instructions"] == fast["instructions"]
+        assert other["virtual_ns"] == fast["virtual_ns"]
+
+    speedup_vs_baseline = fast["mips"] / baseline["mips"]
+    speedup_vs_precise = fast["mips"] / precise["mips"]
+
+    payload = {
+        "workload": "lcg-checksum",
+        "iterations": ITERATIONS,
+        "guest_instructions": fast["instructions"],
+        "before": {"config": "pre-fast-path interpreter",
+                   "mips": round(baseline["mips"], 3),
+                   "host_s": round(baseline["host_s"], 4)},
+        "after": {"config": "decoded-page cache + TLB + batched charging",
+                  "mips": round(fast["mips"], 3),
+                  "host_s": round(fast["host_s"], 4)},
+        "precise_path": {"config": "force_slow_path (tracing/taint cost)",
+                         "mips": round(precise["mips"], 3),
+                         "host_s": round(precise["host_s"], 4)},
+        "speedup": round(speedup_vs_baseline, 2),
+        "speedup_vs_precise": round(speedup_vs_precise, 2),
+    }
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    table(f"Interpreter throughput ({ITERATIONS:,} iterations, "
+          f"{fast['instructions']:,} guest instructions)",
+          ("config", "guest MIPS", "host time", "speedup"),
+          [(name, f"{r['mips']:.2f}", f"{r['host_s'] * 1e3:,.1f} ms",
+            f"{fast['mips'] / r['mips']:.2f}x")
+           for name, r in runs.items()])
+
+    assert speedup_vs_baseline >= 3.0, \
+        f"fast path is only {speedup_vs_baseline:.2f}x the pre-PR " \
+        f"interpreter (need >= 3x); see {BENCH_JSON}"

@@ -165,7 +165,9 @@ def create_aligned_follower(process: GuestProcess, target: LoadedImage,
         follower_space.mmap(page_base, PAGE_SIZE, prot=src_page.prot,
                             pkey=src_page.pkey,
                             tag=f"aligned:{src_page.tag}")
-        follower_space.page_at(page_base).data[:] = src_page.data
+        dst_page = follower_space.page_at(page_base)
+        dst_page.data[:] = src_page.data
+        dst_page.invalidate_decode()
         copied += 1
     text_start, text_size = target.section_range(".text")
     new_text, moved = diversify_text(target, process.space, seed)
@@ -179,7 +181,9 @@ def create_aligned_follower(process: GuestProcess, target: LoadedImage,
                         tag="aligned:heap")
     for offset in range(0, page_align_up(max(heap_used, 1)), PAGE_SIZE):
         src_page = process.space.page_at(heap.base + offset)
-        follower_space.page_at(heap.base + offset).data[:] = src_page.data
+        dst_page = follower_space.page_at(heap.base + offset)
+        dst_page.data[:] = src_page.data
+        dst_page.invalidate_decode()
         report.heap_pages_copied += 1
 
     report.duplication_ns = (

@@ -138,6 +138,7 @@ def refresh_variant(process: GuestProcess, cached: CachedVariant,
         if src is None or dst is None:
             continue
         dst.data[:] = src.data
+        dst.invalidate_decode()
         copied_ns += costs.page_copy_ns
         # rescan the refreshed copy page for pointers
         if heap.base <= page < heap.base + heap.size:

@@ -137,6 +137,7 @@ def _copy_pages(process: GuestProcess, src: int, dst: int, size: int,
         src_page = process.space.page_at(src + offset)
         dst_page = process.space.page_at(dst + offset)
         dst_page.data[:] = src_page.data
+        dst_page.invalidate_decode()
     return size // PAGE_SIZE
 
 
@@ -185,6 +186,7 @@ def create_follower(process: GuestProcess, target: LoadedImage,
     for addr in sorted(wanted_pages):
         dst_page = process.space.page_at(addr + shift)
         dst_page.data[:] = process.space.page_at(addr).data
+        dst_page.invalidate_decode()
         report.text_pages_copied += 1
 
     # ---- copy support sections ----
@@ -207,6 +209,7 @@ def create_follower(process: GuestProcess, target: LoadedImage,
             src_page = process.space.page_at(heap.base + offset)
             dst_page = process.space.page_at(heap.base + shift + offset)
             dst_page.data[:] = src_page.data
+            dst_page.invalidate_decode()
             heap_pages += 1
     report.heap_pages_copied = heap_pages
 

@@ -104,6 +104,11 @@ CONTROL_FLOW_OPS = frozenset({
 
 _VALID_OPS = {int(op) for op in Op}
 
+#: opcode byte -> Op member; a plain dict lookup is several times faster
+#: than ``Op(opcode)`` (which routes through EnumMeta.__call__) and
+#: decode is on the interpreter's fetch path.
+_OP_BY_CODE = {int(op): op for op in Op}
+
 
 @dataclass(frozen=True)
 class Instruction:
@@ -125,14 +130,15 @@ class Instruction:
             raise InvalidInstruction(
                 f"instruction must be {INSTR_SIZE} bytes, got {len(raw)}")
         opcode, r1, r2, imm = _ENC.unpack(raw)
-        if opcode not in _VALID_OPS:
+        op = _OP_BY_CODE.get(opcode)
+        if op is None:
             raise InvalidInstruction(f"invalid opcode {opcode:#x}")
         for index in (r1, r2):
             if index != _NO_REG and index >= len(GP_REGISTERS):
                 raise InvalidInstruction(f"bad register index {index}")
         reg1 = GP_REGISTERS[r1] if r1 != _NO_REG else None
         reg2 = GP_REGISTERS[r2] if r2 != _NO_REG else None
-        return Instruction(Op(opcode), reg1, reg2, imm)
+        return Instruction(op, reg1, reg2, imm)
 
     def text(self) -> str:
         """AT&T-ish rendering used by the disassembler and flame graphs."""

@@ -11,7 +11,21 @@ An :class:`AddressSpace` is a sparse mapping from page index to
   for *data* accesses (fetch ignores PKRU — that is what enables XoM).
 
 Observers can hook every access; the taint engine and the perf profiler
-attach here.
+attach here.  When no observer is attached the MMU takes fast paths: a
+small software TLB memoizes ``(page_index, pkru) -> Page`` per access
+direction (flushed whenever any mapping, permission, or protection key
+changes — :attr:`AddressSpace.mapping_epoch` counts those changes), and
+``read_word``/``write_word`` unpack directly from the page's backing
+``bytearray`` without intermediate copies.  TLB hits re-validate the
+cached page's ``prot``/``pkey`` so pages *shared* between address spaces
+(``share_into``) stay correct even when another space's
+``pkey_mprotect`` mutates the shared :class:`Page` object.
+
+Each page also carries the interpreter's decoded-instruction cache
+(:attr:`Page.decode_cache`, owned by :mod:`repro.machine.cpu`); every
+write path here invalidates it so self-modifying code is re-decoded.
+Host code that mutates ``page.data`` directly (variant creation,
+dirty-page refresh) must call :meth:`Page.invalidate_decode`.
 """
 
 from __future__ import annotations
@@ -48,6 +62,7 @@ PROT_RWX = PROT_READ | PROT_WRITE | PROT_EXEC
 ADDRESS_LIMIT = 1 << 47
 
 _WORD_STRUCT = struct.Struct("<Q")
+_MASK64 = (1 << 64) - 1
 
 
 def page_align_down(addr: int) -> int:
@@ -61,7 +76,7 @@ def page_align_up(addr: int) -> int:
 class Page:
     """One 4 KiB page: backing bytes, R/W/X permissions, protection key."""
 
-    __slots__ = ("data", "prot", "pkey", "tag")
+    __slots__ = ("data", "prot", "pkey", "tag", "decode_cache")
 
     def __init__(self, prot: int = PROT_RW, pkey: int = PKEY_DEFAULT,
                  tag: str = ""):
@@ -70,6 +85,18 @@ class Page:
         self.pkey = pkey
         #: free-form label ("text", "heap", "monitor", ...) used by pmap.
         self.tag = tag
+        #: per-page decoded-instruction cache, lazily populated by the CPU
+        #: (offset -> decoded entry).  ``None`` means "nothing cached".
+        #: Every MMU write path drops it; because the cache lives on the
+        #: Page itself, pages aliased into other spaces (share_into) are
+        #: invalidated through whichever space performs the write.
+        self.decode_cache: Optional[dict] = None
+
+    def invalidate_decode(self) -> None:
+        """Drop the decoded-instruction cache.  Must be called by host
+        code that mutates ``data`` directly instead of going through
+        ``AddressSpace.write`` (e.g. variant page refresh)."""
+        self.decode_cache = None
 
     def clone(self) -> "Page":
         page = Page(self.prot, self.pkey, self.tag)
@@ -98,6 +125,24 @@ class AddressSpace:
         #: monotonically increasing hint for mmap(NULL) placement.
         self._mmap_hint = 0x7F00_0000_0000
         self.access_count = 0
+        #: bumped on every mapping/permission/pkey change; the CPU's
+        #: fast path re-validates its cached text page when this moves.
+        self.mapping_epoch = 0
+        # software TLB: (page_index, pkru) -> (page, prot, pkey) per
+        # access direction.  Entries memoize a passed permission check;
+        # the stored prot/pkey are re-validated on hit so mutations of
+        # shared Page objects through *other* spaces cannot go stale.
+        self._tlb_read: Dict[Tuple[int, int], Tuple[Page, int, int]] = {}
+        self._tlb_write: Dict[Tuple[int, int], Tuple[Page, int, int]] = {}
+
+    def _mapping_changed(self) -> None:
+        """Flush the TLB and advance the epoch after any change to the
+        page table, permissions, or protection keys."""
+        self.mapping_epoch += 1
+        if self._tlb_read:
+            self._tlb_read.clear()
+        if self._tlb_write:
+            self._tlb_write.clear()
 
     # -- observation --------------------------------------------------------
 
@@ -172,6 +217,7 @@ class AddressSpace:
                         index * PAGE_SIZE)
         for index in range(first, first + count):
             self._pages[index] = Page(prot, pkey, tag)
+        self._mapping_changed()
         return addr
 
     def munmap(self, addr: int, length: int) -> None:
@@ -180,11 +226,17 @@ class AddressSpace:
         length = page_align_up(length)
         first = addr // PAGE_SIZE
         for index in range(first, first + length // PAGE_SIZE):
-            self._pages.pop(index, None)
+            page = self._pages.pop(index, None)
+            if page is not None:
+                page.decode_cache = None
+        self._mapping_changed()
 
     def mprotect(self, addr: int, length: int, prot: int) -> None:
         for index in self._page_range(addr, length):
-            self._pages[index].prot = prot
+            page = self._pages[index]
+            page.prot = prot
+            page.decode_cache = None
+        self._mapping_changed()
 
     def pkey_mprotect(self, addr: int, length: int, prot: int,
                       pkey: int) -> None:
@@ -194,6 +246,8 @@ class AddressSpace:
             page = self._pages[index]
             page.prot = prot
             page.pkey = pkey
+            page.decode_cache = None
+        self._mapping_changed()
 
     def set_tag(self, addr: int, length: int, tag: str) -> None:
         for index in self._page_range(addr, length):
@@ -212,14 +266,28 @@ class AddressSpace:
             yield index
 
     def _find_free(self, length: int) -> int:
-        addr = self._mmap_hint
+        """Find ``length`` bytes of unmapped pages at/after the hint.
+
+        A single forward cursor counts the current free run and restarts
+        it just past any occupied page, so the search is linear in the
+        pages visited rather than re-probing ``count`` pages at every
+        candidate base (which made large mappings quadratic).
+        """
         count = length // PAGE_SIZE
+        pages = self._pages
+        first = self._mmap_hint // PAGE_SIZE
+        index = first
+        run = 0
         while True:
-            first = addr // PAGE_SIZE
-            if all(first + i not in self._pages for i in range(count)):
-                self._mmap_hint = addr + length
-                return addr
-            addr += PAGE_SIZE
+            if index in pages:
+                first = index + 1
+                run = 0
+            else:
+                run += 1
+                if run == count:
+                    self._mmap_hint = (first + count) * PAGE_SIZE
+                    return first * PAGE_SIZE
+            index += 1
 
     # -- access checks ------------------------------------------------------
 
@@ -274,6 +342,36 @@ class AddressSpace:
                 f"fetch from non-executable page at {addr:#x}", addr)
         return page
 
+    # -- software TLB -------------------------------------------------------
+
+    def _lookup_read(self, addr: int, pkru: int, privileged: bool) -> Page:
+        """check_read memoized through the read TLB (unprivileged only)."""
+        if privileged:
+            return self.check_read(addr, pkru, True)
+        key = (addr // PAGE_SIZE, pkru)
+        entry = self._tlb_read.get(key)
+        if entry is not None:
+            page, prot, pkey = entry
+            if page.prot == prot and page.pkey == pkey:
+                return page
+        page = self.check_read(addr, pkru, False)
+        self._tlb_read[key] = (page, page.prot, page.pkey)
+        return page
+
+    def _lookup_write(self, addr: int, pkru: int, privileged: bool) -> Page:
+        """check_write memoized through the write TLB (unprivileged only)."""
+        if privileged:
+            return self.check_write(addr, pkru, True)
+        key = (addr // PAGE_SIZE, pkru)
+        entry = self._tlb_write.get(key)
+        if entry is not None:
+            page, prot, pkey = entry
+            if page.prot == prot and page.pkey == pkey:
+                return page
+        page = self.check_write(addr, pkru, False)
+        self._tlb_write[key] = (page, page.prot, page.pkey)
+        return page
+
     # -- data access --------------------------------------------------------
 
     def read(self, addr: int, size: int, pkru: int = PKRU_ALLOW_ALL,
@@ -281,18 +379,24 @@ class AddressSpace:
         if size < 0:
             raise ValueError("negative read size")
         self.access_count += 1
+        if not self._observers:
+            offset = addr % PAGE_SIZE
+            if 0 < size <= PAGE_SIZE - offset:
+                page = self._lookup_read(addr, pkru, privileged)
+                return bytes(page.data[offset:offset + size])
         out = bytearray()
         remaining = size
         cursor = addr
         while remaining > 0:
-            page = self.check_read(cursor, pkru, privileged)
+            page = self._lookup_read(cursor, pkru, privileged)
             offset = cursor % PAGE_SIZE
             chunk = min(remaining, PAGE_SIZE - offset)
             out += page.data[offset:offset + chunk]
             cursor += chunk
             remaining -= chunk
         value = bytes(out)
-        self._notify("read", addr, size, value)
+        if self._observers:
+            self._notify("read", addr, size, value)
         return value
 
     def write(self, addr: int, data: bytes, pkru: int = PKRU_ALLOW_ALL,
@@ -301,39 +405,86 @@ class AddressSpace:
         cursor = addr
         view = memoryview(data)
         while view:
-            page = self.check_write(cursor, pkru, privileged)
+            page = self._lookup_write(cursor, pkru, privileged)
             offset = cursor % PAGE_SIZE
             chunk = min(len(view), PAGE_SIZE - offset)
             page.data[offset:offset + chunk] = view[:chunk]
+            if page.decode_cache is not None:
+                page.decode_cache = None
             cursor += chunk
             view = view[chunk:]
-        self._notify("write", addr, len(data), bytes(data))
+        if self._observers:
+            self._notify("write", addr, len(data), bytes(data))
 
     def read_word(self, addr: int, pkru: int = PKRU_ALLOW_ALL,
                   privileged: bool = False, aligned: bool = True) -> int:
-        if aligned and addr % WORD_SIZE:
-            raise AlignmentFault(f"unaligned word read at {addr:#x}", addr)
-        return _WORD_STRUCT.unpack(self.read(addr, WORD_SIZE, pkru,
-                                             privileged))[0]
+        if addr % WORD_SIZE:
+            if aligned:
+                raise AlignmentFault(
+                    f"unaligned word read at {addr:#x}", addr)
+            # unaligned words may straddle pages: take the general path
+            return _WORD_STRUCT.unpack(self.read(addr, WORD_SIZE, pkru,
+                                                 privileged))[0]
+        if self._observers:
+            return _WORD_STRUCT.unpack(self.read(addr, WORD_SIZE, pkru,
+                                                 privileged))[0]
+        # fast path: an aligned word never crosses a page; unpack straight
+        # from the backing bytearray without an intermediate copy
+        self.access_count += 1
+        page = self._lookup_read(addr, pkru, privileged)
+        return _WORD_STRUCT.unpack_from(page.data, addr % PAGE_SIZE)[0]
 
     def write_word(self, addr: int, value: int, pkru: int = PKRU_ALLOW_ALL,
                    privileged: bool = False, aligned: bool = True) -> None:
-        if aligned and addr % WORD_SIZE:
-            raise AlignmentFault(f"unaligned word write at {addr:#x}", addr)
-        self.write(addr, _WORD_STRUCT.pack(value & (2 ** 64 - 1)), pkru,
-                   privileged)
+        if addr % WORD_SIZE:
+            if aligned:
+                raise AlignmentFault(
+                    f"unaligned word write at {addr:#x}", addr)
+            self.write(addr, _WORD_STRUCT.pack(value & _MASK64), pkru,
+                       privileged)
+            return
+        if self._observers:
+            self.write(addr, _WORD_STRUCT.pack(value & _MASK64), pkru,
+                       privileged)
+            return
+        self.access_count += 1
+        page = self._lookup_write(addr, pkru, privileged)
+        _WORD_STRUCT.pack_into(page.data, addr % PAGE_SIZE, value & _MASK64)
+        if page.decode_cache is not None:
+            page.decode_cache = None
 
     def read_cstring(self, addr: int, pkru: int = PKRU_ALLOW_ALL,
                      privileged: bool = False, limit: int = 1 << 16) -> bytes:
         """Read a NUL-terminated byte string (used by guest string args)."""
+        if self._observers:
+            # precise path: byte-granular reads (and notifies) so taint
+            # propagation sees exactly the accesses the guest performed
+            out = bytearray()
+            cursor = addr
+            while len(out) < limit:
+                byte = self.read(cursor, 1, pkru, privileged)
+                if byte == b"\x00":
+                    return bytes(out)
+                out += byte
+                cursor += 1
+            raise SegmentationFault(
+                f"unterminated string at {addr:#x}", addr)
+        # fast path: scan page-sized chunks with bytearray.find; the limit
+        # and faulting behavior match the byte loop exactly (check each
+        # page only when the scan actually reaches it, stop at `limit`
+        # bytes without a terminator)
         out = bytearray()
         cursor = addr
         while len(out) < limit:
-            byte = self.read(cursor, 1, pkru, privileged)
-            if byte == b"\x00":
+            page = self._lookup_read(cursor, pkru, privileged)
+            offset = cursor % PAGE_SIZE
+            end = min(PAGE_SIZE, offset + (limit - len(out)))
+            pos = page.data.find(0, offset, end)
+            if pos >= 0:
+                out += page.data[offset:pos]
                 return bytes(out)
-            out += byte
-            cursor += 1
+            out += page.data[offset:end]
+            cursor += end - offset
         raise SegmentationFault(
             f"unterminated string at {addr:#x}", addr)
 
@@ -344,6 +495,7 @@ class AddressSpace:
         for index, page in self._pages.items():
             other._pages[index] = page.clone()
         other._mmap_hint = self._mmap_hint
+        other._mapping_changed()
 
     def share_into(self, other: "AddressSpace",
                    exclude: "Optional[List[Tuple[int, int]]]" = None) -> int:
@@ -365,4 +517,5 @@ class AddressSpace:
             other._pages[index] = page
             shared += 1
         other._mmap_hint = max(other._mmap_hint, self._mmap_hint)
+        other._mapping_changed()
         return shared

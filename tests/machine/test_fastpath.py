@@ -1,0 +1,408 @@
+"""Unit tests for the interpreter fast path: the per-page decoded
+instruction cache, the software TLB, the observer-free MMU fast paths,
+and the precise/fast interpreter contract."""
+
+import pytest
+
+from repro.errors import (
+    AlignmentFault,
+    ExecuteFault,
+    ProtectionKeyFault,
+    SegmentationFault,
+)
+from repro.machine import (
+    INSTR_SIZE,
+    PAGE_SIZE,
+    PROT_RW,
+    PROT_RX,
+    PROT_RWX,
+    AddressSpace,
+    Assembler,
+    CPU,
+    Instruction,
+    Op,
+)
+from repro.machine.cpu import CpuExit, ExecState, HOST_RETURN_ADDRESS
+from repro.machine.mpk import pkru_disable_access
+from repro.machine.registers import RegisterFile
+
+CODE_BASE = 0x40_0000
+STACK_TOP = 0x7000_0000
+
+
+def make_machine(assembler, code_prot=PROT_RX, stack_pages=4, data_pages=2):
+    space = AddressSpace()
+    code = assembler.assemble(CODE_BASE)
+    space.mmap(CODE_BASE, max(len(code), 1), prot=code_prot, tag="text")
+    for offset in range(0, len(code), PAGE_SIZE):
+        page = space.page_at(CODE_BASE + offset)
+        chunk = code[offset:offset + PAGE_SIZE]
+        page.data[:len(chunk)] = chunk
+    space.mmap(STACK_TOP - stack_pages * PAGE_SIZE, stack_pages * PAGE_SIZE,
+               prot=PROT_RW, tag="stack")
+    data_base = space.mmap(None, data_pages * PAGE_SIZE, tag="data")
+    cpu = CPU(space)
+    state = ExecState(RegisterFile())
+    state.regs.rip = CODE_BASE
+    state.regs.set("rsp", STACK_TOP - 64)
+    return cpu, state, data_base
+
+
+def run_to_host(cpu, state, max_steps=100_000):
+    cpu._push(state, HOST_RETURN_ADDRESS)
+    reason = cpu.run(state, max_steps=max_steps)
+    assert reason == "host-return"
+    return state.regs.get("rax")
+
+
+def counting_loop(n=50):
+    a = Assembler()
+    a.mov_ri("rax", 0)
+    a.mov_ri("rcx", 0)
+    a.label("loop")
+    a.add_rr("rax", "rcx")
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", n)
+    a.jne("loop")
+    a.ret()
+    return a
+
+
+# -- decoded-instruction cache -----------------------------------------------
+
+
+def test_decode_cache_populates_on_run():
+    cpu, state, _ = make_machine(counting_loop())
+    run_to_host(cpu, state)
+    page = cpu.space.page_at(CODE_BASE)
+    assert page.decode_cache
+    # every instruction slot of the loop got decoded exactly once
+    assert set(page.decode_cache) == {i * INSTR_SIZE for i in range(7)}
+    entry = page.decode_cache[0]
+    assert entry[4] == Instruction(Op.MOV_RI, "rax", imm=0)
+
+
+def test_host_write_invalidates_decode_cache():
+    cpu, state, _ = make_machine(counting_loop())
+    run_to_host(cpu, state)
+    page = cpu.space.page_at(CODE_BASE)
+    assert page.decode_cache
+    cpu.space.write(CODE_BASE, Instruction(Op.MOV_RI, "rax", imm=7).encode(),
+                    privileged=True)
+    assert page.decode_cache is None
+    # rerun from scratch: the patched first instruction must be seen
+    state.regs.rip = CODE_BASE
+    state.regs.set("rsp", STACK_TOP - 64)
+    run_to_host(cpu, state)
+    assert page.decode_cache[0][4] == Instruction(Op.MOV_RI, "rax", imm=7)
+
+
+def test_guest_store_invalidates_decode_cache():
+    """Self-modifying code: the guest patches an instruction it already
+    executed (and so already cached), then loops back into it."""
+    patched = Instruction(Op.MOV_RI, "rax", imm=999).encode()
+    lo, hi = (int.from_bytes(patched[:8], "little"),
+              int.from_bytes(patched[8:], "little"))
+    a = Assembler()
+    a.label("target")
+    a.mov_ri("rax", 1)             # will be overwritten with mov rax, 999
+    a.cmp_ri("rax", 999)
+    a.je("done")
+    a.lea("rdi", "target")         # patch our own text through the MMU
+    a.mov_ri("rsi", lo)
+    a.store("rdi", "rsi", 0)
+    a.mov_ri("rsi", hi)
+    a.store("rdi", "rsi", 8)
+    a.jmp("target")
+    a.label("done")
+    a.ret()
+    cpu, state, _ = make_machine(a, code_prot=PROT_RWX)
+    assert run_to_host(cpu, state) == 999
+
+
+def test_syscall_mprotect_wx_flip_faults_fetch():
+    """A mid-run W^X flip (via the host-callback boundary) must be seen
+    by the fast path's cached text page immediately."""
+    a = Assembler()
+    a.syscall()                    # handler flips the code page to RW
+    a.mov_ri("rax", 1)             # fetch of this must now fault
+    a.ret()
+    cpu, state, _ = make_machine(a)
+
+    def handler(st):
+        cpu.space.mprotect(CODE_BASE, PAGE_SIZE, PROT_RW)
+
+    cpu.syscall_handler = handler
+    cpu._push(state, HOST_RETURN_ADDRESS)
+    with pytest.raises(ExecuteFault):
+        cpu.run(state)
+
+
+def test_straddling_instruction_not_cached():
+    """An instruction crossing a page boundary decodes correctly and is
+    never cached (single-page invalidation could not cover it)."""
+    space = AddressSpace()
+    space.mmap(CODE_BASE, 2 * PAGE_SIZE, prot=PROT_RX, tag="text")
+    misaligned = PAGE_SIZE - 8
+    raw = Instruction(Op.MOV_RI, "rax", imm=42).encode()
+    page0 = space.page_at(CODE_BASE)
+    page1 = space.page_at(CODE_BASE + PAGE_SIZE)
+    page0.data[misaligned:] = raw[:8]
+    page1.data[:8] = raw[8:]
+    page1.data[8:24] = Instruction(Op.HLT).encode()
+    cpu = CPU(space)
+    state = ExecState(RegisterFile())
+    state.regs.rip = CODE_BASE + misaligned
+    with pytest.raises(CpuExit):
+        cpu.run(state)
+    assert state.regs.get("rax") == 42
+    assert (page0.decode_cache or {}).get(misaligned) is None
+
+
+# -- software TLB ------------------------------------------------------------
+
+
+def test_tlb_flush_on_pkey_mprotect():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE)
+    space.write_word(base, 0x1234)
+    pkru = pkru_disable_access(0, pkey=5)
+    assert space.read_word(base, pkru) == 0x1234      # TLB entry installed
+    space.pkey_mprotect(base, PAGE_SIZE, PROT_RW, pkey=5)
+    with pytest.raises(ProtectionKeyFault):
+        space.read_word(base, pkru)
+    with pytest.raises(ProtectionKeyFault):
+        space.write_word(base, 1, pkru)
+
+
+def test_tlb_flush_on_munmap_and_mprotect():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE)
+    space.write_word(base, 7)
+    assert space.read_word(base) == 7
+    space.mprotect(base, PAGE_SIZE, 0)
+    with pytest.raises(SegmentationFault):
+        space.read_word(base)
+    space.mprotect(base, PAGE_SIZE, PROT_RW)
+    assert space.read_word(base) == 7
+    space.munmap(base, PAGE_SIZE)
+    with pytest.raises(SegmentationFault):
+        space.read_word(base)
+
+
+def test_shared_page_mutation_via_other_space_not_stale():
+    """share_into aliases Page objects; a pkey change performed through
+    the *other* space must not leave this space's TLB hit stale."""
+    leader = AddressSpace("leader")
+    follower = AddressSpace("follower")
+    base = leader.mmap(None, PAGE_SIZE)
+    leader.write_word(base, 99)
+    leader.share_into(follower)
+    pkru = pkru_disable_access(0, pkey=3)
+    assert follower.read_word(base, pkru) == 99       # follower TLB warm
+    leader.pkey_mprotect(base, PAGE_SIZE, PROT_RW, pkey=3)
+    # follower's page table was not touched — only the shared Page —
+    # so the hit-revalidation must catch the new pkey
+    with pytest.raises(ProtectionKeyFault):
+        follower.read_word(base, pkru)
+
+
+def test_word_fastpath_matches_general_path():
+    space = AddressSpace()
+    base = space.mmap(None, 2 * PAGE_SIZE)
+    space.write_word(base + 8, 0xDEAD_BEEF_CAFE_F00D)
+    assert space.read_word(base + 8) == 0xDEAD_BEEF_CAFE_F00D
+    assert space.read(base + 8, 8) == (0xDEAD_BEEF_CAFE_F00D)\
+        .to_bytes(8, "little")
+    with pytest.raises(AlignmentFault):
+        space.read_word(base + 4)
+    with pytest.raises(AlignmentFault):
+        space.write_word(base + 4, 1)
+    # unaligned straddling access via aligned=False still works
+    straddle = base + PAGE_SIZE - 4
+    space.write_word(straddle, 0x1122334455667788, aligned=False)
+    assert space.read_word(straddle, aligned=False) == 0x1122334455667788
+
+
+# -- observer skip / precise parity ------------------------------------------
+
+
+def test_observer_gets_same_notifications_as_before():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE)
+    space.write(base, b"ab")                 # unobserved: no notification
+    events = []
+    space.add_observer(lambda *ev: events.append(ev))
+    space.write(base, b"xy")
+    space.read(base, 2)
+    space.write_word(base + 16, 5)
+    space.read_word(base + 16)
+    assert events == [
+        ("write", base, 2, b"xy"),
+        ("read", base, 2, b"xy"),
+        ("write", base + 16, 8, (5).to_bytes(8, "little")),
+        ("read", base + 16, 8, (5).to_bytes(8, "little")),
+    ]
+    space.remove_observer(space._observers[0])
+    space.write(base, b"zz")
+    assert len(events) == 4
+
+
+def test_read_cstring_fast_and_precise_agree():
+    space = AddressSpace()
+    base = space.mmap(None, 2 * PAGE_SIZE)
+    # string crossing the page boundary
+    payload = b"A" * (PAGE_SIZE - 3) + b"BCDE"
+    space.write(base, payload + b"\x00tail")
+    fast = space.read_cstring(base)
+    events = []
+    space.add_observer(lambda *ev: events.append(ev))
+    precise = space.read_cstring(base)
+    assert fast == precise == payload
+    # precise path reads byte-at-a-time (taint granularity): one event
+    # per content byte plus the terminator
+    assert len(events) == len(payload) + 1
+
+
+def test_read_cstring_limit_and_unterminated():
+    space = AddressSpace()
+    base = space.mmap(None, PAGE_SIZE)
+    space.write(base, b"x" * 10)             # page is zero-filled after
+    assert space.read_cstring(base) == b"x" * 10
+    with pytest.raises(SegmentationFault):
+        space.read_cstring(base, limit=10)   # NUL lies beyond the limit
+    assert space.read_cstring(base, limit=11) == b"x" * 10
+    # scanning off the end of the mapping faults at the unmapped page
+    space.write(base + PAGE_SIZE - 16, b"y" * 16)
+    with pytest.raises(SegmentationFault):
+        space.read_cstring(base + PAGE_SIZE - 16)
+
+
+def test_find_free_skips_occupied_runs():
+    space = AddressSpace()
+    a = space.mmap(None, 4 * PAGE_SIZE)
+    b = space.mmap(None, 4 * PAGE_SIZE)
+    assert b >= a + 4 * PAGE_SIZE
+    # force the cursor to walk over an occupied run
+    space._mmap_hint = a
+    c = space.mmap(None, 2 * PAGE_SIZE)
+    for off in range(0, 2 * PAGE_SIZE, PAGE_SIZE):
+        assert space.page_at(c + off) is not None
+    regions = {base for base, _ in space.mapped_pages()}
+    assert len(regions) == 10
+
+
+# -- fast/slow interpreter contract ------------------------------------------
+
+
+def _snapshot(cpu, state):
+    return (state.regs.snapshot(), cpu.counter.total_ns,
+            cpu.instructions_retired)
+
+
+def test_forced_slow_path_matches_fast_path():
+    fast_cpu, fast_state, _ = make_machine(counting_loop(200))
+    slow_cpu, slow_state, _ = make_machine(counting_loop(200))
+    slow_cpu.force_slow_path = True
+    run_to_host(fast_cpu, fast_state)
+    run_to_host(slow_cpu, slow_state)
+    assert _snapshot(fast_cpu, fast_state) == _snapshot(slow_cpu, slow_state)
+
+
+def test_trace_hook_forces_precise_and_sees_every_instruction():
+    cpu, state, _ = make_machine(counting_loop(30))
+    seen = []
+    cpu.trace_hook = lambda st, addr, instr: seen.append((addr, instr.op))
+    run_to_host(cpu, state)
+    assert len(seen) == cpu.instructions_retired
+    assert seen[0] == (CODE_BASE, Op.MOV_RI)
+
+
+def test_observer_attach_forces_precise_memory_behavior():
+    a = Assembler()
+    a.mov_ri("rax", 0x42)
+    a.store("rdi", "rax", 0)
+    a.load("rbx", "rdi", 0)
+    a.ret()
+    cpu, state, data_base = make_machine(a)
+    state.regs.set("rdi", data_base)
+    events = []
+    cpu.space.add_observer(lambda *ev: events.append(ev))
+    run_to_host(cpu, state)
+    assert ("write", data_base, 8, (0x42).to_bytes(8, "little")) in events
+    assert ("read", data_base, 8, (0x42).to_bytes(8, "little")) in events
+
+
+def test_hook_attached_during_syscall_takes_effect_immediately():
+    """A host callback may attach a precision consumer; the fast block
+    must end there so the very next instruction is traced."""
+    a = Assembler()
+    a.mov_ri("rax", 1)
+    a.syscall()
+    a.mov_ri("rbx", 2)
+    a.mov_ri("rcx", 3)
+    a.ret()
+    cpu, state, _ = make_machine(a)
+    seen = []
+
+    def handler(st):
+        cpu.trace_hook = lambda s, addr, instr: seen.append(instr.op)
+
+    cpu.syscall_handler = handler
+    run_to_host(cpu, state)
+    assert seen == [Op.MOV_RI, Op.MOV_RI, Op.RET]
+
+
+def test_batched_charging_flushed_before_syscall_handler():
+    """The kernel must observe the same virtual-cycle total at the trap
+    boundary as under per-instruction charging."""
+    a = Assembler()
+    a.mov_ri("rax", 1)
+    a.mov_ri("rbx", 2)
+    a.syscall()
+    a.ret()
+    observed = {}
+
+    cpu, state, _ = make_machine(a)
+    cpu.syscall_handler = lambda st: observed.setdefault(
+        "fast", (cpu.counter.total_ns, cpu.instructions_retired))
+    run_to_host(cpu, state)
+
+    cpu2, state2, _ = make_machine(a)
+    cpu2.force_slow_path = True
+    cpu2.syscall_handler = lambda st: observed.setdefault(
+        "slow", (cpu2.counter.total_ns, cpu2.instructions_retired))
+    run_to_host(cpu2, state2)
+
+    assert observed["fast"] == observed["slow"]
+
+
+def test_fault_still_charges_pending_instructions():
+    """An execution fault must leave identical charge totals on both
+    paths (pending charges flush before the fault propagates)."""
+    a = Assembler()
+    a.mov_ri("rax", 1)
+    a.mov_ri("rdi", 0xDEAD_0000)
+    a.load("rbx", "rdi", 0)        # faults: unmapped
+    cpu, state, _ = make_machine(a)
+    with pytest.raises(SegmentationFault):
+        cpu.run(state)
+    cpu2, state2, _ = make_machine(a)
+    cpu2.force_slow_path = True
+    with pytest.raises(SegmentationFault):
+        cpu2.run(state2)
+    assert cpu.counter.total_ns == cpu2.counter.total_ns
+    assert cpu.instructions_retired == cpu2.instructions_retired
+    assert state.regs.snapshot() == state2.regs.snapshot()
+
+
+def test_max_steps_exact_on_fast_path():
+    cpu, state, _ = make_machine(counting_loop(1000))
+    reason = cpu.run(state, max_steps=37)
+    assert reason == "max-steps"
+    assert cpu.instructions_retired == 37
+    slow_cpu, slow_state, _ = make_machine(counting_loop(1000))
+    slow_cpu.force_slow_path = True
+    slow_cpu.run(slow_state, max_steps=37)
+    assert state.regs.snapshot() == slow_state.regs.snapshot()
+    assert cpu.counter.total_ns == slow_cpu.counter.total_ns

@@ -1,0 +1,92 @@
+"""Differential fast-vs-slow interpreter tests (ISSUE acceptance
+criterion): the fast path (decoded-page cache + TLB + batched charging)
+and the forced precise path must agree bit-for-bit on every observable —
+register state, virtual-cycle totals, instructions retired, libc call
+counts, alarm PCs, and full record/replay traces — across the real
+workloads: the protected minx server under traffic, the CVE-2013-2028
+exploit, and nbench."""
+
+import pytest
+
+from repro.apps.minx import MinxServer
+from repro.apps.nbench.harness import NbenchHarness
+from repro.attacks import run_exploit
+from repro.kernel import Kernel
+from repro.machine.cpu import CPU
+from repro.trace import Recorder
+from repro.workloads import ApacheBench
+
+PROTECT = "minx_http_process_request_line"
+SEED = "fast-slow-diff"
+
+
+@pytest.fixture(params=["fast", "slow"])
+def path(request, monkeypatch):
+    if request.param == "slow":
+        monkeypatch.setattr(CPU, "force_slow_path", True)
+    return request.param
+
+
+def _minx_cve_run():
+    """Protected minx + ab traffic + the CVE exploit; every observable
+    end state (mirrors the determinism audit)."""
+    kernel = Kernel(seed=SEED)
+    server = MinxServer(kernel, protect=PROTECT, smvx=True)
+    server.start()
+    ab = ApacheBench(kernel, server).run(3)
+    outcome = run_exploit(server)
+    return {
+        "status_counts": ab.status_counts,
+        "counter_total_ns": server.process.counter.total_ns,
+        "total_cpu_ns": server.process.total_cpu_ns(),
+        "instructions_retired": server.process.cpu.instructions_retired,
+        "libc_call_counts": dict(server.process.libc_call_counts),
+        "clock_end_ns": kernel.clock.monotonic_ns,
+        "detected": outcome.divergence_detected,
+        "alarms": [(r.kind.name, r.seq, r.libc_name, r.task_id, r.guest_pc)
+                   for r in server.alarms.alarms],
+        "registers": server.process.main_thread().state.regs.snapshot(),
+    }
+
+
+_RESULTS = {}
+
+
+def test_minx_cve_identical_under_both_paths(path):
+    _RESULTS[path] = _minx_cve_run()
+    if len(_RESULTS) == 2:
+        assert _RESULTS["fast"] == _RESULTS["slow"]
+        assert _RESULTS["fast"]["detected"]
+
+
+_NBENCH = {}
+
+
+def test_nbench_workload_identical_under_both_paths(path):
+    result = NbenchHarness(runs=1).run_workload(0)
+    _NBENCH[path] = (result.vanilla_ns, result.smvx_ns,
+                     result.checksum_vanilla, result.checksum_smvx)
+    assert result.consistent
+    if len(_NBENCH) == 2:
+        assert _NBENCH["fast"] == _NBENCH["slow"]
+
+
+_TRACES = {}
+
+
+def test_recorded_trace_bit_identical_under_both_paths(path):
+    """A full flight-recorder trace (stimulus script, event ring,
+    footer digests) must serialize to the same bytes on both paths."""
+    kernel = Kernel(seed=SEED)
+    server = MinxServer(kernel, protect=PROTECT, smvx=True)
+    recorder = Recorder(kernel, scenario={"app": "minx", "seed": SEED,
+                                          "kwargs": {"protect": PROTECT,
+                                                     "smvx": True}})
+    recorder.attach_server(server)
+    server.start()
+    ApacheBench(kernel, server).run(2)
+    trace = recorder.finish()
+    _TRACES[path] = (trace.dumps(), trace.footer)
+    if len(_TRACES) == 2:
+        assert _TRACES["fast"][1] == _TRACES["slow"][1]
+        assert _TRACES["fast"][0] == _TRACES["slow"][0]
