@@ -46,14 +46,19 @@ class NbenchHarness:
     """Runs the suite in both configurations on fresh machines."""
 
     def __init__(self, runs: int = 3, costs=None,
-                 variant_strategy: str = "shift"):
+                 variant_strategy: str = "shift", fault_schedule=None):
         self.runs = runs
         self.costs = costs
         self.variant_strategy = variant_strategy
+        #: optional :class:`repro.kernel.faults.FaultSchedule` armed on
+        #: every fresh machine (the adversarial-battery conformance runs).
+        self.fault_schedule = fault_schedule
 
     def _run_once(self, index: int, smvx: bool) -> "tuple[float, int]":
         kernel = Kernel()
         provision_nbench_files(kernel.vfs)
+        if self.fault_schedule is not None:
+            kernel.faults.install(self.fault_schedule)
         if self.costs is not None:
             process = GuestProcess(kernel, "nbench", heap_pages=128,
                                    costs=self.costs)

@@ -206,17 +206,22 @@ class SmvxMonitor:
         scratch = process.space.mmap(None, 8192, tag="smvx:setup-scratch")
         process.space.write(scratch, b"/proc/self/maps\x00",
                             privileged=True)
-        fd = kernel.syscall(process, "open", scratch, O_RDONLY)
-        if fd < 0:
-            raise MvxSetupError("cannot open /proc/self/maps")
-        chunks = []
-        while True:
-            n = kernel.syscall(process, "read", fd, scratch + 256, 4096)
-            if n <= 0:
-                break
-            chunks.append(process.space.read(scratch + 256, n,
-                                             privileged=True))
-        kernel.syscall(process, "close", fd)
+        # monitor-internal I/O is exempt from fault injection (rr keeps
+        # its own recorder I/O outside the perturbed world): these raw
+        # syscalls have no libc retry layer above them, and a schedule
+        # models a hostile environment, not a self-sabotaging monitor.
+        with kernel.faults.suspended():
+            fd = kernel.syscall(process, "open", scratch, O_RDONLY)
+            if fd < 0:
+                raise MvxSetupError("cannot open /proc/self/maps")
+            chunks = []
+            while True:
+                n = kernel.syscall(process, "read", fd, scratch + 256, 4096)
+                if n <= 0:
+                    break
+                chunks.append(process.space.read(scratch + 256, n,
+                                                 privileged=True))
+            kernel.syscall(process, "close", fd)
         process.space.munmap(scratch, 8192)
         self.self_maps = b"".join(chunks).decode()
 

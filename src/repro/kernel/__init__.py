@@ -12,6 +12,7 @@ measured against these counters.
 
 from repro.kernel.errno_codes import Errno, errno_name
 from repro.kernel.clock import VirtualClock, TmStruct
+from repro.kernel.faults import FaultPlane, FaultSchedule, battery
 from repro.kernel.vfs import VirtualFS, RegularFile
 from repro.kernel.net import Network, Socket, Listener
 from repro.kernel.epoll_impl import EpollInstance, EPOLLIN, EPOLLOUT
@@ -20,6 +21,9 @@ from repro.kernel.kernel import Kernel, SyscallError
 __all__ = [
     "Errno",
     "errno_name",
+    "FaultPlane",
+    "FaultSchedule",
+    "battery",
     "VirtualClock",
     "TmStruct",
     "VirtualFS",

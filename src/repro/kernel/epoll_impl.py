@@ -37,6 +37,10 @@ class EpollInstance:
 
     def __init__(self) -> None:
         self._interest: Dict[int, _Interest] = {}
+        #: scan-start rotation, advanced whenever a poll saturates
+        #: ``max_events`` — Linux's ready-list round-robin analogue, so
+        #: fds late in the interest list cannot starve.
+        self._rotation = 0
 
     def ctl(self, op: int, fd: int, events: int = 0, data: int = 0) -> int:
         if op == EPOLL_CTL_ADD:
@@ -67,9 +71,20 @@ class EpollInstance:
 
         ``probe(fd)`` returns ``(readable, writable, hup)`` for a live fd or
         ``None`` for a stale one.
+
+        The scan starts at a rotating position: whenever a poll returns a
+        full ``max_events`` batch, the next scan begins just past the last
+        fd served, so a busy prefix of the interest list cannot starve
+        later fds (the deterministic analogue of Linux's ready-list
+        round-robin).
         """
+        items = list(self._interest.items())
+        if not items:
+            return []
+        start = self._rotation % len(items)
         ready: List[Tuple[int, int]] = []
-        for fd, interest in self._interest.items():
+        for position in range(len(items)):
+            fd, interest = items[(start + position) % len(items)]
             state = probe(fd)
             if state is None:
                 continue
@@ -84,6 +99,7 @@ class EpollInstance:
             if events:
                 ready.append((events, interest.data))
                 if len(ready) >= max_events:
+                    self._rotation = (start + position + 1) % len(items)
                     break
         return ready
 

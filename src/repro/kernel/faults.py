@@ -1,0 +1,277 @@
+"""Deterministic kernel-boundary fault injection.
+
+The paper's security argument assumes the monitor survives hostile and
+degenerate I/O (the CVE-2013-2028 attacker deliberately paces request
+bytes, §2.2), yet a simulated kernel that only ever exercises the happy
+path cannot witness the retry/partial-I/O behaviour real servers live
+with.  This module is the adversarial-schedule plane: per *fault
+schedule* it can
+
+* shorten reads and writes (``read``/``write``/``recvfrom``/``sendto``
+  transfer fewer bytes than asked);
+* return ``EINTR`` or a spurious ``EAGAIN`` before retry-able syscalls;
+* exhaust resources (``EMFILE``/``ENOMEM`` on ``open``);
+* segment socket deliveries and add per-segment extra delay (attacker-
+  style pacing applied to *every* stream);
+* cap listener backlogs so connects overflow into ``ECONNREFUSED``.
+
+Every decision is drawn from a SHA-256 counter stream keyed by the
+kernel's seed plus the schedule name, exactly like ``/dev/urandom``
+(`repro.kernel.vfs.UrandomStream`), so a schedule is a pure function of
+``(seed, schedule, query sequence)``: re-running the same workload on a
+kernel with the same seed and schedule reproduces every fault
+bit-for-bit.  That is what keeps ``repro.trace`` record/replay exact —
+the trace stores only the schedule *spec* (rr's insight: perturbations
+must themselves be replayable), and replay re-derives the identical
+fault stream.
+
+The plane is inert by default: ``Kernel`` creates one with no schedule
+installed and the syscall hot path pays a single attribute test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel.errno_codes import Errno
+
+#: syscalls a fault schedule may interrupt with EINTR; the libc layer
+#: restarts these (SA_RESTART semantics), so the guest never sees the
+#: interruption — only the extra kernel crossings.
+RETRYABLE_SYSCALLS = frozenset((
+    "read", "write", "recvfrom", "sendto", "accept4",
+    "epoll_wait", "epoll_pwait", "open",
+))
+
+#: syscalls that may spuriously report EAGAIN (legal for any non-blocking
+#: fd: the caller must treat readiness as a hint, not a promise).
+EAGAIN_SYSCALLS = frozenset(("recvfrom", "accept4"))
+
+#: syscalls whose byte counts a schedule may clamp (partial transfer).
+SHORT_READ_SYSCALLS = frozenset(("read", "recvfrom"))
+SHORT_WRITE_SYSCALLS = frozenset(("write", "sendto"))
+
+
+@dataclass
+class FaultSchedule:
+    """One named, serializable battery entry.
+
+    Probabilities are per-opportunity; ``*_every`` counters fire on every
+    Nth opportunity (1-indexed), which keeps resource-exhaustion faults
+    rare but inevitable.  A schedule is plain data so traces can embed it
+    (`to_dict`) and replay can rebuild it (`from_dict`).
+    """
+
+    name: str = "none"
+    #: P(EINTR) before each retry-able syscall.
+    eintr_p: float = 0.0
+    #: P(spurious EAGAIN) before recvfrom/accept4.
+    eagain_p: float = 0.0
+    #: P(clamp) and byte cap for short reads (never clamps to 0: a
+    #: zero-byte read would forge EOF).
+    short_read_p: float = 0.0
+    short_read_cap: int = 1
+    #: P(clamp) and byte cap for short writes.
+    short_write_p: float = 0.0
+    short_write_cap: int = 1
+    #: every Nth open fails EMFILE (0 = never).
+    emfile_every: int = 0
+    #: every Nth open fails ENOMEM (0 = never) — open(2) really can;
+    #: guest mmap/malloc live outside the syscall surface (see
+    #: docs/architecture.md §9 on fidelity limits).
+    enomem_every: int = 0
+    #: split every socket delivery into segments of at most this many
+    #: bytes (0 = off) ...
+    segment_bytes: int = 0
+    #: ... each segment after the first arriving this much later than
+    #: the previous one (attacker-style pacing on every stream).
+    segment_extra_delay_ns: int = 0
+    #: cap every listener's effective backlog (None = leave alone).
+    backlog_cap: Optional[int] = None
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "FaultSchedule":
+        return FaultSchedule(**raw)
+
+
+def battery() -> List[FaultSchedule]:
+    """The standard adversarial battery: every paper workload must
+    complete under each of these with zero spurious MVX divergences."""
+    return [
+        FaultSchedule(name="short-reads", short_read_p=0.4,
+                      short_read_cap=7),
+        FaultSchedule(name="short-writes", short_write_p=0.4,
+                      short_write_cap=9),
+        FaultSchedule(name="eintr-storm", eintr_p=0.3),
+        FaultSchedule(name="spurious-eagain", eagain_p=0.25),
+        FaultSchedule(name="segmented-net", segment_bytes=5,
+                      segment_extra_delay_ns=20_000),
+        FaultSchedule(name="everything", eintr_p=0.15, eagain_p=0.1,
+                      short_read_p=0.2, short_read_cap=11,
+                      short_write_p=0.2, short_write_cap=13,
+                      segment_bytes=48, segment_extra_delay_ns=5_000),
+    ]
+
+
+class FaultPlane:
+    """The kernel's fault-injection decision point.
+
+    Inactive (no schedule installed) it costs one attribute test per
+    syscall.  Active, each opportunity consumes deterministic PRNG draws
+    and every *injected* fault is reported through ``fault_hook`` and
+    folded into ``digest`` — the flight recorder taps both, so a trace's
+    footer pins the exact fault stream a replay must reproduce.
+    """
+
+    def __init__(self, seed: "bytes | str" = b"smvx-repro"):
+        if isinstance(seed, str):
+            seed = seed.encode()
+        self.seed = seed
+        self.schedule: Optional[FaultSchedule] = None
+        #: the one flag the syscall hot path tests.
+        self.active = False
+        self._counter = 0
+        self._suspend_depth = 0
+        self._opens = 0
+        self.injected_total = 0
+        self.injected_by_kind: Dict[str, int] = {}
+        self._digest = hashlib.sha256()
+        #: observer: fn(kind, target, detail_dict) on every injection —
+        #: the flight recorder's tap.  Never charged virtual time.
+        self.fault_hook = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def install(self, schedule: Optional[FaultSchedule]) -> None:
+        """Install ``schedule`` (or None to disarm) and reset the
+        decision stream, so install+workload is reproducible."""
+        self.schedule = schedule
+        self._counter = 0
+        self._opens = 0
+        self.injected_total = 0
+        self.injected_by_kind = {}
+        self._digest = hashlib.sha256()
+        self.active = schedule is not None
+
+    @contextmanager
+    def suspended(self):
+        """No-fault window for machinery-internal I/O (the monitor's
+        ``setup()`` reads, rr-style recorder-owned file handling): faults
+        model a hostile *world*, not a self-sabotaging monitor."""
+        self._suspend_depth += 1
+        previous, self.active = self.active, False
+        try:
+            yield
+        finally:
+            self._suspend_depth -= 1
+            if self._suspend_depth == 0 and self.schedule is not None:
+                self.active = previous
+
+    # -- the deterministic decision stream -------------------------------------
+
+    def _draw(self) -> float:
+        """One uniform [0, 1) variate from the keyed counter stream."""
+        name = (self.schedule.name if self.schedule else "none").encode()
+        block = hashlib.sha256(
+            self.seed + b"|faults|" + name + b"|" +
+            self._counter.to_bytes(8, "little")).digest()
+        self._counter += 1
+        return int.from_bytes(block[:8], "little") / float(1 << 64)
+
+    def _inject(self, kind: str, target: str, **detail) -> None:
+        self.injected_total += 1
+        self.injected_by_kind[kind] = self.injected_by_kind.get(kind, 0) + 1
+        payload = f"{kind}:{target}:" + ",".join(
+            f"{k}={detail[k]}" for k in sorted(detail))
+        self._digest.update(payload.encode())
+        if self.fault_hook is not None:
+            self.fault_hook(kind, target, detail)
+
+    @property
+    def digest(self) -> str:
+        return self._digest.hexdigest()
+
+    # -- injection points (called by the kernel) --------------------------------
+
+    def before_syscall(self, name: str) -> Optional[int]:
+        """Fault to return instead of running the handler, or None.
+
+        Called after the syscall is counted/charged and entry hooks ran:
+        an injected EINTR is a real kernel crossing, and the trace's
+        syscall digest must contain it.
+        """
+        schedule = self.schedule
+        if schedule is None:
+            return None
+        if name == "open":
+            self._opens += 1
+            if schedule.emfile_every and \
+                    self._opens % schedule.emfile_every == 0:
+                self._inject("emfile", name, nth=self._opens)
+                return -Errno.EMFILE
+            if schedule.enomem_every and \
+                    self._opens % schedule.enomem_every == 0:
+                self._inject("enomem", name, nth=self._opens)
+                return -Errno.ENOMEM
+        if schedule.eintr_p and name in RETRYABLE_SYSCALLS:
+            if self._draw() < schedule.eintr_p:
+                self._inject("eintr", name)
+                return -Errno.EINTR
+        if schedule.eagain_p and name in EAGAIN_SYSCALLS:
+            if self._draw() < schedule.eagain_p:
+                self._inject("eagain", name)
+                return -Errno.EAGAIN
+        return None
+
+    def clamp_io(self, name: str, count: int) -> int:
+        """Possibly shorten a transfer; never below 1 byte (a clamp to 0
+        would forge EOF on reads and a no-op on writes)."""
+        schedule = self.schedule
+        if schedule is None or count <= 1:
+            return count
+        if schedule.short_read_p and name in SHORT_READ_SYSCALLS:
+            if self._draw() < schedule.short_read_p:
+                clamped = max(1, min(count, schedule.short_read_cap))
+                if clamped < count:
+                    self._inject("short_read", name, asked=count,
+                                 granted=clamped)
+                return clamped
+        if schedule.short_write_p and name in SHORT_WRITE_SYSCALLS:
+            if self._draw() < schedule.short_write_p:
+                clamped = max(1, min(count, schedule.short_write_cap))
+                if clamped < count:
+                    self._inject("short_write", name, asked=count,
+                                 granted=clamped)
+                return clamped
+        return count
+
+    def segment_delivery(self, data: bytes
+                         ) -> Optional[List[Tuple[bytes, int]]]:
+        """Split one socket delivery into ``(chunk, extra_delay_ns)``
+        pieces, or None to deliver whole.  Delays are cumulative in the
+        caller: segment *k* arrives k * extra_delay_ns after the first."""
+        schedule = self.schedule
+        if schedule is None or not schedule.segment_bytes:
+            return None
+        size = schedule.segment_bytes
+        if len(data) <= size:
+            return None
+        pieces = [(bytes(data[i:i + size]),
+                   (i // size) * schedule.segment_extra_delay_ns)
+                  for i in range(0, len(data), size)]
+        self._inject("segment", "deliver", nbytes=len(data),
+                     pieces=len(pieces))
+        return pieces
+
+    def backlog_limit(self, configured: int) -> int:
+        """Effective listener backlog under this schedule."""
+        schedule = self.schedule
+        if schedule is None or schedule.backlog_cap is None:
+            return configured
+        return min(configured, schedule.backlog_cap)

@@ -65,7 +65,7 @@ class FileFD(FileDescription):
     def __init__(self, node: RegularFile, flags: int):
         self.node = node
         self.flags = flags
-        self.offset = len(node.data) if flags & O_APPEND else 0
+        self.offset = 0
 
     def _readable_mode(self) -> bool:
         return (self.flags & 0o3) in (O_RDONLY, O_RDWR)
@@ -83,6 +83,11 @@ class FileFD(FileDescription):
     def write(self, data: bytes, now: float) -> int:
         if not self._writable_mode():
             return -Errno.EBADF
+        if self.flags & O_APPEND:
+            # POSIX: append mode seeks to EOF before *every* write, not
+            # once at open — interleaved writers must never clobber each
+            # other's records.
+            self.offset = len(self.node.data)
         end = self.offset + len(data)
         if self.offset > len(self.node.data):
             self.node.data.extend(b"\x00" * (self.offset - len(self.node.data)))
@@ -141,9 +146,10 @@ class SocketFD(FileDescription):
         return self.sock.writable(now)
 
     def hup(self, now: float) -> bool:
-        # Linux reports EPOLLHUP alongside EPOLLIN once the peer has
-        # closed, whether or not buffered data remains.
-        return self.sock.peer_closed
+        # Linux reports EPOLLHUP alongside EPOLLIN once the peer's FIN
+        # has *arrived*, whether or not buffered data remains; the FIN
+        # travels the latency path, so HUP never precedes in-flight data.
+        return self.sock.fin_visible(now)
 
     def next_ready_at(self) -> Optional[float]:
         return self.sock.next_ready_at()

@@ -20,6 +20,7 @@ from repro.errors import KernelError
 from repro.kernel.clock import VirtualClock
 from repro.kernel.epoll_impl import EpollInstance
 from repro.kernel.errno_codes import Errno
+from repro.kernel.faults import FaultPlane
 from repro.kernel.fds import (
     EpollFD,
     FileDescription,
@@ -90,9 +91,14 @@ class Kernel:
         #: the machine owns (today: /dev/urandom) derives from it.
         self.seed = seed if seed is not None else DEFAULT_URANDOM_SEED
         self.vfs = VirtualFS(urandom_seed=self.seed)
+        #: seeded fault-injection plane; inert until a schedule is
+        #: installed (`faults.install(...)`), decisions derive from the
+        #: same top-level seed so schedules never break determinism.
+        self.faults = FaultPlane(self.seed)
         self.network = Network(self.clock,
                                latency_ns if latency_ns is not None
                                else 100_000)
+        self.network.fault_plane = self.faults
         self.tasks = TaskManager(costs)
         self._procs: Dict[int, _ProcState] = {}
         #: charged per syscall: enter + exit crossings + base work.
@@ -164,7 +170,13 @@ class Kernel:
         self._charge(proc, self._syscall_cost_ns, "syscall")
         for hook in self.syscall_hooks:
             hook(proc, name)
-        result = handler(proc, pcb, *args[:max_args])
+        # an injected fault is a real kernel crossing: it is counted,
+        # charged, and visible to every hook, exactly like the handler's
+        # own result would be.
+        result = self.faults.before_syscall(name) if self.faults.active \
+            else None
+        if result is None:
+            result = handler(proc, pcb, *args[:max_args])
         for hook in self.syscall_result_hooks:
             hook(proc, name, result)
         return result
@@ -248,6 +260,8 @@ class Kernel:
             return -Errno.EBADF
         if count < 0:
             return -Errno.EINVAL
+        if self.faults.active:
+            count = self.faults.clamp_io("read", count)
         result = description.read(count, self.clock.monotonic_ns)
         if isinstance(result, int):
             return result
@@ -259,6 +273,8 @@ class Kernel:
         description = pcb.fds.get(fd)
         if description is None:
             return -Errno.EBADF
+        if self.faults.active:
+            count = self.faults.clamp_io("write", count)
         data = proc.space.read(buf, count, privileged=True)
         return description.write(data, self.clock.monotonic_ns)
 
@@ -387,6 +403,8 @@ class Kernel:
             # reads whatever is available.  This is the load-bearing
             # semantic of CVE-2013-2028 (paper §4.2).
             count = 1 << 31
+        if self.faults.active:
+            count = self.faults.clamp_io("recvfrom", count)
         self._wait_readable(description, timeout_ns=None)
         result = description.read(count, self.clock.monotonic_ns)
         if isinstance(result, int):
@@ -404,6 +422,8 @@ class Kernel:
             return -Errno.EBADF
         if not isinstance(description, SocketFD):
             return -Errno.ENOTSOCK
+        if self.faults.active:
+            count = self.faults.clamp_io("sendto", count)
         data = proc.space.read(buf, count, privileged=True)
         return description.write(data, self.clock.monotonic_ns)
 

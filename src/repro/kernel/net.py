@@ -36,7 +36,13 @@ class Socket:
         #: inbound segments: (ready_at_ns, bytearray)
         self._inbox: Deque[Tuple[float, bytearray]] = deque()
         self.closed = False
-        self.peer_closed = False
+        #: when the peer's FIN becomes visible here (None = still open).
+        #: The FIN travels the same latency path as data and never
+        #: overtakes segments sent causally before it, so EOF/HUP cannot
+        #: precede data the peer sent first.
+        self.fin_at: Optional[float] = None
+        #: latest scheduled arrival in this direction (FIN ordering).
+        self.last_delivery_at: float = 0.0
         self.bytes_sent = 0
         self.bytes_received = 0
         self.options: Dict[Tuple[int, int], int] = {}
@@ -45,24 +51,36 @@ class Socket:
 
     def _deliver(self, data: bytes, ready_at: float) -> None:
         self._inbox.append((ready_at, bytearray(data)))
+        if ready_at > self.last_delivery_at:
+            self.last_delivery_at = ready_at
         if self._network.ingress_hook is not None:
             self._network.ingress_hook(self, data, ready_at)
+
+    def fin_visible(self, now: float) -> bool:
+        """Has the peer's FIN arrived by ``now``?"""
+        return self.fin_at is not None and self.fin_at <= now
+
+    @property
+    def peer_closed(self) -> bool:
+        """FIN-received state at the current instant (compat shim for
+        callers without a ``now`` in hand)."""
+        return self.fin_visible(self._network.clock.monotonic_ns)
 
     def next_ready_at(self) -> Optional[float]:
         """Earliest instant at which this socket becomes readable."""
         if self._inbox:
             return self._inbox[0][0]
-        if self.peer_closed:
-            return 0.0
+        if self.fin_at is not None:
+            return self.fin_at
         return None
 
     def readable(self, now: float) -> bool:
         if self._inbox and self._inbox[0][0] <= now:
             return True
-        return self.peer_closed and not self._inbox
+        return self.fin_visible(now) and not self._inbox
 
     def writable(self, now: float) -> bool:
-        return not self.closed and not self.peer_closed
+        return not self.closed and not self.fin_visible(now)
 
     # -- I/O -------------------------------------------------------------------
 
@@ -75,11 +93,18 @@ class Socket:
         """
         if self.closed:
             return -Errno.EBADF
-        if self.peer is None or self.peer_closed:
-            return -Errno.EPIPE
         now = self._network.clock.monotonic_ns
-        self.peer._deliver(data,
-                           now + self._network.latency_ns + extra_delay_ns)
+        if self.peer is None or self.fin_visible(now):
+            return -Errno.EPIPE
+        base = now + self._network.latency_ns + extra_delay_ns
+        plane = self._network.fault_plane
+        pieces = plane.segment_delivery(data) \
+            if plane is not None and plane.active else None
+        if pieces is None:
+            self.peer._deliver(data, base)
+        else:
+            for chunk, extra in pieces:
+                self.peer._deliver(chunk, base + extra)
         self.bytes_sent += len(data)
         return len(data)
 
@@ -92,6 +117,8 @@ class Socket:
         """
         if self.closed:
             return -Errno.EBADF
+        if count == 0:
+            return b""            # POSIX: read(fd, buf, 0) returns 0
         now = self._network.clock.monotonic_ns
         out = bytearray()
         while self._inbox and len(out) < count:
@@ -109,7 +136,7 @@ class Socket:
             return bytes(out)
         if self._inbox:
             return -Errno.EAGAIN  # data in flight, not yet arrived
-        if self.peer_closed:
+        if self.fin_visible(now):
             return b""            # orderly EOF
         return -Errno.EAGAIN
 
@@ -129,8 +156,13 @@ class Socket:
         return result
 
     def shutdown_write(self) -> None:
-        if self.peer is not None:
-            self.peer.peer_closed = True
+        """Send FIN: it rides the same latency path as data and is
+        sequenced after every segment already in flight toward the peer,
+        so the peer never observes EOF/HUP before causally earlier data."""
+        if self.peer is not None and self.peer.fin_at is None:
+            now = self._network.clock.monotonic_ns
+            self.peer.fin_at = max(now + self._network.latency_ns,
+                                   self.peer.last_delivery_at)
 
     def close(self) -> None:
         if self.closed:
@@ -151,7 +183,11 @@ class Listener:
         self.accepted_total = 0
 
     def enqueue(self, server_end: Socket, ready_at: float) -> int:
-        if len(self._pending) >= self.backlog:
+        backlog = self.backlog
+        plane = self._network.fault_plane
+        if plane is not None and plane.active:
+            backlog = plane.backlog_limit(backlog)
+        if len(self._pending) >= backlog:
             return -Errno.ECONNREFUSED
         self._pending.append((ready_at, server_end))
         return 0
@@ -189,6 +225,9 @@ class Network:
         self.latency_ns = latency_ns
         self._listeners: Dict[int, Listener] = {}
         self.connections_total = 0
+        #: the kernel's fault-injection plane (None for a bare Network);
+        #: consulted for delivery segmentation and backlog caps.
+        self.fault_plane = None
         #: flight-recorder taps (repro.trace): all default to None so the
         #: fast path stays a single attribute test.
         #: fn(client_socket, port) after a successful connect

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
+from repro.kernel.errno_codes import Errno
 from repro.loader.image import ImageBuilder, ProgramImage
 from repro.machine.isa import INSTR_SIZE
 from repro.process.context import GuestContext, to_signed
@@ -27,10 +28,27 @@ _MASK64 = (1 << 64) - 1
 #: syscall (argument marshalling, buffered-IO logic, ...), in compute units.
 _LIBC_OVERHEAD_UNITS = 12
 
+#: SA_RESTART-style resume bound: a syscall interrupted this many times in
+#: a row surfaces EINTR to the caller instead of spinning forever.
+_EINTR_RETRY_LIMIT = 64
+
 
 def _sys(ctx: GuestContext, name: str, *args: int) -> int:
-    """Issue a syscall and convert the raw result to libc conventions."""
-    raw = ctx.process.kernel.syscall(ctx.process, name, *args)
+    """Issue a syscall and convert the raw result to libc conventions.
+
+    EINTR is restarted transparently (SA_RESTART semantics: no guest in
+    this repo installs interruptible handlers), so the fault plane's
+    injected interruptions cost kernel crossings but never change what
+    the application observes.  Each restart is a real, counted syscall.
+    """
+    kernel = ctx.process.kernel
+    raw = kernel.syscall(ctx.process, name, *args)
+    restarts = 0
+    while isinstance(raw, int) and raw == -Errno.EINTR \
+            and restarts < _EINTR_RETRY_LIMIT:
+        restarts += 1
+        ctx.charge(4, "libc")            # signal-return + restart work
+        raw = kernel.syscall(ctx.process, name, *args)
     if isinstance(raw, int) and raw < 0:
         ctx.errno = -raw
         return -1
@@ -60,9 +78,27 @@ def libc_read(ctx, fd, buf, count):
     return _sys(ctx, "read", fd, buf, to_signed(count))
 
 
+def _write_all(ctx, name: str, fd, buf, count, flags=None) -> int:
+    """Short-write completion loop: the kernel may transfer fewer bytes
+    than asked (the fault plane does this on purpose); every real server
+    wraps write/send in exactly this resume-from-offset loop, so the
+    guest applications above stay oblivious."""
+    total = 0
+    while True:
+        args = (fd, buf + total, count - total)
+        if flags is not None:
+            args += (flags,)
+        wrote = _sys(ctx, name, *args)
+        if wrote < 0:
+            return wrote if total == 0 else total
+        total += wrote
+        if total >= count or wrote == 0:
+            return total
+
+
 def libc_write(ctx, fd, buf, count):
     _user(ctx)
-    return _sys(ctx, "write", fd, buf, count)
+    return _write_all(ctx, "write", fd, buf, count)
 
 
 def libc_writev(ctx, fd, iov, iovcnt):
@@ -122,7 +158,7 @@ def libc_recv(ctx, fd, buf, count, flags):
 
 def libc_send(ctx, fd, buf, count, flags):
     _user(ctx)
-    return _sys(ctx, "sendto", fd, buf, count, flags)
+    return _write_all(ctx, "sendto", fd, buf, count, flags)
 
 
 def libc_shutdown(ctx, fd, how):

@@ -30,6 +30,7 @@ class EventKind(enum.Enum):
     URANDOM = "urandom"              # /dev/urandom bytes entered the guest
     NET_INGRESS = "net_ingress"      # payload delivered toward a socket
     NET_ACCEPT = "net_accept"        # a listener handed out a connection
+    FAULT = "fault"                  # the fault plane injected a fault
     STIMULUS = "stimulus"            # host-boundary input (the record script)
     MARK = "mark"                    # free-form annotation
 

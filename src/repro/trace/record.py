@@ -140,6 +140,7 @@ class Recorder:
         kernel.clock.read_hook = self._on_clock_read
         kernel.tasks.spawn_hook = self._on_spawn
         kernel.syscall_result_hooks.append(self._on_syscall)
+        kernel.faults.fault_hook = self._on_fault
         network = kernel.network
         network.connect_hook = self._on_connect
         network.ingress_hook = self._on_ingress
@@ -179,6 +180,8 @@ class Recorder:
             kernel.tasks.spawn_hook = None
         if self._on_syscall in kernel.syscall_result_hooks:
             kernel.syscall_result_hooks.remove(self._on_syscall)
+        if kernel.faults.fault_hook == self._on_fault:
+            kernel.faults.fault_hook = None
         network = kernel.network
         if network.connect_hook == self._on_connect:
             network.connect_hook = None
@@ -223,6 +226,10 @@ class Recorder:
         self._syscall_digest.update(f"{name}:{int(result)}".encode())
         self.ring.emit(EventKind.SYSCALL, self._now, name,
                        pid=getattr(proc, "pid", -1), ret=int(result))
+
+    def _on_fault(self, kind: str, target: str, detail: Dict) -> None:
+        self.ring.emit(EventKind.FAULT, self._now, f"{kind}:{target}",
+                       **detail)
 
     def _on_connect(self, sock, port: int) -> None:
         self._append_op({"op": "connect", "port": port,
@@ -363,6 +370,9 @@ class Recorder:
             "syscall_digest": self._syscall_digest.hexdigest(),
             "task_spawns": list(self.spawns),
             "accept_order": list(self.accept_order),
+            "faults": kernel.faults.injected_total,
+            "faults_by_kind": dict(kernel.faults.injected_by_kind),
+            "fault_digest": kernel.faults.digest,
         }
         process = self.process
         if process is not None:
@@ -405,21 +415,30 @@ class Recorder:
 def record_minx(seed: str = "smvx-repro", capacity: int = 4096,
                 trace_instructions: bool = False,
                 capsule_window: int = DEFAULT_CAPSULE_WINDOW,
+                fault_schedule=None,
                 **minx_kwargs):
     """Build a freshly seeded kernel + MinxServer with a recorder
     attached and the server started.  Returns (kernel, server, recorder).
 
     ``minx_kwargs`` (port, protect, smvx, …) are stored in the trace so
     :func:`repro.trace.replay.replay_trace` can rebuild the scenario.
+    ``fault_schedule`` (a :class:`repro.kernel.faults.FaultSchedule`)
+    arms the kernel's fault plane *after* server setup and is stored in
+    the scenario: replay re-derives the identical fault stream from the
+    seed + schedule rather than replaying individual faults (rr's
+    record-the-perturbation-source principle).
     """
     from repro.apps.minx import MinxServer
     from repro.kernel.kernel import Kernel
 
     kernel = Kernel(seed=seed)
     server = MinxServer(kernel, **minx_kwargs)
+    scenario = {"app": "minx", "seed": seed, "kwargs": dict(minx_kwargs)}
+    if fault_schedule is not None:
+        scenario["faults"] = fault_schedule.to_dict()
+        kernel.faults.install(fault_schedule)
     recorder = Recorder(
-        kernel,
-        scenario={"app": "minx", "seed": seed, "kwargs": dict(minx_kwargs)},
+        kernel, scenario=scenario,
         capacity=capacity, trace_instructions=trace_instructions,
         capsule_window=capsule_window)
     recorder.attach_server(server)

@@ -29,6 +29,7 @@ _FOOTER_KEYS = (
     "syscalls", "syscall_digest", "syscalls_of_process",
     "clock_reads", "clock_digest", "urandom_bytes",
     "task_spawns", "accept_order", "alarms",
+    "faults", "faults_by_kind", "fault_digest",
 )
 
 
@@ -97,6 +98,12 @@ def _build_scenario(trace: Trace):
         raise ValueError(f"cannot rebuild unknown scenario app {app!r}")
     kernel = Kernel(seed=scenario.get("seed", "smvx-repro"))
     server = MinxServer(kernel, **scenario.get("kwargs", {}))
+    if scenario.get("faults"):
+        # re-arm the recorded fault schedule: the identical fault stream
+        # re-derives from (seed, schedule, query sequence) — faults are
+        # replayed by reproduction, not by playback.
+        from repro.kernel.faults import FaultSchedule
+        kernel.faults.install(FaultSchedule.from_dict(scenario["faults"]))
     recorder = Recorder(
         kernel, scenario=scenario,
         capacity=trace.meta.get("ring", {}).get("capacity", 4096),

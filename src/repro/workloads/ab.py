@@ -54,12 +54,18 @@ class ApacheBench:
     """``ab -n <requests> -k`` against a simulated server."""
 
     def __init__(self, kernel: Kernel, server, path: str = "/index.html",
-                 keepalive: bool = True, host: str = "localhost"):
+                 keepalive: bool = True, host: str = "localhost",
+                 max_stalls: int = 2):
         self.kernel = kernel
         self.server = server            # MinxServer / LittledServer-like
         self.path = path
         self.keepalive = keepalive
         self.host = host
+        #: how many empty recv+pump rounds to tolerate per read before
+        #: declaring the request failed; fault-schedule runs (spurious
+        #: EAGAIN, segmented deliveries) legitimately need more patience
+        #: than the happy path's 2.
+        self.max_stalls = max_stalls
 
     def _request_bytes(self, path: Optional[str] = None,
                        method: str = "GET") -> bytes:
@@ -90,7 +96,7 @@ class ApacheBench:
             chunk = self._recv_or_pump(sock, 4096)
             if not chunk:
                 stalls += 1
-                if stalls > 2:
+                if stalls > self.max_stalls:
                     return None
                 continue
             raw += chunk
@@ -101,10 +107,15 @@ class ApacheBench:
             if line.lower().startswith(b"content-length:"):
                 content_length = int(line.split(b":", 1)[1])
         body = rest
+        stalls = 0
         while len(body) < content_length:
             chunk = self._recv_or_pump(sock, content_length - len(body))
             if not chunk:
-                break
+                stalls += 1
+                if stalls > self.max_stalls:
+                    break
+                continue
+            stalls = 0
             body += chunk
         return status, body
 

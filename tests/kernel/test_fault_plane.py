@@ -1,0 +1,295 @@
+"""Unit coverage for the deterministic fault-injection plane.
+
+The plane's contract: every decision is a pure function of
+(seed, schedule name, query sequence), injections never forge EOF, and
+the kernel integration makes faults real counted syscall crossings.
+"""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.errno_codes import Errno
+from repro.kernel.faults import (
+    FaultPlane,
+    FaultSchedule,
+    battery,
+)
+from repro.kernel.net import Socket
+from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+
+from tests.kernel.conftest import FakeProc
+
+
+# -- the battery ----------------------------------------------------------------
+
+def test_battery_has_at_least_five_named_schedules():
+    schedules = battery()
+    assert len(schedules) >= 5
+    names = [s.name for s in schedules]
+    assert len(names) == len(set(names))        # unique, addressable
+
+
+def test_schedule_round_trips_through_dict():
+    for schedule in battery():
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+
+# -- determinism of the decision stream -----------------------------------------
+
+def _decision_trace(plane, n=64):
+    """The observable decision sequence for n read opportunities."""
+    return [(plane.before_syscall("read"), plane.clamp_io("read", 100))
+            for _ in range(n)]
+
+
+def test_same_seed_same_schedule_same_decisions():
+    schedule = FaultSchedule(name="t", eintr_p=0.3, short_read_p=0.3,
+                             short_read_cap=7)
+    a, b = FaultPlane(b"seed-A"), FaultPlane(b"seed-A")
+    a.install(schedule)
+    b.install(schedule)
+    assert _decision_trace(a) == _decision_trace(b)
+    assert a.digest == b.digest
+    assert a.injected_total == b.injected_total > 0
+
+
+def test_different_seed_different_decisions():
+    schedule = FaultSchedule(name="t", eintr_p=0.3, short_read_p=0.3,
+                             short_read_cap=7)
+    a, b = FaultPlane(b"seed-A"), FaultPlane(b"seed-B")
+    a.install(schedule)
+    b.install(schedule)
+    assert _decision_trace(a) != _decision_trace(b)
+
+
+def test_different_schedule_name_different_stream():
+    a, b = FaultPlane(b"seed"), FaultPlane(b"seed")
+    a.install(FaultSchedule(name="first", eintr_p=0.3))
+    b.install(FaultSchedule(name="second", eintr_p=0.3))
+    assert [a.before_syscall("read") for _ in range(64)] != \
+        [b.before_syscall("read") for _ in range(64)]
+
+
+def test_install_resets_the_stream():
+    schedule = FaultSchedule(name="t", eintr_p=0.4)
+    plane = FaultPlane(b"seed")
+    plane.install(schedule)
+    first = _decision_trace(plane, 32)
+    digest_first = plane.digest
+    plane.install(schedule)                     # re-arm: counters reset
+    assert plane.injected_total == 0
+    assert _decision_trace(plane, 32) == first
+    assert plane.digest == digest_first
+
+
+def test_uninstall_disarms():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", eintr_p=1.0))
+    assert plane.active
+    plane.install(None)
+    assert not plane.active
+    assert plane.before_syscall("read") is None
+
+
+# -- suspended() ----------------------------------------------------------------
+
+def test_suspended_masks_and_restores():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", eintr_p=1.0))
+    with plane.suspended():
+        assert not plane.active
+        assert plane.before_syscall("read") is None or not plane.active
+    assert plane.active
+    assert plane.before_syscall("read") == -Errno.EINTR
+
+
+def test_suspended_nests():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", eintr_p=1.0))
+    with plane.suspended():
+        with plane.suspended():
+            assert not plane.active
+        assert not plane.active                 # still inside the outer
+    assert plane.active
+
+
+def test_suspended_without_schedule_stays_inert():
+    plane = FaultPlane(b"seed")
+    with plane.suspended():
+        pass
+    assert not plane.active
+
+
+# -- clamps never forge EOF ------------------------------------------------------
+
+def test_clamp_never_below_one_byte():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", short_read_p=1.0,
+                                short_read_cap=0))
+    for count in (1, 2, 100):
+        assert plane.clamp_io("read", count) >= 1
+
+
+def test_clamp_respects_cap_and_category():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", short_read_p=1.0,
+                                short_read_cap=3))
+    assert plane.clamp_io("read", 100) == 3
+    assert plane.clamp_io("recvfrom", 100) == 3
+    # a read-only schedule never touches writes
+    assert plane.clamp_io("write", 100) == 100
+    assert plane.clamp_io("sendto", 100) == 100
+
+
+def test_clamp_leaves_small_transfers_alone():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", short_read_p=1.0,
+                                short_read_cap=3))
+    assert plane.clamp_io("read", 1) == 1
+    assert plane.clamp_io("read", 2) == 2       # below cap: unchanged
+
+
+# -- segmentation ----------------------------------------------------------------
+
+def test_segment_delivery_reassembles_in_order():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", segment_bytes=5,
+                                segment_extra_delay_ns=100))
+    data = b"0123456789abcdef"
+    pieces = plane.segment_delivery(data)
+    assert b"".join(chunk for chunk, _ in pieces) == data
+    assert all(len(chunk) <= 5 for chunk, _ in pieces)
+    delays = [extra for _, extra in pieces]
+    assert delays == [0, 100, 200, 300]         # strictly later-and-later
+
+
+def test_segment_delivery_skips_small_payloads():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", segment_bytes=8))
+    assert plane.segment_delivery(b"short") is None
+    plane.install(FaultSchedule(name="t"))      # segmentation off
+    assert plane.segment_delivery(b"0123456789abcdef") is None
+
+
+# -- backlog -------------------------------------------------------------------
+
+def test_backlog_limit():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", backlog_cap=2))
+    assert plane.backlog_limit(128) == 2
+    assert plane.backlog_limit(1) == 1
+    plane.install(FaultSchedule(name="t"))
+    assert plane.backlog_limit(128) == 128
+
+
+# -- resource exhaustion ---------------------------------------------------------
+
+def test_emfile_and_enomem_fire_on_every_nth_open():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", emfile_every=2, enomem_every=3))
+    results = [plane.before_syscall("open") for _ in range(6)]
+    assert results[1] == -Errno.EMFILE          # open #2
+    assert results[2] == -Errno.ENOMEM          # open #3
+    assert results[3] == -Errno.EMFILE          # open #4
+    assert results[5] == -Errno.EMFILE          # open #6 (EMFILE wins)
+    assert plane.injected_by_kind == {"emfile": 3, "enomem": 1}
+
+
+# -- observability ---------------------------------------------------------------
+
+def test_fault_hook_and_digest_observe_every_injection():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", emfile_every=1))
+    seen = []
+    plane.fault_hook = lambda kind, target, detail: \
+        seen.append((kind, target, dict(detail)))
+    before = plane.digest
+    assert plane.before_syscall("open") == -Errno.EMFILE
+    assert seen == [("emfile", "open", {"nth": 1})]
+    assert plane.digest != before
+    assert plane.injected_total == 1
+
+
+# -- kernel integration ----------------------------------------------------------
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def test_kernel_plane_inert_by_default(kernel):
+    assert not kernel.faults.active
+    assert kernel.faults.schedule is None
+
+
+def test_injected_eintr_surfaces_on_raw_syscalls(kernel):
+    proc = FakeProc(kernel)
+    kernel.vfs.write_file("/data", b"payload")
+    fd = kernel.syscall(proc, "open", proc.put_cstring("/data"), O_RDONLY)
+    assert fd >= 3
+    kernel.faults.install(FaultSchedule(name="t", eintr_p=1.0))
+    # raw syscalls (no libc above them) see the interruption itself
+    assert kernel.syscall(proc, "read", fd, proc.buffer(), 7) == \
+        -Errno.EINTR
+
+
+def test_injected_fault_is_a_counted_syscall(kernel):
+    proc = FakeProc(kernel)
+    kernel.vfs.write_file("/data", b"payload")
+    fd = kernel.syscall(proc, "open", proc.put_cstring("/data"), O_RDONLY)
+    kernel.faults.install(FaultSchedule(name="t", eintr_p=1.0))
+    before = kernel.syscall_count(proc.pid)
+    kernel.syscall(proc, "read", fd, proc.buffer(), 7)
+    assert kernel.syscall_count(proc.pid) == before + 1
+
+
+def test_short_read_clamp_end_to_end(kernel):
+    proc = FakeProc(kernel)
+    kernel.vfs.write_file("/data", b"0123456789")
+    fd = kernel.syscall(proc, "open", proc.put_cstring("/data"), O_RDONLY)
+    kernel.faults.install(FaultSchedule(name="t", short_read_p=1.0,
+                                        short_read_cap=3))
+    buf = proc.buffer()
+    assert kernel.syscall(proc, "read", fd, buf, 10) == 3
+    assert proc.space.read(buf, 3, privileged=True) == b"012"
+    # the cursor only advanced by what was granted
+    assert kernel.syscall(proc, "read", fd, buf, 10) == 3
+    assert proc.space.read(buf, 3, privileged=True) == b"345"
+
+
+def test_open_emfile_end_to_end(kernel):
+    proc = FakeProc(kernel)
+    kernel.faults.install(FaultSchedule(name="t", emfile_every=1))
+    assert kernel.syscall(proc, "open", proc.put_cstring("/tmp/x"),
+                          O_WRONLY | O_CREAT) == -Errno.EMFILE
+
+
+def test_backlog_cap_overflows_into_econnrefused(kernel):
+    kernel.faults.install(FaultSchedule(name="t", backlog_cap=1))
+    kernel.network.listen(9100, backlog=16)
+    assert isinstance(kernel.network.connect(9100), Socket)
+    assert kernel.network.connect(9100) == -Errno.ECONNREFUSED
+
+
+def test_segmented_delivery_end_to_end(kernel):
+    kernel.faults.install(FaultSchedule(name="t", segment_bytes=4,
+                                        segment_extra_delay_ns=1_000))
+    listener = kernel.network.listen(9101)
+    client = kernel.network.connect(9101)
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    server_end = listener.accept()
+    client.send(b"0123456789abcdef")
+    out = b""
+    for _ in range(16):
+        chunk = server_end.recv(64)
+        if isinstance(chunk, int):
+            ready_at = server_end.next_ready_at()
+            if ready_at is None:
+                break
+            kernel.clock.advance_to(ready_at)
+            continue
+        out += chunk
+        if len(out) == 16:
+            break
+    assert out == b"0123456789abcdef"
+    assert kernel.faults.injected_by_kind.get("segment", 0) == 1

@@ -35,6 +35,10 @@ def test_send_to_closed_peer_is_epipe(kernel):
     server_end = listener.accept()
     assert isinstance(server_end, Socket)
     server_end.close()
+    # the FIN rides the latency path: a send racing it still succeeds,
+    # EPIPE only once the close has become visible (TCP-faithful)
+    assert client.send(b"x") == 1
+    kernel.clock.advance_ns(kernel.network.latency_ns)
     assert client.send(b"x") == -Errno.EPIPE
 
 
