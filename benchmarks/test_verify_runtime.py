@@ -1,0 +1,78 @@
+"""Static-verifier runtime benchmark (ISSUE satellite): how long the
+offline and live verification passes take per bundled image, recorded in
+``BENCH_analysis.json``.
+
+The verifier is meant to run at every bring-up when strict mode is on,
+so its cost must stay a small, bounded fraction of monitor setup.  This
+benchmark measures, per app:
+
+* **offline** — ``verify_image`` (CFG recovery + wrpkru scan +
+  interception coverage + divergence lint) on the unloaded image;
+* **live** — ``verify_process`` on a booted, monitor-attached process
+  (adds the W^X walk, gate dataflow, pkey audit, GOT audit).
+
+Sanity bounds rather than paper numbers: each pass must finish within a
+generous wall-clock budget and report zero findings on the clean apps.
+"""
+
+import json
+import os
+import time
+
+from repro.analysis.verify import _bundled_apps, _live_report, verify_image
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_analysis.json")
+
+#: generous per-pass wall-clock budgets (seconds)
+OFFLINE_BUDGET_S = 10.0
+LIVE_BUDGET_S = 60.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_verifier_runtime_and_emit_json(table):
+    registry = _bundled_apps()
+    rows = []
+    payload = {"budget_s": {"offline": OFFLINE_BUDGET_S,
+                            "live": LIVE_BUDGET_S},
+               "apps": {}}
+
+    for app in sorted(registry):
+        build, roots = registry[app]
+        image = build()
+        offline, offline_s = _timed(
+            lambda: verify_image(image, roots=roots))
+        live, live_s = _timed(lambda: _live_report(app, roots))
+
+        assert offline.ok and live.ok, f"{app} not clean"
+        assert offline_s < OFFLINE_BUDGET_S, \
+            f"{app}: offline verify took {offline_s:.2f}s"
+        assert live_s < LIVE_BUDGET_S, \
+            f"{app}: live verify took {live_s:.2f}s"
+
+        functions = len([s for s in image.function_symbols()
+                         if s.section == ".text"])
+        payload["apps"][app] = {
+            "functions": functions,
+            "checks": list(live.checks),
+            "offline_ms": round(offline_s * 1e3, 2),
+            "live_ms": round(live_s * 1e3, 2),
+            "findings": len(live.findings),
+            "divergence_surface": len(live.divergence_surface),
+        }
+        rows.append((app, functions, f"{offline_s * 1e3:,.1f} ms",
+                     f"{live_s * 1e3:,.1f} ms",
+                     len(live.findings)))
+
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    table("Static verifier runtime (offline image pass vs live audit)",
+          ("app", "functions", "offline", "live", "findings"),
+          rows)

@@ -1,21 +1,68 @@
-"""Analysis tooling: call graphs, perf-style profiling, pmap-style RSS,
-alias analysis, and the ROP gadget scanner."""
+"""Analysis tooling: call graphs, CFG recovery, perf-style profiling,
+pmap-style RSS, alias analysis, the ROP gadget scanner, and the static
+MPK-isolation / interception-coverage / divergence-surface verifier
+(``python -m repro.analysis.verify``)."""
 
-from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.callgraph import INDIRECT, CallGraph, build_callgraph
 from repro.analysis.alias import AliasAnalysis, analyze_image_pointers
+from repro.analysis.cfg import (
+    BasicBlock,
+    FunctionCFG,
+    function_cfg,
+    image_cfgs,
+    recover_cfg,
+)
+from repro.analysis.findings import Finding, Severity, VerifyReport
 from repro.analysis.perf import FunctionProfiler, FlameNode
+from repro.analysis.pkru import GatePolicy, analyze_gate, verify_monitor_image
 from repro.analysis.pmap import rss_kb, rss_report
-from repro.analysis.gadgets import Gadget, find_gadgets
+from repro.analysis.gadgets import (
+    Gadget,
+    classify_gadget,
+    find_gadgets,
+    gadget_census,
+)
+# verify's entry points are exported lazily (PEP 562) so that
+# ``python -m repro.analysis.verify`` does not trip the "found in
+# sys.modules before execution" runpy warning.
+_VERIFY_EXPORTS = ("audit_live_space", "explain_alarm", "verify_image",
+                   "verify_process")
+
+
+def __getattr__(name: str):
+    if name in _VERIFY_EXPORTS:
+        from repro.analysis import verify
+        return getattr(verify, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AliasAnalysis",
+    "BasicBlock",
     "CallGraph",
+    "Finding",
     "FlameNode",
+    "FunctionCFG",
     "FunctionProfiler",
     "Gadget",
+    "GatePolicy",
+    "INDIRECT",
+    "Severity",
+    "VerifyReport",
+    "analyze_gate",
     "analyze_image_pointers",
+    "audit_live_space",
     "build_callgraph",
+    "classify_gadget",
+    "explain_alarm",
     "find_gadgets",
+    "function_cfg",
+    "gadget_census",
+    "image_cfgs",
+    "recover_cfg",
     "rss_kb",
     "rss_report",
+    "verify_image",
+    "verify_monitor_image",
+    "verify_process",
 ]

@@ -1,0 +1,133 @@
+"""``python -m repro.analysis`` — one front door for the offline tools.
+
+Subcommands mirror the external tools the paper leans on:
+
+* ``callgraph`` — the r2pipe-style protected-subtree dump (Figure 2);
+* ``gadgets``   — the Ropper/ROPGadget-style census over a booted app;
+* ``pmap``      — the RSS breakdown used for Table 3;
+* ``verify``    — the static MPK/interception/divergence verifier
+  (equivalent to ``python -m repro.analysis.verify``).
+
+Each subcommand takes a bundled app name (``minx``, ``littled``,
+``nbench``); ``verify`` forwards its remaining arguments unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.verify import _bundled_apps
+
+
+def _boot(app: str):
+    """Boot a bundled app *without* the monitor; returns (process,
+    loaded target image)."""
+    from repro.kernel import Kernel
+    kernel = Kernel()
+    if app == "minx":
+        from repro.apps.minx import MinxServer
+        server = MinxServer(kernel)
+        return server.process, server.loaded
+    if app == "littled":
+        from repro.apps.littled import LittledServer
+        server = LittledServer(kernel)
+        return server.process, server.loaded
+    from repro.apps.nbench.workloads import (
+        build_nbench_image,
+        provision_nbench_files,
+    )
+    from repro.core import build_smvx_stub_image
+    from repro.libc import build_libc_image
+    from repro.process import GuestProcess
+    provision_nbench_files(kernel.vfs)
+    process = GuestProcess(kernel, "nbench", heap_pages=128)
+    process.load_image(build_libc_image(), tag="libc")
+    process.load_image(build_smvx_stub_image(), tag="libsmvx")
+    loaded = process.load_image(build_nbench_image(), main=True)
+    return process, loaded
+
+
+def _cmd_callgraph(app: str, root: Optional[str]) -> int:
+    from repro.analysis.callgraph import build_callgraph
+    build, default_roots = _bundled_apps()[app]
+    image = build()
+    graph = build_callgraph(image)
+    if root is None:
+        for name in sorted(graph.edges):
+            callees = ", ".join(sorted(graph.edges[name])) or "-"
+            print(f"{name} -> {callees}")
+        return 0
+    subtree = graph.subtree(root)
+    print(f"protected subtree of {root!r} "
+          f"({len(subtree)} functions):")
+    for name in sorted(subtree):
+        print(f"  {name}")
+    libc = sorted(graph.libc_reachable(root))
+    print(f"libc reachable: {', '.join(libc) or '-'}")
+    conservative = sorted(graph.indirect_sites(root))
+    if conservative:
+        print(f"indirect branches (coverage conservative): "
+              f"{', '.join(conservative)}")
+    return 0
+
+
+def _cmd_gadgets(app: str, max_len: int) -> int:
+    from repro.analysis.gadgets import find_gadgets, gadget_census
+    process, loaded = _boot(app)
+    start, size = loaded.section_range(".text")
+    gadgets = find_gadgets(process.space, max_len=max_len,
+                           region=(start, start + size))
+    census = gadget_census(gadgets)
+    print(f"{app}: {len(gadgets)} gadgets in .text "
+          f"({start:#x}+{size:#x})")
+    for kind, count in census.items():
+        print(f"  {kind:>16}: {count}")
+    return 0
+
+
+def _cmd_pmap(app: str) -> int:
+    from repro.analysis.pmap import format_pmap, rss_kb
+    process, _loaded = _boot(app)
+    print(format_pmap(process))
+    print(f"total rss: {rss_kb(process):.1f} kB")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Offline analysis tools for the sMVX repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    apps = sorted(_bundled_apps())
+    p_cg = sub.add_parser("callgraph", help="call-graph / subtree dump")
+    p_cg.add_argument("app", choices=apps)
+    p_cg.add_argument("--root", help="print this root's protected subtree")
+
+    p_g = sub.add_parser("gadgets", help="ROP gadget census over .text")
+    p_g.add_argument("app", choices=apps)
+    p_g.add_argument("--max-len", type=int, default=3)
+
+    p_p = sub.add_parser("pmap", help="RSS breakdown of a booted app")
+    p_p.add_argument("app", choices=apps)
+
+    sub.add_parser("verify", add_help=False,
+                   help="static verifier (args forwarded)")
+
+    if argv and argv[0] == "verify":
+        from repro.analysis.verify import main as verify_main
+        return verify_main(argv[1:])
+
+    args = parser.parse_args(argv)
+    if args.command == "callgraph":
+        return _cmd_callgraph(args.app, args.root)
+    if args.command == "gadgets":
+        return _cmd_gadgets(args.app, args.max_len)
+    return _cmd_pmap(args.app)
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

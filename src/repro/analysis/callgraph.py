@@ -15,6 +15,13 @@ Edges come from two sources:
 
 Libc imports appear as ``name@plt`` leaf nodes, so the graph also answers
 "which libc functions can this subtree reach".
+
+Register- and memory-target branches (``CALL_R``/``JMP_R``/``JMP_M``)
+cannot be resolved statically; they are recorded as edges to the
+:data:`INDIRECT` pseudo-callee instead of being dropped, so consumers
+(the interception-coverage verifier in particular) can be *conservative*
+— "this subtree contains a crossing I could not resolve" — rather than
+silently unsound.
 """
 
 from __future__ import annotations
@@ -26,6 +33,12 @@ from repro.errors import SymbolNotFound
 from repro.loader.image import ProgramImage, Symbol
 from repro.machine.disasm import disassemble_bytes
 from repro.machine.isa import Op
+
+#: Pseudo-callee marking a statically unresolvable branch target
+#: (``CALL_R``/``JMP_R``/``JMP_M``) inside a function body.
+INDIRECT = "<indirect>"
+
+_INDIRECT_OPS = (Op.CALL_R, Op.JMP_R, Op.JMP_M)
 
 
 @dataclass
@@ -51,7 +64,8 @@ class CallGraph:
         stack = [root]
         while stack:
             current = stack.pop()
-            if current in seen or current.endswith("@plt"):
+            if current in seen or current.endswith("@plt") \
+                    or current == INDIRECT:
                 continue
             seen.add(current)
             stack.extend(self.edges.get(current, ()))
@@ -71,6 +85,13 @@ class CallGraph:
         return {name for name in self.edges
                 if name not in called and not name.endswith("@plt")}
 
+    def indirect_sites(self, root: str) -> Set[str]:
+        """Functions in ``root``'s subtree containing an unresolvable
+        (register/memory-target) branch.  A non-empty result means any
+        reachability claim about the subtree is conservative, not exact."""
+        return {func for func in self.subtree(root)
+                if INDIRECT in self.edges.get(func, ())}
+
 
 def _isa_call_targets(image: ProgramImage, sym: Symbol) -> Set[str]:
     """Disassemble one ISA function and resolve direct branch targets."""
@@ -78,6 +99,9 @@ def _isa_call_targets(image: ProgramImage, sym: Symbol) -> Set[str]:
     body = text[sym.offset:sym.offset + sym.size]
     targets: Set[str] = set()
     for addr, instr in disassemble_bytes(body, base=sym.offset):
+        if instr.op in _INDIRECT_OPS:
+            targets.add(INDIRECT)
+            continue
         if instr.op not in (Op.CALL, Op.JMP):
             continue
         target_offset = addr + 16 + instr.imm   # next-instruction relative

@@ -1,0 +1,218 @@
+"""Seeded broken-image corpus for the static verifier.
+
+A verifier is only as trustworthy as its known-bad test set.  Each
+:class:`CorpusCase` here deliberately constructs one violation of an
+sMVX deployment invariant — a stray ``wrpkru`` in application code, a
+libc crossing missing from the intercept table, a W^X page, an unsealed
+GOT, a trampoline that returns with the monitor key still open — and
+records the finding code(s) the verifier *must* report.  CI runs
+``python -m repro.analysis.verify --corpus`` and fails if any seeded
+violation goes undetected (a silently weakened verifier is worse than
+none: it certifies broken deployments as clean).
+
+Cases never mutate the bundled app builders; each constructs its own
+image or boots its own throwaway kernel/process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Set
+
+from repro.analysis.findings import VerifyReport
+from repro.analysis.pkru import GatePolicy, verify_monitor_image
+from repro.loader.image import ImageBuilder, ProgramImage
+from repro.machine.asm import Assembler
+from repro.machine.isa import INSTR_SIZE
+from repro.machine.memory import PAGE_SIZE, PROT_RWX, page_align_up
+
+
+@dataclass
+class CorpusResult:
+    """Outcome of running the verifier over one seeded-broken case."""
+
+    name: str
+    expected: Set[str]            # finding codes that must appear
+    found: Set[str]               # finding codes actually reported
+    report: VerifyReport = field(repr=False, default=None)
+
+    @property
+    def caught(self) -> bool:
+        return self.expected <= self.found
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    name: str
+    description: str
+    expected: Set[str]
+    run: Callable[[], VerifyReport]
+
+
+# ---------------------------------------------------------------------------
+# image-level cases
+# ---------------------------------------------------------------------------
+
+def _noop(ctx) -> int:
+    return 0
+
+
+def _stray_wrpkru_image() -> ProgramImage:
+    """An application image smuggling a PKRU write into a leaf helper."""
+    builder = ImageBuilder("broken_stray_pkru")
+    evil = Assembler()
+    evil.mov_ri("rcx", 0)
+    evil.mov_ri("rdx", 0)
+    evil.mov_ri("rax", 0)
+    evil.wrpkru()                 # opens every pkey, monitor's included
+    evil.ret()
+    builder.add_isa_function("disable_protection", evil)
+    entry = Assembler()
+    entry.call("disable_protection")
+    entry.ret()
+    builder.add_isa_function("app_main", entry)
+    return builder.build()
+
+
+def _case_stray_wrpkru() -> VerifyReport:
+    from repro.analysis.verify import verify_image
+    return verify_image(_stray_wrpkru_image(), roots=("app_main",))
+
+
+def _missing_intercept_image() -> ProgramImage:
+    """Protected root reaches ``gettimeofday`` (a benign-divergence
+    source) through a helper; the monitor's table won't list it."""
+    builder = ImageBuilder("broken_missing_intercept")
+    builder.import_libc("gettimeofday", "write")
+    builder.add_hl_function("timestamp", _noop, 0,
+                            calls=("gettimeofday",))
+    builder.add_hl_function("handle_request", _noop, 1,
+                            calls=("timestamp", "write"))
+    return builder.build()
+
+
+def _case_missing_intercept() -> VerifyReport:
+    from repro.analysis.verify import verify_image
+    # simulate a monitor whose intercept table lost gettimeofday
+    return verify_image(_missing_intercept_image(),
+                        roots=("handle_request",),
+                        intercepted={"write"})
+
+
+def _open_ret_trampoline_image() -> ProgramImage:
+    """A monitor whose trampoline returns without restoring PKRU."""
+    builder = ImageBuilder("broken_open_ret")
+    builder.add_hl_function("smvx_gate", _noop, 0, size=8 * INSTR_SIZE)
+    tramp = Assembler()
+    tramp.mov_ri("rcx", 0)
+    tramp.mov_ri("rdx", 0)
+    tramp.mov_ri("rax", _OPEN)
+    tramp.wrpkru()
+    tramp.call("smvx_gate")
+    tramp.ret()                   # PKRU still open on return
+    builder.add_isa_function("smvx_trampoline", tramp)
+    return builder.build()
+
+
+_OPEN = 0x0
+_CLOSED = 0xC
+
+
+def _case_open_ret_trampoline() -> VerifyReport:
+    policy = GatePolicy(pkru_open=_OPEN, pkru_closed=_CLOSED)
+    report = VerifyReport(target="broken_open_ret")
+    report.ran("gate-dataflow")
+    report.findings.extend(
+        verify_monitor_image(_open_ret_trampoline_image(), policy))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# live-space cases (each boots its own throwaway process)
+# ---------------------------------------------------------------------------
+
+def _boot_minx():
+    from repro.apps.minx import MinxServer
+    from repro.kernel import Kernel
+    return MinxServer(Kernel(), protect="minx_http_process_request_line",
+                      smvx=True)
+
+
+def _case_wx_page() -> VerifyReport:
+    from repro.analysis.verify import audit_live_space
+    server = _boot_minx()
+    process = server.process
+    addr = process.space.mmap(None, PAGE_SIZE, prot=PROT_RWX,
+                              tag="broken:wx-scratch")
+    try:
+        return audit_live_space(process, server.monitor)
+    finally:
+        process.space.munmap(addr, PAGE_SIZE)
+
+
+def _case_unsealed_got() -> VerifyReport:
+    from repro.analysis.verify import audit_live_space
+    from repro.machine.memory import PROT_RW
+    server = _boot_minx()
+    target = server.monitor.target
+    start, size = target.section_range(".got.plt")
+    server.process.space.mprotect(start, page_align_up(max(size, 1)),
+                                  PROT_RW)
+    return audit_live_space(server.process, server.monitor)
+
+
+def _case_restored_got_slot() -> VerifyReport:
+    from repro.analysis.verify import audit_live_space
+    from repro.machine.memory import PROT_READ, PROT_RW
+    server = _boot_minx()
+    process = server.process
+    monitor = server.monitor
+    target = monitor.target
+    # un-seal, depatch one slot back to the real libc, re-seal: only
+    # ICOV003 (bypassed interception) should fire, not GOT001
+    start, size = target.section_range(".got.plt")
+    length = page_align_up(max(size, 1))
+    process.space.mprotect(start, length, PROT_RW)
+    name = "recv"
+    process.loader.patch_got_slot(target, name, monitor.real_libc[name])
+    process.space.mprotect(start, length, PROT_READ)
+    return audit_live_space(process, monitor)
+
+
+CORPUS: List[CorpusCase] = [
+    CorpusCase(
+        "stray-wrpkru",
+        "application image contains a PKRU write (pkey-disable gadget)",
+        {"PKRU001"}, _case_stray_wrpkru),
+    CorpusCase(
+        "missing-intercept",
+        "benign-divergence libc crossing absent from the intercept table",
+        {"ICOV001", "DIV001"}, _case_missing_intercept),
+    CorpusCase(
+        "open-ret-trampoline",
+        "monitor trampoline returns with the monitor key still open",
+        {"PKRU004"}, _case_open_ret_trampoline),
+    CorpusCase(
+        "wx-page",
+        "a page mapped writable and executable",
+        {"WXOR001"}, _case_wx_page),
+    CorpusCase(
+        "unsealed-got",
+        "target .got.plt left writable after interposition",
+        {"GOT001"}, _case_unsealed_got),
+    CorpusCase(
+        "restored-got-slot",
+        "one GOT slot depatched back to raw libc (interception bypass)",
+        {"ICOV003"}, _case_restored_got_slot),
+]
+
+
+def run_corpus() -> List[CorpusResult]:
+    """Run the verifier over every seeded-broken case."""
+    results = []
+    for case in CORPUS:
+        report = case.run()
+        results.append(CorpusResult(
+            case.name, set(case.expected),
+            {f.code for f in report.findings}, report))
+    return results

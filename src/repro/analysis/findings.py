@@ -1,0 +1,132 @@
+"""Typed findings shared by the static-verifier passes.
+
+Every check in ``repro.analysis`` (PKRU-gate dataflow, interception
+coverage, divergence-surface lint, live-space audit) reports problems as
+:class:`Finding` values collected into a :class:`VerifyReport`.  Findings
+are plain frozen dataclasses with a stable machine-readable ``code`` so
+CI can assert on exact violations, plus JSON output for tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(enum.Enum):
+    ERROR = "error"       # invariant violated; unsafe to run
+    WARNING = "warning"   # soundness gap or suspicious shape
+    INFO = "info"         # informational (surfaced, never gating)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier diagnostic."""
+
+    code: str             # e.g. "PKRU001"; stable across releases
+    severity: Severity
+    message: str
+    image: str = ""       # image name the finding is about, if any
+    symbol: str = ""      # function/symbol, if any
+    address: int = -1     # guest address or section offset, -1 if n/a
+
+    def to_dict(self) -> Dict:
+        out = {"code": self.code, "severity": self.severity.value,
+               "message": self.message}
+        if self.image:
+            out["image"] = self.image
+        if self.symbol:
+            out["symbol"] = self.symbol
+        if self.address >= 0:
+            out["address"] = self.address
+        return out
+
+    def format(self) -> str:
+        where = ":".join(part for part in (self.image, self.symbol) if part)
+        addr = f" @{self.address:#x}" if self.address >= 0 else ""
+        prefix = f"{where}{addr}: " if where or addr else ""
+        return f"[{self.severity.value.upper()}] {self.code} " \
+               f"{prefix}{self.message}"
+
+
+@dataclass
+class VerifyReport:
+    """All findings from one verification run over one target."""
+
+    target: str
+    findings: List[Finding] = field(default_factory=list)
+    #: names of the checks that actually ran (for "was X even checked")
+    checks: List[str] = field(default_factory=list)
+    #: divergence-surface entries: benign-divergence sources reachable
+    #: from the replicated subtree and how the monitor neutralizes them;
+    #: kept out of ``findings`` when fully neutralized (see verify.py).
+    divergence_surface: List[Dict] = field(default_factory=list)
+
+    def add(self, code: str, severity: Severity, message: str,
+            image: str = "", symbol: str = "", address: int = -1) -> Finding:
+        finding = Finding(code, severity, message, image, symbol, address)
+        self.findings.append(finding)
+        return finding
+
+    def ran(self, check: str) -> None:
+        if check not in self.checks:
+            self.checks.append(check)
+
+    def by_code(self, code: str) -> List[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """Clean means no ERROR-severity findings."""
+        return not self.errors
+
+    def to_dict(self) -> Dict:
+        return {
+            "target": self.target,
+            "ok": self.ok,
+            "checks": list(self.checks),
+            "findings": [f.to_dict() for f in self.findings],
+            "divergence_surface": list(self.divergence_surface),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def format(self) -> str:
+        lines = [f"verify {self.target}: "
+                 f"{'CLEAN' if self.ok else 'FAIL'} "
+                 f"({len(self.errors)} errors, {len(self.warnings)} "
+                 f"warnings; checks: {', '.join(self.checks) or 'none'})"]
+        lines.extend(f"  {f.format()}" for f in self.findings)
+        for entry in self.divergence_surface:
+            lines.append(f"  [surface] {entry['name']}: {entry['category']}"
+                         f" -> {entry['disposition']}")
+        return "\n".join(lines)
+
+    def merge(self, other: "VerifyReport") -> "VerifyReport":
+        """Fold ``other`` in, dropping exact-duplicate findings and
+        surface entries (offline and live passes overlap on purpose)."""
+        seen = set(self.findings)
+        for finding in other.findings:
+            if finding not in seen:
+                seen.add(finding)
+                self.findings.append(finding)
+        for check in other.checks:
+            self.ran(check)
+        for entry in other.divergence_surface:
+            if entry not in self.divergence_surface:
+                self.divergence_surface.append(entry)
+        return self

@@ -92,3 +92,33 @@ def find_ret(gadgets: Iterable[Gadget]) -> Optional[Gadget]:
         if gadget.length == 1:
             return gadget
     return None
+
+
+def classify_gadget(gadget: Gadget) -> str:
+    """Coarse attacker-utility class of one gadget."""
+    first = gadget.instructions[0]
+    if gadget.length == 1:
+        return "ret"
+    if gadget.length == 2 and first.op == Op.POP_R:
+        return f"pop-{first.reg1}-ret"
+    if first.op in (Op.ADD_RI, Op.SUB_RI, Op.ADD_RR, Op.SUB_RR,
+                    Op.XOR_RR, Op.XOR_RI, Op.AND_RI, Op.OR_RI,
+                    Op.SHL_RI, Op.SHR_RI):
+        return "arith-ret"
+    if first.op in (Op.LOAD, Op.LOAD8):
+        return "load-ret"
+    if first.op in (Op.STORE, Op.STORE8):
+        return "store-ret"
+    if first.op in (Op.MOV_RR, Op.MOV_RI, Op.LEA):
+        return "mov-ret"
+    return "other"
+
+
+def gadget_census(gadgets: Iterable[Gadget]) -> Dict[str, int]:
+    """Histogram of gadget classes — the attack-surface summary the
+    CLI prints and the §4.2 experiment's scanner sanity check."""
+    census: Dict[str, int] = {}
+    for gadget in gadgets:
+        key = classify_gadget(gadget)
+        census[key] = census.get(key, 0) + 1
+    return dict(sorted(census.items()))

@@ -420,7 +420,8 @@ class LittledServer:
                  protect: Optional[str] = None, smvx: bool = False,
                  heap_pages: int = 192, bss_kb: int = 64,
                  name: str = "littled", reuse_variants: bool = False,
-                 variant_strategy: str = "shift"):
+                 variant_strategy: str = "shift",
+                 strict_verify: bool = False):
         from repro.core import AlarmLog, attach_smvx, build_smvx_stub_image
         from repro.libc import build_libc_image
 
@@ -441,7 +442,8 @@ class LittledServer:
             self.monitor = attach_smvx(self.process, self.loaded,
                                        alarm_log=self.alarms,
                                        reuse_variants=reuse_variants,
-                                       variant_strategy=variant_strategy)
+                                       variant_strategy=variant_strategy,
+                                       strict_verify=strict_verify)
 
     def start(self) -> int:
         return self.process.call_function("littled_main", self.port)

@@ -724,7 +724,8 @@ class MinxServer:
                  protect: Optional[str] = None, smvx: bool = False,
                  heap_pages: int = 256, bss_kb: int = 110,
                  name: str = "minx", reuse_variants: bool = False,
-                 variant_strategy: str = "shift"):
+                 variant_strategy: str = "shift",
+                 strict_verify: bool = False):
         from repro.core import AlarmLog, attach_smvx, build_smvx_stub_image
         from repro.libc import build_libc_image
 
@@ -745,7 +746,8 @@ class MinxServer:
             self.monitor = attach_smvx(self.process, self.loaded,
                                        alarm_log=self.alarms,
                                        reuse_variants=reuse_variants,
-                                       variant_strategy=variant_strategy)
+                                       variant_strategy=variant_strategy,
+                                       strict_verify=strict_verify)
 
     def start(self) -> int:
         return self.process.call_function("minx_main", self.port)

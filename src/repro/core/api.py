@@ -61,19 +61,24 @@ def attach_smvx(process: GuestProcess, target: LoadedImage,
                 alarm_log: Optional[AlarmLog] = None,
                 alias_info=None,
                 reuse_variants: bool = False,
-                variant_strategy: str = "shift") -> SmvxMonitor:
+                variant_strategy: str = "shift",
+                strict_verify: bool = False) -> SmvxMonitor:
     """Preload the sMVX monitor into ``process`` (the LD_PRELOAD step).
 
     Must run after the target image is loaded (the monitor patches its
     GOT) and before the application starts issuing libc calls.
     ``reuse_variants`` enables the §5 pre-scan/pre-update optimization
     (parked followers refreshed incrementally between regions).
+    ``strict_verify`` runs the static verifier (``repro.analysis.verify``)
+    over the live space at the end of setup and fails closed on any
+    ERROR-severity finding.
     """
     if target is None:
         raise MvxSetupError("no target image to protect")
     monitor = SmvxMonitor(process, alarm_log=alarm_log,
                           alias_info=alias_info,
                           reuse_variants=reuse_variants,
-                          variant_strategy=variant_strategy)
+                          variant_strategy=variant_strategy,
+                          strict_verify=strict_verify)
     monitor.setup(target, profile_path=profile_path)
     return monitor

@@ -98,10 +98,14 @@ class SmvxMonitor:
     def __init__(self, process: GuestProcess,
                  alarm_log: Optional[AlarmLog] = None,
                  alias_info=None, reuse_variants: bool = False,
-                 variant_strategy: str = "shift"):
+                 variant_strategy: str = "shift",
+                 strict_verify: bool = False):
         if variant_strategy not in ("shift", "aligned"):
             raise MvxSetupError(
                 f"unknown variant strategy {variant_strategy!r}")
+        #: fail-closed bring-up: run the static verifier over the live
+        #: space at the end of setup() and refuse to serve on any ERROR.
+        self.strict_verify = strict_verify
         self.process = process
         self.costs = process.costs
         self.alarms = alarm_log or AlarmLog()
@@ -194,11 +198,38 @@ class SmvxMonitor:
             impl = self.monitor_image.symbol_address(name)
             process.loader.patch_got_slot(target, name, impl)
 
+        # 6b. seal the interposed GOT: every slot now points into the
+        # monitor, and nothing legitimate writes it again (linking was
+        # eager, variant bookkeeping uses privileged stores), so leaving
+        # it writable would only serve GOT-overwrite attacks.
+        self.seal_target_got()
+
         # 7. hide the monitor from application code
         process.default_pkru = self.memory.pkru_closed
         for thread in process.threads:
             thread.state.pkru = self.memory.pkru_closed
         process.smvx_monitor = self
+
+        # 8. opt-in fail-closed bring-up: prove the MPK/interception
+        # invariants over the live space before serving anything.
+        if self.strict_verify:
+            from repro.analysis.verify import verify_process
+            config = getattr(process, "app_config", None) or {}
+            protect = config.get("protect")
+            roots = (protect,) if protect \
+                and target.has_symbol(protect) else ()
+            report = verify_process(process, self, roots=roots)
+            if not report.ok:
+                raise MvxSetupError(
+                    "strict verification failed:\n" + "\n".join(
+                        f.format() for f in report.errors))
+
+    def seal_target_got(self) -> None:
+        """Write-protect the target's patched ``.got.plt`` pages."""
+        from repro.machine.memory import PROT_READ, page_align_up
+        start, size = self.target.section_range(".got.plt")
+        self.process.space.mprotect(start, page_align_up(max(size, 1)),
+                                    PROT_READ)
 
     def _read_self_maps(self) -> None:
         process = self.process

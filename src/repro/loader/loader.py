@@ -110,7 +110,17 @@ class Loader:
     # -- loading ------------------------------------------------------------------
 
     def load(self, image: ProgramImage, base: Optional[int] = None,
-             tag: Optional[str] = None, pkey: int = 0) -> LoadedImage:
+             tag: Optional[str] = None, pkey: int = 0,
+             verify: bool = False) -> LoadedImage:
+        if verify:
+            # opt-in pre-load verification: refuse images carrying a
+            # PKRU-write gadget or undecodable function bodies
+            from repro.analysis.verify import verify_image
+            report = verify_image(image)
+            if not report.ok:
+                raise ImageError(
+                    f"{image.name}: static verification failed:\n"
+                    + "\n".join(f.format() for f in report.errors))
         if base is None:
             base = self._next_base
             self._next_base += page_align_up(image.load_size) + 0x10000

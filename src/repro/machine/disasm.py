@@ -14,17 +14,36 @@ from repro.machine.isa import INSTR_SIZE, Instruction
 from repro.machine.memory import AddressSpace, PAGE_SIZE, PROT_EXEC
 
 
-def disassemble_bytes(raw: bytes, base: int = 0) -> List[Tuple[int, Instruction]]:
+def disassemble_bytes(raw: bytes, base: int = 0,
+                      skip_invalid: bool = False
+                      ) -> List[Tuple[int, Instruction]]:
     """Decode a byte string into ``(address, instruction)`` pairs.
 
-    Stops at the first undecodable slot (e.g. padding) — callers scanning
-    for gadgets iterate window-by-window instead.
+    Two contracts, chosen by ``skip_invalid``:
+
+    * **stop-at-padding** (default): decoding stops at the first
+      undecodable slot.  This is the right contract for linear sweeps of
+      a single function body, where the first invalid slot means "end of
+      code, start of non-instruction bytes" — anything after it is not
+      part of the function and must not be attributed to it.
+    * **windowed** (``skip_invalid=True``): undecodable slots are skipped
+      and decoding resumes at the next ``INSTR_SIZE`` boundary (the ISA
+      is fixed width, so slot boundaries are unambiguous).  CFG recovery
+      and the gadget scanner use this mode: both need every decodable
+      slot in a region, with holes simply absent from the result.
+      Callers that care *where* the holes are can diff the returned
+      addresses against the full slot range.
+
+    A trailing partial slot (``len(raw)`` not a multiple of
+    ``INSTR_SIZE``) is never decoded in either mode.
     """
     out: List[Tuple[int, Instruction]] = []
     for offset in range(0, len(raw) - len(raw) % INSTR_SIZE, INSTR_SIZE):
         try:
             instr = Instruction.decode(raw[offset:offset + INSTR_SIZE])
         except InvalidInstruction:
+            if skip_invalid:
+                continue
             break
         out.append((base + offset, instr))
     return out
@@ -63,13 +82,8 @@ def executable_words(space: AddressSpace) -> Iterator[Tuple[int, Instruction]]:
     for base, page in space.mapped_pages():
         if not page.prot & PROT_EXEC:
             continue
-        for offset in range(0, PAGE_SIZE, INSTR_SIZE):
-            try:
-                instr = Instruction.decode(
-                    bytes(page.data[offset:offset + INSTR_SIZE]))
-            except InvalidInstruction:
-                continue
-            yield base + offset, instr
+        yield from disassemble_bytes(bytes(page.data), base=base,
+                                     skip_invalid=True)
 
 
 def format_listing(pairs: List[Tuple[int, Instruction]]) -> str:

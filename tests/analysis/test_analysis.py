@@ -87,6 +87,44 @@ def test_unknown_root_raises():
         graph.subtree("nothere")
 
 
+def test_indirect_branches_become_explicit_edges():
+    """Regression: CALL_R/JMP_R/JMP_M used to be silently dropped; they
+    must appear as edges to the <indirect> pseudo-callee so coverage
+    claims can be conservative instead of unsound."""
+    from repro.analysis.callgraph import INDIRECT
+    builder = ImageBuilder("indirectapp")
+
+    def noop(ctx):
+        return 0
+    builder.add_hl_function("main", noop, 0, calls=("dispatch", "leaf"))
+    builder.add_hl_function("leaf", noop, 0)
+    isa = Assembler()
+    isa.call("leaf")
+    isa.call_r("rax")               # register call: unresolvable
+    isa.ret()
+    builder.add_isa_function("dispatch", isa)
+    graph = build_callgraph(builder.build())
+    assert INDIRECT in graph.callees("dispatch")
+    assert "leaf" in graph.callees("dispatch")
+    # subtree traversal skips the pseudo-node instead of crashing
+    subtree = graph.subtree("main")
+    assert INDIRECT not in subtree
+    assert subtree == {"main", "dispatch", "leaf"}
+    # and indirect_sites pinpoints which functions are conservative
+    assert graph.indirect_sites("main") == {"dispatch"}
+    assert graph.indirect_sites("leaf") == set()
+
+
+def test_jmp_m_counts_as_indirect_edge():
+    from repro.analysis.callgraph import INDIRECT
+    builder = ImageBuilder("gotapp")
+    isa = Assembler()
+    isa.jmp_m(0)                    # memory-target jump (GOT-style)
+    builder.add_isa_function("goer", isa)
+    graph = build_callgraph(builder.build())
+    assert INDIRECT in graph.callees("goer")
+
+
 # -- alias analysis ------------------------------------------------------------------
 
 def test_alias_analysis_finds_static_pointer_slots():

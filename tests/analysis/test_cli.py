@@ -1,0 +1,98 @@
+"""Tests for the analysis CLIs: ``python -m repro.analysis`` and
+``python -m repro.analysis.verify``."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.verify import main as verify_main
+
+
+def test_verify_cli_offline_all_apps_clean(capsys):
+    assert verify_main([]) == 0
+    out = capsys.readouterr().out
+    for app in ("minx", "littled", "nbench"):
+        assert f"verify {app}: CLEAN" in out
+
+
+def test_verify_cli_json_output(capsys):
+    assert verify_main(["--json", "minx"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["target"] == "minx" and payload["ok"] is True
+
+
+def test_verify_cli_unknown_app_is_usage_error(capsys):
+    assert verify_main(["apache"]) == 2
+    assert "unknown app" in capsys.readouterr().err
+
+
+def test_verify_cli_root_override(capsys):
+    assert verify_main(["--root", "minx_http_log_access", "minx"]) == 0
+    assert "CLEAN" in capsys.readouterr().out
+
+
+def test_verify_cli_corpus_exit_code(capsys):
+    assert verify_main(["--corpus"]) == 0
+    out = capsys.readouterr().out
+    assert "every seeded violation caught" in out
+    assert "MISSED" not in out
+
+
+def test_verify_cli_live_minx(capsys):
+    assert verify_main(["--live", "minx"]) == 0
+    out = capsys.readouterr().out
+    assert "verify minx: CLEAN" in out
+    assert "got-audit" in out
+
+
+def test_analysis_cli_callgraph_subtree(capsys):
+    rc = analysis_main(["callgraph", "minx",
+                        "--root", "minx_http_process_request_line"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "protected subtree" in out
+    assert "recv" in out            # libc reachability line
+
+
+def test_analysis_cli_callgraph_full_dump(capsys):
+    assert analysis_main(["callgraph", "littled"]) == 0
+    out = capsys.readouterr().out
+    assert "server_main_loop ->" in out
+
+
+def test_analysis_cli_gadgets(capsys):
+    assert analysis_main(["gadgets", "minx"]) == 0
+    out = capsys.readouterr().out
+    assert "gadgets in .text" in out
+    assert "ret" in out
+
+
+def test_analysis_cli_pmap(capsys):
+    assert analysis_main(["pmap", "littled"]) == 0
+    out = capsys.readouterr().out
+    assert "total rss" in out
+    assert "littled:.text" in out
+
+
+def test_analysis_cli_forwards_verify(capsys):
+    assert analysis_main(["verify", "minx"]) == 0
+    assert "verify minx: CLEAN" in capsys.readouterr().out
+
+
+def test_cli_module_entrypoints_run_in_subprocess():
+    """The ``python -m`` plumbing itself (runpy + __main__ guards)."""
+    import os
+    import pathlib
+    import subprocess
+    import sys
+    import repro
+    src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.verify", "minx"],
+        capture_output=True, text=True, timeout=120, env=env)
+    assert result.returncode == 0, result.stderr
+    assert "verify minx: CLEAN" in result.stdout
+    assert "RuntimeWarning" not in result.stderr

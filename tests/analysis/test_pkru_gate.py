@@ -1,0 +1,212 @@
+"""Tests for the ERIM-style PKRU-gate dataflow pass (repro.analysis.pkru)."""
+
+import pytest
+
+from repro.analysis.cfg import recover_cfg
+from repro.analysis.pkru import (
+    GatePolicy,
+    analyze_gate,
+    verify_monitor_image,
+    wrpkru_sites_in_image,
+)
+from repro.loader import ImageBuilder
+from repro.machine import Assembler
+from repro.machine.isa import INSTR_SIZE
+
+OPEN = 0x0
+CLOSED = 0xC
+POLICY = GatePolicy(pkru_open=OPEN, pkru_closed=CLOSED)
+
+
+def gate_cfg(build, name="smvx_trampoline"):
+    a = Assembler()
+    build(a)
+    return recover_cfg(a.assemble(0), base=0, name=name)
+
+
+def run(build, resolve=lambda addr: None):
+    return analyze_gate(gate_cfg(build), POLICY, resolve)
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def correct_trampoline(a, gate_at=0x1000):
+    a.mov_ri("rcx", 0)
+    a.mov_ri("rdx", 0)
+    a.mov_ri("rax", OPEN)
+    a.wrpkru()
+    a.call(gate_at)
+    a.mov_ri("rcx", 0)
+    a.mov_ri("rdx", 0)
+    a.mov_ri("rax", CLOSED)
+    a.wrpkru()
+    a.ret()
+
+
+def test_correct_trampoline_is_clean():
+    resolve = lambda addr: "smvx_gate" if addr == 0x1000 else None
+    findings = run(correct_trampoline, resolve)
+    assert findings == []
+
+
+def test_ret_with_open_pkru_flags_exit_path():
+    def build(a):
+        a.mov_ri("rcx", 0)
+        a.mov_ri("rdx", 0)
+        a.mov_ri("rax", OPEN)
+        a.wrpkru()
+        a.ret()                     # never restored
+    assert "PKRU004" in codes(run(build))
+
+
+def test_unproven_rcx_rdx_flagged():
+    def build(a):
+        a.mov_ri("rax", CLOSED)
+        a.wrpkru()                  # rcx/rdx unknown at entry
+        a.ret()
+    assert "PKRU002" in codes(run(build))
+
+
+def test_nonconstant_pkru_value_flagged():
+    def build(a):
+        a.mov_ri("rcx", 0)
+        a.mov_ri("rdx", 0)
+        a.mov_rr("rax", "rdi")      # attacker-influenced value
+        a.wrpkru()
+        a.ret()
+    found = codes(run(build))
+    assert "PKRU003" in found
+    assert "PKRU004" in found       # exit state is indeterminate too
+
+
+def test_unexpected_constant_flagged():
+    def build(a):
+        a.mov_ri("rcx", 0)
+        a.mov_ri("rdx", 0)
+        a.mov_ri("rax", 0xFF)       # neither open nor closed
+        a.wrpkru()
+        a.ret()
+    assert "PKRU003" in codes(run(build))
+
+
+def test_open_state_call_to_non_gate_flagged():
+    def build(a):
+        correct_trampoline(a, gate_at=0x2000)   # resolves to None
+    assert "PKRU005" in codes(run(build))
+
+
+def test_indirect_call_in_open_state_flagged():
+    def build(a):
+        a.mov_ri("rcx", 0)
+        a.mov_ri("rdx", 0)
+        a.mov_ri("rax", OPEN)
+        a.wrpkru()
+        a.call_r("r11")
+        a.mov_ri("rcx", 0)
+        a.mov_ri("rdx", 0)
+        a.mov_ri("rax", CLOSED)
+        a.wrpkru()
+        a.ret()
+    assert "PKRU005" in codes(run(build))
+
+
+def test_open_close_without_gate_call_warns():
+    def build(a):
+        a.mov_ri("rcx", 0)
+        a.mov_ri("rdx", 0)
+        a.mov_ri("rax", OPEN)
+        a.wrpkru()
+        a.mov_ri("rax", CLOSED)     # rcx/rdx still zero
+        a.wrpkru()
+        a.ret()
+    found = run(build)
+    assert "PKRU006" in codes(found)
+    assert all(f.code != "PKRU004" for f in found)
+
+
+def test_join_of_open_and_closed_paths_widens_to_top():
+    """One path opens, one doesn't; after the join PKRU is unknown and
+    the exit check must fire pessimistically."""
+    def build(a):
+        a.cmp_ri("rdi", 0)
+        a.je("skip")
+        a.mov_ri("rcx", 0)
+        a.mov_ri("rdx", 0)
+        a.mov_ri("rax", OPEN)
+        a.wrpkru()
+        a.label("skip")
+        a.ret()
+    assert "PKRU004" in codes(run(build))
+
+
+def test_real_monitor_image_verifies_clean():
+    from repro.core.trampoline import build_monitor_image
+    image = build_monitor_image(
+        ["read", "write"], lambda ctx: 0, lambda ctx: 0,
+        lambda ctx, *a: 0, lambda ctx: 0, OPEN, CLOSED)
+    findings = verify_monitor_image(image, POLICY)
+    assert findings == []
+
+
+def test_wrpkru_sites_found_in_image():
+    from repro.core.trampoline import build_monitor_image
+    image = build_monitor_image(
+        ["read"], lambda ctx: 0, lambda ctx: 0,
+        lambda ctx, *a: 0, lambda ctx: 0, OPEN, CLOSED)
+    sites = wrpkru_sites_in_image(image)
+    assert len(sites) == 2          # open + close in the trampoline
+    assert all(sym == "smvx_trampoline" for sym, _ in sites)
+
+
+def test_missing_trampoline_symbol_flagged():
+    builder = ImageBuilder("no_tramp")
+    builder.add_hl_function("smvx_gate", lambda ctx: 0, 0,
+                            size=4 * INSTR_SIZE)
+    findings = verify_monitor_image(builder.build(), POLICY)
+    assert "PKRU004" in codes(findings)
+
+
+def test_bad_stub_shape_flagged():
+    builder = ImageBuilder("bad_stub")
+    builder.add_hl_function("smvx_gate", lambda ctx: 0, 0,
+                            size=4 * INSTR_SIZE)
+    tramp = Assembler()
+    tramp.mov_ri("rcx", 0)
+    tramp.mov_ri("rdx", 0)
+    tramp.mov_ri("rax", OPEN)
+    tramp.wrpkru()
+    tramp.call("smvx_gate")
+    tramp.mov_ri("rcx", 0)
+    tramp.mov_ri("rdx", 0)
+    tramp.mov_ri("rax", CLOSED)
+    tramp.wrpkru()
+    tramp.ret()
+    builder.add_isa_function("smvx_trampoline", tramp)
+    stub = Assembler()
+    stub.ret()                      # does not funnel into the trampoline
+    builder.add_isa_function("smvx_stub_read", stub)
+    findings = verify_monitor_image(builder.build(), POLICY)
+    assert "PKRU008" in codes(findings)
+
+
+def test_non_hl_gate_symbol_flagged():
+    builder = ImageBuilder("isa_gate")
+    gate = Assembler()
+    gate.ret()
+    builder.add_isa_function("smvx_gate", gate)   # no stack pivot
+    tramp = Assembler()
+    tramp.mov_ri("rcx", 0)
+    tramp.mov_ri("rdx", 0)
+    tramp.mov_ri("rax", OPEN)
+    tramp.wrpkru()
+    tramp.call("smvx_gate")
+    tramp.mov_ri("rcx", 0)
+    tramp.mov_ri("rdx", 0)
+    tramp.mov_ri("rax", CLOSED)
+    tramp.wrpkru()
+    tramp.ret()
+    builder.add_isa_function("smvx_trampoline", tramp)
+    findings = verify_monitor_image(builder.build(), POLICY)
+    assert "PKRU007" in codes(findings)

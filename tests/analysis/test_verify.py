@@ -1,0 +1,245 @@
+"""Tests for the static verifier driver (repro.analysis.verify) and its
+bring-up wiring (strict mode, GOT sealing, corpus)."""
+
+import json
+
+import pytest
+
+from repro.analysis.corpus import CORPUS, run_corpus
+from repro.analysis.findings import Severity, VerifyReport
+from repro.analysis.verify import (
+    audit_live_space,
+    explain_alarm,
+    verify_image,
+    verify_process,
+)
+from repro.core.divergence import DivergenceKind, DivergenceReport
+from repro.errors import ImageError, MvxSetupError, SegmentationFault
+from repro.kernel import Kernel
+from repro.loader import ImageBuilder
+from repro.machine import Assembler
+from repro.machine.memory import PROT_READ, PROT_WRITE
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def minx_server(kernel, **kw):
+    from repro.apps.minx import MinxServer
+    return MinxServer(kernel, protect="minx_http_process_request_line",
+                      smvx=True, **kw)
+
+
+# -- offline image verification ------------------------------------------------
+
+@pytest.mark.parametrize("app,root", [
+    ("minx", "minx_http_process_request_line"),
+    ("littled", "server_main_loop"),
+])
+def test_bundled_apps_verify_clean(app, root):
+    if app == "minx":
+        from repro.apps.minx import build_minx_image as build
+    else:
+        from repro.apps.littled import build_littled_image as build
+    report = verify_image(build(), roots=(root,))
+    assert report.ok
+    assert report.warnings == []
+    assert {"cfg-recovery", "pkru-placement", "interception-coverage",
+            "divergence-surface"} <= set(report.checks)
+
+
+def test_nbench_workloads_verify_clean():
+    from repro.apps.nbench.workloads import (
+        NBENCH_WORKLOADS,
+        build_nbench_image,
+    )
+    roots = tuple(spec.func for spec in NBENCH_WORKLOADS)
+    report = verify_image(build_nbench_image(), roots=roots)
+    assert report.ok and report.warnings == []
+
+
+def test_divergence_surface_records_neutralized_sources():
+    from repro.apps.minx import build_minx_image
+    report = verify_image(build_minx_image(),
+                          roots=("minx_http_process_request_line",))
+    names = {entry["name"] for entry in report.divergence_surface}
+    # minx's request path timestamps responses: wall-clock sources are
+    # present but neutralized (RETVAL_AND_BUFFER), so no findings
+    assert "gettimeofday" in names
+    assert report.by_code("DIV001") == []
+
+
+def test_unintercepted_divergence_source_is_error():
+    builder = ImageBuilder("divapp")
+    builder.import_libc("time")
+    builder.add_hl_function("root", lambda ctx: 0, 0, calls=("time",))
+    report = verify_image(builder.build(), roots=("root",),
+                          intercepted=set())
+    assert not report.ok
+    assert {f.code for f in report.errors} >= {"ICOV001", "DIV001"}
+
+
+def test_unknown_root_reported_not_raised():
+    builder = ImageBuilder("rootless")
+    builder.add_hl_function("main", lambda ctx: 0, 0)
+    report = verify_image(builder.build(), roots=("ghost",))
+    assert report.by_code("VER001")
+    assert not report.ok
+
+
+def test_indirect_branch_in_subtree_warns():
+    builder = ImageBuilder("indirect")
+    isa = Assembler()
+    isa.call_r("rax")
+    isa.ret()
+    builder.add_isa_function("dispatch", isa)
+    builder.add_hl_function("main", lambda ctx: 0, 0, calls=("dispatch",))
+    report = verify_image(builder.build(), roots=("main",))
+    warning = report.by_code("ICOV002")
+    assert warning and warning[0].severity is Severity.WARNING
+    assert "dispatch" in warning[0].message
+
+
+def test_report_json_round_trips():
+    from repro.apps.minx import build_minx_image
+    report = verify_image(build_minx_image(),
+                          roots=("minx_http_process_request_line",))
+    payload = json.loads(report.to_json())
+    assert payload["ok"] is True
+    assert payload["target"] == "minx"
+    assert isinstance(payload["findings"], list)
+    assert payload["divergence_surface"]
+
+
+# -- live-space audit ----------------------------------------------------------
+
+def test_live_audit_clean_on_protected_minx(kernel):
+    server = minx_server(kernel)
+    report = verify_process(server.process, server.monitor,
+                            roots=("minx_http_process_request_line",))
+    assert report.ok, report.format()
+    assert {"wx-audit", "gate-dataflow", "monitor-keying",
+            "got-audit"} <= set(report.checks)
+
+
+def test_live_audit_without_monitor_still_checks_wx(kernel):
+    from repro.apps.minx import MinxServer
+    server = MinxServer(kernel)
+    report = audit_live_space(server.process)
+    assert report.ok
+    assert "wx-audit" in report.checks
+    assert "got-audit" not in report.checks
+
+
+# -- GOT sealing (monitor bring-up hardening) ----------------------------------
+
+def test_got_sealed_after_attach(kernel):
+    server = minx_server(kernel)
+    start, size = server.monitor.target.section_range(".got.plt")
+    page = server.process.space.page_at(start)
+    assert page.prot & PROT_READ
+    assert not page.prot & PROT_WRITE
+
+
+def test_guest_write_to_sealed_got_faults(kernel):
+    server = minx_server(kernel)
+    slot = server.monitor.target.got_slot_address("recv")
+    with pytest.raises(SegmentationFault):
+        server.process.space.write_word(slot, 0x41414141)
+
+
+def test_sealed_got_still_serves_requests(kernel):
+    from repro.workloads import ApacheBench
+    server = minx_server(kernel)
+    server.start()
+    result = ApacheBench(kernel, server).run(2)
+    assert result.status_counts == {200: 2}
+
+
+# -- strict mode ---------------------------------------------------------------
+
+def test_strict_verify_attach_succeeds_on_clean_deployment(kernel):
+    server = minx_server(kernel, strict_verify=True)
+    assert server.monitor is not None
+    assert server.monitor.strict_verify
+
+
+def test_strict_verify_cve_exploit_still_detected(kernel):
+    from repro.attacks import run_exploit
+    server = minx_server(kernel, strict_verify=True)
+    server.start()
+    outcome = run_exploit(server)
+    assert outcome.attack_detected_and_blocked
+    assert not outcome.directory_created
+
+
+def test_loader_verify_rejects_stray_wrpkru_image(kernel):
+    from repro.analysis.corpus import _stray_wrpkru_image
+    from repro.process import GuestProcess
+    process = GuestProcess(kernel, "strict")
+    with pytest.raises(ImageError, match="PKRU001"):
+        process.loader.load(_stray_wrpkru_image(), verify=True)
+
+
+def test_loader_verify_accepts_clean_image(kernel):
+    from repro.apps.minx import build_minx_image
+    from repro.libc import build_libc_image
+    from repro.process import GuestProcess
+    process = GuestProcess(kernel, "ok")
+    process.load_image(build_libc_image(), tag="libc")
+    from repro.core import build_smvx_stub_image
+    process.load_image(build_smvx_stub_image(), tag="libsmvx")
+    loaded = process.loader.load(build_minx_image(), verify=True)
+    assert loaded.base > 0
+
+
+# -- seeded broken corpus ------------------------------------------------------
+
+def test_corpus_catches_every_seeded_violation():
+    results = run_corpus()
+    assert len(results) == len(CORPUS) >= 6
+    missed = [r.name for r in results if not r.caught]
+    assert missed == [], f"verifier missed: {missed}"
+
+
+def test_corpus_cases_fail_their_reports():
+    for result in run_corpus():
+        assert not result.report.ok, result.name
+
+
+# -- alarm cross-check ---------------------------------------------------------
+
+def test_explain_alarm_matches_neutralized_surface():
+    from repro.apps.minx import build_minx_image
+    report = verify_image(build_minx_image(),
+                          roots=("minx_http_process_request_line",))
+    alarm = DivergenceReport(DivergenceKind.RETVAL, seq=3,
+                             libc_name="gettimeofday")
+    explained = explain_alarm(alarm, report)
+    assert explained is not None and explained["predicted"]
+    assert explained["surface"]["name"] == "gettimeofday"
+
+
+def test_explain_alarm_matches_lint_finding():
+    builder = ImageBuilder("divapp2")
+    builder.import_libc("getpid")
+    builder.add_hl_function("root", lambda ctx: 0, 0, calls=("getpid",))
+    report = verify_image(builder.build(), roots=("root",),
+                          intercepted=set())
+    alarm = DivergenceReport(DivergenceKind.RETVAL, libc_name="getpid")
+    explained = explain_alarm(alarm, report)
+    assert explained is not None
+    assert explained["finding"]["code"] == "DIV001"
+
+
+def test_explain_alarm_genuine_divergence_unexplained():
+    from repro.apps.minx import build_minx_image
+    report = verify_image(build_minx_image(),
+                          roots=("minx_http_process_request_line",))
+    # a follower fault (the CVE signature) is not a benign source
+    alarm = DivergenceReport(DivergenceKind.FOLLOWER_FAULT)
+    assert explain_alarm(alarm, report) is None
+    scalar = DivergenceReport(DivergenceKind.ARGUMENT, libc_name="recv")
+    assert explain_alarm(scalar, report) is None

@@ -35,6 +35,58 @@ def test_disassemble_respects_base():
     assert [addr for addr, _ in pairs] == [0x1000, 0x1000 + INSTR_SIZE]
 
 
+def _code(build):
+    a = Assembler()
+    build(a)
+    return a.assemble(0)
+
+
+def test_disassemble_stops_at_first_invalid_slot_by_default():
+    """Default contract: a linear sweep of one function body stops at
+    padding — bytes after the first bad slot are not attributed."""
+    raw = _code(lambda a: (a.mov_ri("rax", 1),)) + b"\xee" * INSTR_SIZE \
+        + _code(lambda a: (a.ret(),))
+    pairs = disassemble_bytes(raw, base=0)
+    assert [addr for addr, _ in pairs] == [0]
+
+
+def test_disassemble_skip_invalid_resumes_at_next_slot():
+    """Windowed contract: holes are skipped, decoding resumes at the
+    next INSTR_SIZE boundary, and holes are simply absent."""
+    raw = _code(lambda a: (a.mov_ri("rax", 1),)) + b"\xee" * INSTR_SIZE \
+        + _code(lambda a: (a.ret(),))
+    pairs = disassemble_bytes(raw, base=0, skip_invalid=True)
+    assert [addr for addr, _ in pairs] == [0, 2 * INSTR_SIZE]
+    assert pairs[1][1].op == Op.RET
+
+
+def test_disassemble_trailing_partial_slot_never_decoded():
+    raw = _code(lambda a: (a.ret(),)) + b"\x00" * (INSTR_SIZE - 1)
+    for skip in (False, True):
+        pairs = disassemble_bytes(raw, base=0, skip_invalid=skip)
+        assert len(pairs) == 1
+
+
+def test_executable_words_skip_nonexec_and_holes():
+    from repro.kernel import Kernel
+    from repro.machine.disasm import executable_words
+    from repro.machine.memory import PROT_READ, PROT_RX
+    from repro.process import GuestProcess
+    process = GuestProcess(Kernel(), "dis")
+    space = process.space
+    code = _code(lambda a: (a.nop(), a.ret()))
+    exec_base = space.mmap(None, 4096, prot=PROT_RX, tag="t:code")
+    space.write(exec_base, code + b"\xee" * INSTR_SIZE + code,
+                privileged=True)
+    data_base = space.mmap(None, 4096, prot=PROT_READ, tag="t:data")
+    space.write(data_base, code, privileged=True)
+    words = dict(executable_words(space))
+    # both runs around the hole decode; the hole and data page do not
+    assert exec_base in words and exec_base + 3 * INSTR_SIZE in words
+    assert exec_base + 2 * INSTR_SIZE not in words
+    assert data_base not in words
+
+
 # -- cost model ------------------------------------------------------------------
 
 def test_default_costs_paper_anchors():
