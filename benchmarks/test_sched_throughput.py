@@ -1,0 +1,89 @@
+"""Multi-worker serving throughput (ISSUE acceptance criterion).
+
+``ApacheBench(concurrency=8)`` drives the pre-forked littled with no
+harness pump: the deterministic scheduler interleaves 8 client tasks
+against 1, 2, and 4 workers, plus a monitor-attached (sMVX,
+``server_main_loop`` protected) 4-worker row.  Because each worker owns
+a virtual core whose local time overlaps wall time, throughput must
+scale: the acceptance bound is >= 2x wall-clock requests/sec from 1 to
+4 workers, with zero alarms in the monitored row.  Results land in
+``BENCH_sched.json`` (uploaded by the CI sched-smoke job).
+"""
+
+import json
+import os
+
+from repro.apps import LittledServer
+from repro.kernel import Kernel
+from repro.workloads import ApacheBench
+
+REQUESTS = 48
+CONCURRENCY = 8
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_sched.json")
+
+
+def _serve(workers: int, smvx: bool = False) -> dict:
+    kernel = Kernel(seed="bench-sched")
+    server = LittledServer(
+        kernel, workers=workers, smvx=smvx,
+        protect="server_main_loop" if smvx else None)
+    server.start()
+    result = ApacheBench(kernel, server).run(
+        REQUESTS, concurrency=CONCURRENCY)
+    stats = kernel.sched.stats
+    row = {
+        "workers": workers,
+        "smvx": smvx,
+        "completed": result.requests_completed,
+        "failures": result.failures,
+        "wall_ms": round(result.wall_ns / 1e6, 3),
+        "wall_rps": round(result.wall_throughput_rps, 1),
+        "busy_ms": round(result.server_busy_ns / 1e6, 3),
+        "cpu_ms": round(result.server_cpu_ns / 1e6, 3),
+        "preemptions": stats.preemptions,
+        "context_switches": stats.context_switches,
+        "sched_decisions": kernel.sched.decisions,
+        "alarms": len(server.alarms.alarms),
+        "per_worker": [w.served for w in server.workers],
+    }
+    server.shutdown()
+    return row
+
+
+def test_sched_throughput(table):
+    rows = [_serve(1), _serve(2), _serve(4), _serve(4, smvx=True)]
+    by_workers = {(r["workers"], r["smvx"]): r for r in rows}
+
+    for row in rows:
+        assert row["completed"] == REQUESTS, row
+        assert row["failures"] == 0, row
+        assert row["alarms"] == 0, row
+
+    scaling = by_workers[(4, False)]["wall_rps"] / \
+        by_workers[(1, False)]["wall_rps"]
+    mvx_overhead = by_workers[(4, False)]["wall_ms"] / \
+        by_workers[(4, True)]["wall_ms"]
+
+    payload = {
+        "workload": f"ab -n {REQUESTS} -c {CONCURRENCY} -k /index.html",
+        "rows": rows,
+        "scaling_1_to_4": round(scaling, 2),
+        "smvx_relative_throughput": round(mvx_overhead, 3),
+    }
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    table(f"Scheduled serving throughput (ab -n {REQUESTS} "
+          f"-c {CONCURRENCY}, virtual wall time)",
+          ("workers", "mode", "wall ms", "wall rps", "cpu ms",
+           "preempt", "ctx-sw"),
+          [(r["workers"], "smvx" if r["smvx"] else "vanilla",
+            f"{r['wall_ms']:.2f}", f"{r['wall_rps']:,.0f}",
+            f"{r['cpu_ms']:.2f}", r["preemptions"],
+            r["context_switches"]) for r in rows])
+
+    assert scaling >= 2.0, \
+        f"1 -> 4 workers scaled wall throughput only {scaling:.2f}x " \
+        f"(need >= 2x); see {BENCH_JSON}"

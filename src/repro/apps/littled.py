@@ -122,6 +122,34 @@ def littled_main(ctx: GuestContext, port: int) -> int:
     return 0
 
 
+def littled_worker_main(ctx: GuestContext, port: int,
+                        listen_fd: int) -> int:
+    """Pre-forked worker bring-up: the listening socket is inherited from
+    the master (fd passed in, not re-bound), so N workers share one
+    listener and the kernel's accept queue distributes connections.
+    Config parsing already happened in the master; the worker only
+    re-opens its log and builds its own epoll set."""
+    ctx.libc("mvx_init")
+    g = _globals(ctx)
+
+    path = ctx.stack_alloc(32)
+    ctx.write_cstring(path, b"/var/log/littled.log")
+    log_fd = to_signed(ctx.libc("open", path, O_WRONLY | O_CREAT | O_APPEND))
+    ctx.write_word(g + G_LOG_FD, log_fd & _MASK64)
+
+    if listen_fd < 0:
+        return -1
+    ctx.write_word(g + G_LISTEN_FD, listen_fd)
+
+    epfd = to_signed(ctx.libc("epoll_create1", 0))
+    ctx.write_word(g + G_EPFD, epfd)
+    event = ctx.stack_alloc(16)
+    ctx.write_words(event, [EPOLLIN, listen_fd])
+    ctx.libc("epoll_ctl", epfd, EPOLL_CTL_ADD, listen_fd, event)
+    ctx.charge(250_000)               # post-fork re-init (config inherited)
+    return 0
+
+
 def littled_pump(ctx: GuestContext) -> int:
     return _maybe_protect(ctx, "server_main_loop")
 
@@ -364,6 +392,8 @@ _LIBC_IMPORTS = (
 _FUNCTIONS = [
     ("littled_main", littled_main, 1, 6144,
      ("mvx_init", "open", "listen_on", "epoll_create1", "epoll_ctl")),
+    ("littled_worker_main", littled_worker_main, 2, 4096,
+     ("mvx_init", "open", "epoll_create1", "epoll_ctl")),
     ("littled_pump", littled_pump, 0, 1024,
      ("server_main_loop", "mvx_start", "mvx_end")),
     ("server_main_loop", server_main_loop, 0, 8192,
@@ -413,30 +443,118 @@ def build_littled_image(bss_kb: int = 64) -> ProgramImage:
     return builder.build()
 
 
+class LittledWorker:
+    """One pre-forked worker: its own process, images, epoll set, and —
+    when sMVX is on — its own in-process monitor.  All workers share the
+    master's listener and one :class:`~repro.core.divergence.AlarmLog`."""
+
+    def __init__(self, server: "LittledServer", index: int, core: int):
+        from repro.core import attach_smvx, build_smvx_stub_image
+        from repro.libc import build_libc_image
+
+        config = server._config
+        self.server = server
+        self.index = index
+        self.core = core
+        self.process = GuestProcess(
+            server.kernel, f"{server.name}-w{index}",
+            heap_pages=config["heap_pages"],
+            parent_pid=server.master_pid)
+        # bind the worker's cycle counter to its virtual core *before*
+        # anything charges, so boot work lands on core-local time
+        server.sched.bind_core(self.process.counter, core)
+        self.process.load_image(build_libc_image(), tag="libc")
+        self.process.load_image(build_smvx_stub_image(), tag="libsmvx")
+        self.image = build_littled_image(bss_kb=config["bss_kb"])
+        self.loaded = self.process.load_image(self.image, main=True)
+        self.process.app_config = {"protect": config["protect"]}
+        self.monitor = None
+        if config["smvx"]:
+            self.monitor = attach_smvx(
+                self.process, self.loaded, alarm_log=server.alarms,
+                reuse_variants=config["reuse_variants"],
+                variant_strategy=config["variant_strategy"],
+                strict_verify=config["strict_verify"])
+        #: the scheduler task driving this worker (set by ``start()``).
+        self.task = None
+
+    def run_loop(self) -> None:
+        """Task body: serve until cancelled.  ``littled_pump`` blocks in
+        ``epoll_wait`` between events; on cancellation the park reports
+        "nothing ready", ``epoll_wait`` returns 0, the guest unwinds
+        normally (closing any open sMVX region in lockstep), and the
+        loop exits here."""
+        while not self.task.cancelled:
+            self.process.call_function("littled_pump")
+
+    @property
+    def served(self) -> int:
+        return self.process.call_function("littled_served_count")
+
+
 class LittledServer:
-    """Host-side harness for littled."""
+    """Host-side harness for littled.
+
+    ``workers=0`` (default) is the classic single-process co-simulated
+    server driven by ``pump()``.  ``workers=N`` builds the pre-forked
+    serving mode: N worker processes sharing one listener, scheduled
+    preemptively by :class:`repro.kernel.sched.Scheduler` — the harness
+    never calls ``pump()``; it runs the scheduler until its workload
+    predicate holds.
+    """
 
     def __init__(self, kernel: Kernel, port: int = 8081,
                  protect: Optional[str] = None, smvx: bool = False,
                  heap_pages: int = 192, bss_kb: int = 64,
                  name: str = "littled", reuse_variants: bool = False,
                  variant_strategy: str = "shift",
-                 strict_verify: bool = False):
+                 strict_verify: bool = False,
+                 workers: int = 0, cores: Optional[int] = None,
+                 quantum_ns: Optional[float] = None):
         from repro.core import AlarmLog, attach_smvx, build_smvx_stub_image
         from repro.libc import build_libc_image
 
         self.kernel = kernel
         self.port = port
+        self.name = name
         if not kernel.vfs.exists("/var/www/index.html"):
             kernel.vfs.write_file("/var/www/index.html",
                                   b"<html>" + b"x" * 4083 + b"</html>")
+        self.alarms = AlarmLog()
+        self.workers_n = max(0, workers)
+        self._config = {
+            "protect": protect, "smvx": smvx, "heap_pages": heap_pages,
+            "bss_kb": bss_kb, "reuse_variants": reuse_variants,
+            "variant_strategy": variant_strategy,
+            "strict_verify": strict_verify,
+        }
+
+        if self.workers_n:
+            from repro.kernel.sched import DEFAULT_QUANTUM_NS, Scheduler
+            self.sched = kernel.sched or Scheduler(
+                kernel, cores=cores or self.workers_n,
+                quantum_ns=quantum_ns if quantum_ns is not None
+                else DEFAULT_QUANTUM_NS)
+            self.master_pid = kernel.tasks.spawn(f"{name}-master")
+            self.workers = [
+                LittledWorker(self, index, index % len(self.sched.cores))
+                for index in range(self.workers_n)]
+            first = self.workers[0]
+            self.process = first.process        # compat: "the" process
+            self.image = first.image
+            self.loaded = first.loaded
+            self.monitor = first.monitor
+            return
+
+        self.sched = None
+        self.master_pid = None
+        self.workers = []
         self.process = GuestProcess(kernel, name, heap_pages=heap_pages)
         self.process.load_image(build_libc_image(), tag="libc")
         self.process.load_image(build_smvx_stub_image(), tag="libsmvx")
         self.image = build_littled_image(bss_kb=bss_kb)
         self.loaded = self.process.load_image(self.image, main=True)
         self.process.app_config = {"protect": protect}
-        self.alarms = AlarmLog()
         self.monitor = None
         if smvx:
             self.monitor = attach_smvx(self.process, self.loaded,
@@ -446,11 +564,59 @@ class LittledServer:
                                        strict_verify=strict_verify)
 
     def start(self) -> int:
-        return self.process.call_function("littled_main", self.port)
+        if not self.workers_n:
+            return self.process.call_function("littled_main", self.port)
+
+        from repro.kernel.fds import ListenerFD
+
+        first = self.workers[0]
+        rc = to_signed(first.process.call_function("littled_main",
+                                                   self.port))
+        if rc < 0:
+            return rc
+        listener = self.kernel.network.listener_at(self.port)
+        for worker in self.workers[1:]:
+            # fork-style listener inheritance: the shared Listener lands
+            # in the worker's own fd table, and the worker pays the
+            # Table-2 fork cost on its core before re-initializing
+            pcb = self.kernel.state_of(worker.process.pid)
+            fd = pcb.alloc_fd(ListenerFD(listener))
+            pages = worker.process.space.resident_bytes() // 4096
+            worker.process.counter.charge(
+                self.kernel.tasks.fork_cost_ns(pages), "fork")
+            rc_worker = to_signed(worker.process.call_function(
+                "littled_worker_main", self.port, fd))
+            if rc_worker < 0:
+                return rc_worker
+        for worker in self.workers:
+            worker.task = self.sched.spawn(
+                worker.process.name, worker.run_loop,
+                core=worker.core, pid=worker.process.pid)
+        return rc
 
     def pump(self) -> int:
+        if self.workers_n:
+            raise RuntimeError(
+                "a scheduled multi-worker littled has no pump(): drive "
+                "it through kernel.sched.run_until(...)")
         return to_signed(self.process.call_function("littled_pump"))
+
+    def shutdown(self) -> None:
+        """Cancel the worker tasks, let them unwind (regions close, fds
+        drop), then reap every zombie so the task table ends clean."""
+        if not self.workers_n:
+            return
+        live = [w.task for w in self.workers if w.task is not None]
+        for task in live:
+            self.sched.cancel(task)
+        if live:
+            self.sched.run_until(lambda: all(t.done for t in live))
+        self.sched.join()
+        while self.kernel.tasks.wait(self.master_pid) is not None:
+            pass
 
     @property
     def served(self) -> int:
+        if self.workers_n:
+            return sum(w.served for w in self.workers)
         return self.process.call_function("littled_served_count")

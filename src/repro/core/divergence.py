@@ -54,6 +54,10 @@ class DivergenceReport:
     #: follower fault this is the faulting address (e.g. the leader-space
     #: gadget the CVE-2013-2028 chain jumped to).
     guest_pc: int = -1
+    #: owning process id; -1 if unknown.  Multi-worker servers share one
+    #: AlarmLog and every worker's main thread is tid 1, so the pid is
+    #: what actually identifies the diverged variant pair.
+    pid: int = -1
 
     def __str__(self) -> str:
         parts = [self.kind.value]
@@ -61,6 +65,8 @@ class DivergenceReport:
             parts.append(f"call={self.libc_name}")
         if self.seq >= 0:
             parts.append(f"seq={self.seq}")
+        if self.pid >= 0:
+            parts.append(f"pid={self.pid}")
         if self.task_id >= 0:
             parts.append(f"task={self.task_id}")
         if self.guest_pc >= 0:

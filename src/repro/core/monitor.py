@@ -384,6 +384,11 @@ class SmvxMonitor:
         region = self.region
         self.region = None
         if alarm is not None:
+            if alarm.pid < 0:
+                # stamp the owning process: multi-worker servers funnel
+                # every monitor into one shared AlarmLog, and tids alone
+                # (each worker's main thread is 1) cannot identify it
+                alarm = replace(alarm, pid=self.process.pid)
             self.alarms.raise_alarm(alarm)
         region.leader.variant = "main"
         region.py_thread.join(timeout=30)

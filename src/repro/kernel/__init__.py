@@ -17,6 +17,13 @@ from repro.kernel.vfs import VirtualFS, RegularFile
 from repro.kernel.net import Network, Socket, Listener
 from repro.kernel.epoll_impl import EpollInstance, EPOLLIN, EPOLLOUT
 from repro.kernel.kernel import Kernel, SyscallError
+from repro.kernel.sched import (
+    CoreClock,
+    RunState,
+    Scheduler,
+    SchedTask,
+    TaskCancelled,
+)
 
 __all__ = [
     "Errno",
@@ -36,4 +43,9 @@ __all__ = [
     "EPOLLOUT",
     "Kernel",
     "SyscallError",
+    "CoreClock",
+    "RunState",
+    "Scheduler",
+    "SchedTask",
+    "TaskCancelled",
 ]

@@ -91,6 +91,10 @@ class FaultSchedule:
     segment_extra_delay_ns: int = 0
     #: cap every listener's effective backlog (None = leave alone).
     backlog_cap: Optional[int] = None
+    #: P(spurious scheduler wakeup) per park: the task is woken with no
+    #: readiness behind it and must re-check and re-block (kernels really
+    #: do this; thundering-herd handling must survive it).
+    spurious_wake_p: float = 0.0
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -268,6 +272,18 @@ class FaultPlane:
         self._inject("segment", "deliver", nbytes=len(data),
                      pieces=len(pieces))
         return pieces
+
+    def spurious_wake(self) -> bool:
+        """Should this park be woken spuriously?  (Consulted by the
+        scheduler; draws only when the schedule arms it, so schedules
+        without it keep their exact historical decision streams.)"""
+        schedule = self.schedule
+        if schedule is None or not schedule.spurious_wake_p:
+            return False
+        if self._draw() < schedule.spurious_wake_p:
+            self._inject("spurious_wake", "park")
+            return True
+        return False
 
     def backlog_limit(self, configured: int) -> int:
         """Effective listener backlog under this schedule."""

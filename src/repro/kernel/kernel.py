@@ -100,6 +100,9 @@ class Kernel:
                                else 100_000)
         self.network.fault_plane = self.faults
         self.tasks = TaskManager(costs)
+        #: the deterministic preemptive scheduler, installed by
+        #: ``repro.kernel.sched.Scheduler``; None = legacy pump mode.
+        self.sched = None
         self._procs: Dict[int, _ProcState] = {}
         #: charged per syscall: enter + exit crossings + base work.
         self._syscall_cost_ns = 2 * costs.kernel_crossing_ns + costs.syscall_work_ns
@@ -168,6 +171,11 @@ class Kernel:
         pcb.total_syscalls += 1
         pcb.syscall_counts[name] = pcb.syscall_counts.get(name, 0) + 1
         self._charge(proc, self._syscall_cost_ns, "syscall")
+        if self.sched is not None:
+            # every syscall entry is a preemption point: a task past its
+            # quantum yields *before* the handler runs, so e.g. a raced
+            # accept4 observes the listener as a sibling left it.
+            self.sched.maybe_preempt()
         for hook in self.syscall_hooks:
             hook(proc, name)
         # an injected fault is a real kernel crossing: it is counted,
@@ -208,6 +216,26 @@ class Kernel:
             return False
         self.clock.advance_to(ready_at)
         return True
+
+    def _sched_task_active(self) -> bool:
+        """True when the calling thread is the scheduler's current task:
+        blocking syscalls must then park instead of advancing the clock
+        themselves (non-task contexts — legacy pump mode, follower
+        threads — keep the co-simulation behaviour)."""
+        return self.sched is not None and self.sched.in_task()
+
+    def _park_until_readable(self, description: FileDescription) -> bool:
+        """Scheduled blocking: park the current task until ``description``
+        is readable.  Returns False when nothing is in flight (EAGAIN —
+        only another task's future I/O could change that, and the epoll
+        level is where we wait for it)."""
+        while True:
+            if description.readable(self.clock.monotonic_ns):
+                return True
+            if description.next_ready_at() is None:
+                return False
+            # re-check after every wake: a sibling may have consumed it
+            self.sched.park(horizon=description.next_ready_at)
 
     # -- filesystem ------------------------------------------------------------------
 
@@ -384,7 +412,12 @@ class Kernel:
         description = pcb.fds.get(fd)
         if not isinstance(description, ListenerFD):
             return -Errno.ENOTSOCK
-        self._wait_readable(description, timeout_ns=None)
+        if not self._sched_task_active():
+            self._wait_readable(description, timeout_ns=None)
+        # under the scheduler accept4 never parks: blocking lives at the
+        # epoll level, so a worker woken for a connection that a sibling
+        # already accepted takes EAGAIN and re-blocks in epoll_wait
+        # rather than spinning (the thundering-herd contract).
         result = description.listener.accept()
         if isinstance(result, int):
             return result
@@ -405,7 +438,12 @@ class Kernel:
             count = 1 << 31
         if self.faults.active:
             count = self.faults.clamp_io("recvfrom", count)
-        self._wait_readable(description, timeout_ns=None)
+        if self._sched_task_active():
+            # park only while bytes are actually in flight; an empty pipe
+            # stays EAGAIN exactly as before.
+            self._park_until_readable(description)
+        else:
+            self._wait_readable(description, timeout_ns=None)
         result = description.read(count, self.clock.monotonic_ns)
         if isinstance(result, int):
             return result
@@ -505,11 +543,35 @@ class Kernel:
             return -Errno.EINVAL
         ready = instance.poll(self.clock.monotonic_ns,
                               self._epoll_probe(pcb), maxevents)
-        if not ready:
-            # Sleep until the earliest in-flight event, bounded by the
-            # timeout.  With nothing in flight there is nothing the
-            # simulated future can deliver: return 0 (timeout) instead of
-            # blocking forever.
+        if not ready and self._sched_task_active():
+            # Scheduled blocking: park until a watched fd becomes ready
+            # (socket delivery, listener enqueue, FIN), re-polling after
+            # every wake because a sibling worker may have raced us to
+            # the event.  The horizon closure reads *live* kernel state,
+            # so readiness produced after the park still wakes us.
+            deadline = None if timeout_ms < 0 else \
+                self.clock.monotonic_ns + timeout_ms * 1_000_000
+
+            def sched_horizon():
+                return instance.next_ready_at(
+                    lambda fd: pcb.fds[fd].next_ready_at()
+                    if fd in pcb.fds else None)
+
+            while not ready:
+                if deadline is not None \
+                        and self.clock.monotonic_ns >= deadline:
+                    break
+                woke = self.sched.park(horizon=sched_horizon,
+                                       deadline_ns=deadline)
+                ready = instance.poll(self.clock.monotonic_ns,
+                                      self._epoll_probe(pcb), maxevents)
+                if not woke and not ready:
+                    break                  # timed out
+        elif not ready:
+            # Legacy co-simulation: sleep until the earliest in-flight
+            # event, bounded by the timeout.  With nothing in flight
+            # there is nothing the simulated future can deliver: return
+            # 0 (timeout) instead of blocking forever.
             def horizon(fd: int):
                 description = pcb.fds.get(fd)
                 return description.next_ready_at() if description else None

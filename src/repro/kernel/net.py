@@ -195,6 +195,11 @@ class Listener:
     def next_ready_at(self) -> Optional[float]:
         return self._pending[0][0] if self._pending else None
 
+    def pending_count(self) -> int:
+        """Connections awaiting accept (including ones still in flight);
+        workload generators use this to bound their accept-pump loops."""
+        return len(self._pending)
+
     def readable(self, now: float) -> bool:
         return bool(self._pending) and self._pending[0][0] <= now
 

@@ -1,0 +1,518 @@
+"""Deterministic preemptive scheduler.
+
+The paper's server evaluation (Fig. 7) assumes a server that multiplexes
+concurrent connections; until now the simulation had no scheduler at all —
+``LittledServer`` made progress only when the harness called ``pump()`` by
+hand.  This module replaces that crutch with a real (but fully
+deterministic) preemptive scheduler in the DiOS tradition: every
+interleaving decision is a pure function of the machine state, so the same
+seed and workload reproduce the same schedule bit-for-bit, and the
+decision stream is digested so record/replay can pin it.
+
+Execution model
+---------------
+
+Tasks are Python threads, but *exactly one* runs at a time: the driver
+(whoever called :meth:`Scheduler.run_until`) hands a baton to one task,
+which runs until it parks (blocking syscall), is preempted (virtual-time
+quantum exhausted, checked at syscall entry), or exits; then the baton
+returns to the driver.  The Python threads exist only so that guest call
+stacks can be suspended mid-syscall — there is no host-level parallelism
+to leak nondeterminism.
+
+Virtual time is multi-core: each worker core owns a :class:`CoreClock`
+whose local time advances as the tasks bound to it charge cycles; the
+kernel's global :class:`~repro.kernel.clock.VirtualClock` is the frontier
+(max over cores), and the scheduler always dispatches the runnable core
+with the *lowest* local time, which bounds inter-core skew by one quantum
+and is what lets N workers serve N requests in ~1 request's wall time.
+
+Blocking semantics (the tentpole contract):
+
+* ``epoll_wait`` parks the task; the driver re-evaluates each parked
+  task's readiness *horizon* (a closure over live kernel state — socket
+  delivery, listener enqueue, FIN) every iteration, so I/O readiness
+  wakes the sleeper with no explicit wake hooks to forget.
+* ``recvfrom`` parks only while data is actually in flight; otherwise it
+  stays non-blocking (EAGAIN), as before.
+* ``accept4`` never parks: blocking lives at the epoll level, so a worker
+  woken for a connection that a sibling already accepted simply takes
+  EAGAIN and re-enters ``epoll_wait`` (no thundering-herd spin).
+
+When no task is runnable the driver advances the global clock to the
+earliest wake instant; if there is none, the run has genuinely stalled
+and ``run_until`` says so instead of hanging.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import deque
+from enum import Enum
+from typing import Callable, Deque, List, Optional
+
+from repro.errors import KernelError
+from repro.machine.costs import CostModel, DEFAULT_COSTS
+
+#: default preemption quantum in virtual ns — a handful of requests'
+#: worth of work; small enough that workers stay in rough lockstep.
+DEFAULT_QUANTUM_NS = 100_000
+
+#: hard bound on driver iterations per run_until call: a runaway
+#: park/wake loop should fail loudly, not hang the harness.
+MAX_DECISIONS_PER_RUN = 2_000_000
+
+
+class SchedulerError(KernelError):
+    pass
+
+
+class TaskCancelled(BaseException):
+    """A task function may raise this to terminate cleanly after
+    observing ``task.cancelled`` (BaseException so guest-level ``except
+    Exception`` cleanup cannot swallow it; the scheduler treats it as a
+    normal exit, not an error).
+
+    The scheduler itself never raises it into a task: cancellation is
+    cooperative.  Forcing an exception out of ``park()`` would unwind a
+    guest call stack from *inside* a blocking syscall — with sMVX
+    attached that tears the leader out of a protected region while the
+    follower still waits in lockstep, manufacturing a divergence.
+    Instead a cancelled task's parks return False immediately, so the
+    blocking syscall reports "nothing ready" (EINTR-style), the guest
+    unwinds normally, and the task function exits at its next
+    ``cancelled`` check."""
+
+
+class RunState(Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    ZOMBIE = "zombie"
+
+
+class CoreClock:
+    """One virtual core's local clock.
+
+    Duck-types the one method :class:`~repro.machine.costs.CycleCounter`
+    needs (``advance_ns``): charges advance the core's *local* time and
+    drag the global clock forward only when this core becomes the
+    frontier — that is what lets two workers each burn 1 ms of CPU while
+    wall time advances only ~1 ms.
+    """
+
+    def __init__(self, global_clock, core_id: int):
+        self._global = global_clock
+        self.core_id = core_id
+        self.local_ns: float = 0.0
+        #: last task dispatched here (context-switch charging).
+        self.last_task: Optional["SchedTask"] = None
+
+    def advance_ns(self, ns: float) -> None:
+        if ns < 0:
+            raise ValueError("cannot advance a core clock backwards")
+        self.local_ns += ns
+        if self.local_ns > self._global.monotonic_ns:
+            self._global.advance_to(self.local_ns)
+
+    def catch_up(self, instant: float) -> None:
+        """The core idled until ``instant`` (a wake): jump local time
+        forward; never backwards."""
+        if instant > self.local_ns:
+            self.local_ns = instant
+
+
+class SchedTask:
+    """One schedulable task: run state + the suspended Python thread."""
+
+    def __init__(self, sched: "Scheduler", name: str,
+                 fn: Callable[[], object], core: Optional[CoreClock],
+                 pid: Optional[int]):
+        self.sched = sched
+        self.name = name
+        self.fn = fn
+        self.core = core
+        self.pid = pid
+        self.state = RunState.RUNNABLE
+        self.done = False
+        self.error: Optional[BaseException] = None
+        self.cancelled = False
+        #: BLOCKED bookkeeping: earliest-ready closure + absolute deadline.
+        self.wait_horizon: Optional[Callable[[], Optional[float]]] = None
+        self.wait_deadline: Optional[float] = None
+        #: injected spurious wake instant (fault plane), or None.
+        self.spurious_at: Optional[float] = None
+        #: park() return value set by the driver at wake time.
+        self.wake_value = True
+        #: core-local time at dispatch (quantum accounting).
+        self.slice_start_ns = 0.0
+        self._resume = threading.Event()
+        self.thread = threading.Thread(
+            target=self._main, name=f"sched:{name}", daemon=True)
+        self.thread.start()
+
+    # -- task-thread side ---------------------------------------------------
+
+    def _main(self) -> None:
+        self._resume.wait()
+        self._resume.clear()
+        try:
+            if not self.cancelled:
+                self.fn()
+        except TaskCancelled:
+            pass
+        except BaseException as exc:          # noqa: BLE001 — reported
+            self.error = exc                  # to the driver, not lost
+        finally:
+            self.sched._task_exited(self)
+
+    def __repr__(self) -> str:
+        core = self.core.core_id if self.core else "-"
+        return f"<SchedTask {self.name} {self.state.value} core={core}>"
+
+
+class SchedStats:
+    def __init__(self) -> None:
+        self.dispatches = 0
+        self.preemptions = 0
+        self.parks = 0
+        self.wakeups = 0
+        self.spurious_wakeups = 0
+        self.idle_advances = 0
+        self.context_switches = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class Scheduler:
+    """The machine's deterministic preemptive scheduler.
+
+    Construction registers it on the kernel (``kernel.sched``); from then
+    on the blocking syscalls park the current task instead of advancing
+    the clock themselves, and every syscall entry is a preemption point.
+    """
+
+    def __init__(self, kernel, cores: int = 1,
+                 quantum_ns: float = DEFAULT_QUANTUM_NS,
+                 costs: CostModel = DEFAULT_COSTS):
+        if getattr(kernel, "sched", None) is not None:
+            raise SchedulerError("kernel already has a scheduler")
+        self.kernel = kernel
+        self.clock = kernel.clock
+        self.costs = costs
+        self.quantum_ns = quantum_ns
+        self.cores: List[CoreClock] = [CoreClock(kernel.clock, i)
+                                       for i in range(max(1, cores))]
+        self.tasks: List[SchedTask] = []
+        self.current: Optional[SchedTask] = None
+        self.stats = SchedStats()
+        #: decision stream: counted and digested (FaultPlane idiom) so a
+        #: trace footer pins the exact schedule a replay must reproduce.
+        self.decisions = 0
+        self._digest = hashlib.sha256()
+        #: flight-recorder tap: fn(kind, task_name, detail_dict).
+        self.decision_hook = None
+        self._run_queues: List[Deque[SchedTask]] = \
+            [deque() for _ in self.cores]
+        self._coreless: Deque[SchedTask] = deque()
+        self._driver_evt = threading.Event()
+        self._in_run = False
+        kernel.sched = self
+
+    # -- decision stream ----------------------------------------------------
+
+    @property
+    def digest(self) -> str:
+        return self._digest.hexdigest()
+
+    def _decision(self, kind: str, task: SchedTask, **detail) -> None:
+        self.decisions += 1
+        core = task.core.core_id if task.core is not None else -1
+        at = task.core.local_ns if task.core is not None \
+            else self.clock.monotonic_ns
+        self._digest.update(
+            f"{kind}:{task.name}:{core}:{at!r}".encode())
+        if self.decision_hook is not None:
+            self.decision_hook(kind, task.name,
+                               dict(detail, core=core, at_ns=at))
+
+    # -- task lifecycle -----------------------------------------------------
+
+    def spawn(self, name: str, fn: Callable[[], object],
+              core: Optional[int] = None,
+              pid: Optional[int] = None) -> SchedTask:
+        """Register a new RUNNABLE task.  ``core`` binds it to a virtual
+        core (workers); None means coreless (host-side clients, which
+        charge no CPU and run at the global frontier)."""
+        core_clock = self.cores[core] if core is not None else None
+        task = SchedTask(self, name, fn, core_clock, pid)
+        self.tasks.append(task)
+        self._enqueue(task)
+        if pid is not None:
+            record = self.kernel.tasks.tasks.get(pid)
+            if record is not None:
+                record.state = RunState.RUNNABLE.value
+        self._decision("spawn", task)
+        return task
+
+    def bind_core(self, counter, core: int) -> CoreClock:
+        """Attach a process's cycle counter to a core's local clock (the
+        multi-worker analogue of ``Kernel.attach_counter``)."""
+        clock = self.cores[core]
+        counter.clock = clock
+        return clock
+
+    def cancel(self, task: SchedTask) -> None:
+        """Request cooperative cancellation.
+
+        A blocked task is woken with False (its blocking syscall reports
+        no readiness) and every later ``park`` returns False without
+        blocking, so the guest call stack unwinds through its normal
+        "nothing ready" paths — sMVX regions close in lockstep — and the
+        task function exits at its next ``task.cancelled`` check.
+        """
+        if task.done:
+            return
+        task.cancelled = True
+        self._decision("cancel", task)
+        if task.state is RunState.BLOCKED:
+            self._wake(task, value=False, instant=self.clock.monotonic_ns)
+
+    def join(self, timeout: float = 10.0) -> None:
+        """Join finished task threads (host hygiene; no virtual cost)."""
+        for task in self.tasks:
+            if task.done:
+                task.thread.join(timeout)
+
+    def _task_exited(self, task: SchedTask) -> None:
+        task.state = RunState.ZOMBIE
+        task.done = True
+        if task.pid is not None:
+            code = 0 if task.error is None else 1
+            self.kernel.tasks.exit(task.pid, code)
+        self._decision("exit", task)
+        self._driver_evt.set()
+
+    # -- queue machinery ----------------------------------------------------
+
+    def _enqueue(self, task: SchedTask) -> None:
+        task.state = RunState.RUNNABLE
+        if task.core is None:
+            self._coreless.append(task)
+        else:
+            self._run_queues[task.core.core_id].append(task)
+
+    def _record_state(self, task: SchedTask) -> None:
+        if task.pid is not None:
+            record = self.kernel.tasks.tasks.get(task.pid)
+            if record is not None:
+                record.state = task.state.value
+
+    def _wake(self, task: SchedTask, value: bool, instant: float,
+              spurious: bool = False) -> None:
+        task.wake_value = value
+        task.wait_horizon = None
+        task.wait_deadline = None
+        task.spurious_at = None
+        if task.core is not None:
+            task.core.catch_up(instant)
+        self._enqueue(task)
+        self._record_state(task)
+        self.stats.wakeups += 1
+        if spurious:
+            self.stats.spurious_wakeups += 1
+        self._decision("wake", task, spurious=spurious)
+
+    def _wake_ready(self) -> None:
+        """Move every BLOCKED task whose horizon/deadline/spurious-wake
+        instant has been reached back to RUNNABLE (deterministic order:
+        spawn order)."""
+        now = self.clock.monotonic_ns
+        for task in self.tasks:
+            if task.state is not RunState.BLOCKED:
+                continue
+            horizon = task.wait_horizon() if task.wait_horizon else None
+            if horizon is not None and horizon <= now:
+                self._wake(task, value=True, instant=horizon)
+            elif task.wait_deadline is not None \
+                    and task.wait_deadline <= now:
+                self._wake(task, value=False, instant=task.wait_deadline)
+            elif task.spurious_at is not None and task.spurious_at <= now:
+                self._wake(task, value=True, instant=task.spurious_at,
+                           spurious=True)
+
+    def _next_wake_ns(self) -> Optional[float]:
+        soonest: Optional[float] = None
+        for task in self.tasks:
+            if task.state is not RunState.BLOCKED:
+                continue
+            for candidate in (
+                    task.wait_horizon() if task.wait_horizon else None,
+                    task.wait_deadline, task.spurious_at):
+                if candidate is not None and (soonest is None
+                                              or candidate < soonest):
+                    soonest = candidate
+        return soonest
+
+    def _pick(self) -> Optional[SchedTask]:
+        """Coreless (host-side) tasks first, FIFO; then the runnable core
+        with the lowest local time (tie: lowest core id)."""
+        if self._coreless:
+            return self._coreless.popleft()
+        best: Optional[int] = None
+        for index, queue in enumerate(self._run_queues):
+            if not queue:
+                continue
+            if best is None or \
+                    self.cores[index].local_ns < self.cores[best].local_ns:
+                best = index
+        if best is None:
+            return None
+        return self._run_queues[best].popleft()
+
+    # -- the driver ---------------------------------------------------------
+
+    def run_until(self, predicate: Optional[Callable[[], bool]] = None,
+                  max_decisions: int = MAX_DECISIONS_PER_RUN) -> str:
+        """Drive the machine until ``predicate()`` holds.
+
+        Returns ``"done"`` (predicate satisfied), ``"idle"`` (every task
+        is a zombie), or ``"stall"`` (live tasks remain but nothing can
+        ever wake them — the deterministic analogue of a hang).
+        """
+        if self.in_task():
+            raise SchedulerError("run_until called from inside a task")
+        if self._in_run:
+            raise SchedulerError("run_until is not reentrant")
+        self._in_run = True
+        try:
+            for _ in range(max_decisions):
+                if predicate is not None and predicate():
+                    return "done"
+                self._wake_ready()
+                task = self._pick()
+                if task is None:
+                    if all(t.done for t in self.tasks):
+                        if predicate is None:
+                            return "idle"
+                        return "idle"
+                    wake_ns = self._next_wake_ns()
+                    if wake_ns is None:
+                        return "stall"
+                    if wake_ns > self.clock.monotonic_ns:
+                        self.clock.advance_to(wake_ns)
+                    self.stats.idle_advances += 1
+                    continue
+                self._dispatch(task)
+                if task.error is not None:
+                    error, task.error = task.error, None
+                    raise error
+            raise SchedulerError(
+                f"run_until exceeded {max_decisions} decisions")
+        finally:
+            self._in_run = False
+
+    def _dispatch(self, task: SchedTask) -> None:
+        core = task.core
+        if core is not None:
+            if core.last_task is not None and core.last_task is not task:
+                # a real context switch on this core: charged to the
+                # incoming task's core time (CostModel footnote-1 value)
+                core.advance_ns(self.costs.context_switch_ns)
+                self.stats.context_switches += 1
+            core.last_task = task
+            task.slice_start_ns = core.local_ns
+        task.state = RunState.RUNNING
+        self._record_state(task)
+        self.current = task
+        self.stats.dispatches += 1
+        self._decision("dispatch", task)
+        self._driver_evt.clear()
+        task._resume.set()
+        self._driver_evt.wait()
+        self.current = None
+        self._record_state(task)
+
+    # -- task-side entry points (called from inside a running task) ---------
+
+    def in_task(self) -> bool:
+        task = self.current
+        return task is not None \
+            and threading.current_thread() is task.thread
+
+    def _current_checked(self) -> SchedTask:
+        task = self.current
+        if task is None or threading.current_thread() is not task.thread:
+            raise SchedulerError(
+                "park/yield called from outside the running task")
+        return task
+
+    def _switch_to_driver(self, task: SchedTask) -> None:
+        self._driver_evt.set()
+        task._resume.wait()
+        task._resume.clear()
+
+    def park(self, horizon: Optional[Callable[[], Optional[float]]] = None,
+             deadline_ns: Optional[float] = None) -> bool:
+        """Block the current task.
+
+        ``horizon`` is a closure returning the earliest instant the
+        awaited condition could hold (None = unknowable yet); the driver
+        re-evaluates it every iteration, so readiness produced by *other*
+        tasks (a client's send, a listener enqueue, a FIN) wakes the
+        sleeper.  ``deadline_ns`` is an absolute timeout.  Returns True
+        if woken by readiness, False on deadline or cancellation (a
+        cancelled task never blocks again — see :meth:`cancel`).
+        """
+        task = self._current_checked()
+        if task.cancelled:
+            return False
+        task.wait_horizon = horizon
+        task.wait_deadline = deadline_ns
+        faults = self.kernel.faults
+        if faults.active and faults.spurious_wake():
+            task.spurious_at = self.clock.monotonic_ns
+        task.state = RunState.BLOCKED
+        self._record_state(task)
+        self.stats.parks += 1
+        self._decision("park", task)
+        self._switch_to_driver(task)
+        return task.wake_value
+
+    def yield_now(self) -> None:
+        """Voluntarily give up the slice (stays RUNNABLE)."""
+        task = self._current_checked()
+        self._enqueue(task)
+        self._decision("yield", task)
+        self._switch_to_driver(task)
+
+    def maybe_preempt(self) -> None:
+        """Preemption point (the kernel calls this at syscall entry):
+        once the task has burned a full quantum of core-local time, it
+        yields so lower-local-time cores catch up.  Cheap no-op for
+        non-task contexts and coreless tasks."""
+        task = self.current
+        if task is None or threading.current_thread() is not task.thread:
+            return
+        core = task.core
+        if core is None:
+            return
+        if core.local_ns - task.slice_start_ns < self.quantum_ns:
+            return
+        self.stats.preemptions += 1
+        self._enqueue(task)
+        self._decision("preempt", task)
+        self._switch_to_driver(task)
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "decisions": self.decisions,
+            "digest": self.digest,
+            "stats": self.stats.as_dict(),
+            "cores": [c.local_ns for c in self.cores],
+            "tasks": [(t.name, t.state.value) for t in self.tasks],
+        }

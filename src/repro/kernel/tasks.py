@@ -6,12 +6,18 @@ process (~640 us), and ``fork()`` during lighttpd initialization (~697 us,
 because COW setup scales with the number of mapped pages).  Those costs are
 charged here so `benchmarks/test_tab2_variant_cost.py` can regenerate the
 table.
+
+Lifecycle semantics follow POSIX closely enough for the pre-fork serving
+mode to be honest: threads are registered tasks (visible to the spawn
+hook and the trace replayer), a dead task's children are reparented to
+its nearest live ancestor (or to "init" — reaped immediately — when none
+remains), dead tasks linger as zombies until a ``wait()``-style reap.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.machine.costs import CostModel, DEFAULT_COSTS
 
@@ -25,6 +31,10 @@ class TaskRecord:
     alive: bool = True
     exit_code: Optional[int] = None
     children: list = field(default_factory=list)
+    #: "process" or "thread" (clone with shared VM).
+    kind: str = "process"
+    #: scheduler-visible run state ("live" until a scheduler manages it).
+    state: str = "live"
 
 
 class TaskManager:
@@ -38,6 +48,9 @@ class TaskManager:
         #: the task-creation order is a scheduler decision the replayer
         #: verifies against the recorded trace.
         self.spawn_hook = None
+        #: flight-recorder tap: fn(pid, exit_code) on every exit.
+        self.exit_hook = None
+        self.reaped_total = 0
 
     def spawn(self, name: str, parent: Optional[int] = None) -> int:
         pid = self._next_pid
@@ -52,9 +65,71 @@ class TaskManager:
 
     def exit(self, pid: int, code: int = 0) -> None:
         record = self.tasks.get(pid)
-        if record is not None:
-            record.alive = False
-            record.exit_code = code
+        if record is None:
+            return
+        record.alive = False
+        record.exit_code = code
+        record.state = "zombie"
+        # reparent surviving children (and unreaped zombies) to the
+        # nearest live ancestor; with none left they go to "init", which
+        # reaps zombies immediately and never leaves orphans unparented.
+        heir = self._nearest_live_ancestor(record.parent)
+        for child_pid in list(record.children):
+            child = self.tasks.get(child_pid)
+            if child is None:
+                continue
+            child.parent = heir
+            if heir is not None:
+                self.tasks[heir].children.append(child_pid)
+            elif not child.alive:
+                self._reap(child_pid)
+        record.children = []
+        if self.exit_hook is not None:
+            self.exit_hook(pid, code)
+        # an orphan's own zombie record has no waiter either: init reaps.
+        parent = self.tasks.get(record.parent) \
+            if record.parent is not None else None
+        if parent is None or not parent.alive:
+            self._reap(pid)
+
+    def wait(self, parent_pid: int) -> Optional[Tuple[int, int]]:
+        """Reap one zombie child of ``parent_pid`` (wait(2) with WNOHANG):
+        returns ``(pid, exit_code)`` or None when no zombie is waiting."""
+        parent = self.tasks.get(parent_pid)
+        if parent is None:
+            return None
+        for child_pid in list(parent.children):
+            child = self.tasks.get(child_pid)
+            if child is None:
+                parent.children.remove(child_pid)
+                continue
+            if not child.alive:
+                parent.children.remove(child_pid)
+                code = child.exit_code if child.exit_code is not None else 0
+                self._reap(child_pid)
+                return (child_pid, code)
+        return None
+
+    def zombies(self) -> list:
+        """Unreaped dead tasks (pre-fork hygiene checks)."""
+        return [record.pid for record in self.tasks.values()
+                if not record.alive]
+
+    def _nearest_live_ancestor(self, pid: Optional[int]) -> Optional[int]:
+        seen = set()
+        while pid is not None and pid not in seen:
+            seen.add(pid)
+            record = self.tasks.get(pid)
+            if record is None:
+                return None
+            if record.alive:
+                return pid
+            pid = record.parent
+        return None
+
+    def _reap(self, pid: int) -> None:
+        if self.tasks.pop(pid, None) is not None:
+            self.reaped_total += 1
 
     def clone_thread_cost_ns(self) -> float:
         """Cost of ``clone()`` with a shared VM (a plain thread)."""
@@ -70,9 +145,21 @@ class TaskManager:
         return self.costs.fork_base_ns + mapped_pages * self.costs.fork_per_page_ns
 
     def new_thread(self, pid: int) -> int:
+        """clone() with a shared VM: a thread is a task too — it gets a
+        registered record (child of ``pid``) and fires the spawn hook, so
+        ``exit()`` and the trace replayer can see it."""
         record = self.tasks.get(pid)
-        if record is not None:
-            record.threads += 1
         tid = self._next_pid
         self._next_pid += 1
+        if record is not None:
+            record.threads += 1
+            name = f"{record.name}-t{record.threads}"
+        else:
+            name = f"tid{tid}"
+        thread_record = TaskRecord(tid, name, parent=pid, kind="thread")
+        self.tasks[tid] = thread_record
+        if record is not None:
+            record.children.append(tid)
+        if self.spawn_hook is not None:
+            self.spawn_hook(tid, name, pid)
         return tid

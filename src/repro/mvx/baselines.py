@@ -50,22 +50,40 @@ class MvxBaseline:
         self.stats = BaselineStats()
         #: the follower's CPU burn (off the wall clock, another core)
         self.follower_counter = CycleCounter()
+        #: every process this monitor intercepts (pre-forked servers add
+        #: their workers via :meth:`also_monitor`); list, not set, so
+        #: listener installation order is deterministic.
+        self._procs = [process]
         self._attached = False
         self._baseline_total_ns = 0.0
 
     # -- interception ------------------------------------------------------------
 
+    def also_monitor(self, process: GuestProcess) -> "MvxBaseline":
+        """Extend interception to another process of the same kernel —
+        a pre-forked worker.  One monitor then models N leader/follower
+        pairs: each worker's syscalls pay the interception cost on that
+        worker's counter and its compute is mirrored to the follower
+        pool (whole-program MVX replicates every process)."""
+        if process not in self._procs:
+            self._procs.append(process)
+            if self._attached:
+                process.counter.add_listener(self._mirror_work)
+        return self
+
     def attach(self) -> "MvxBaseline":
         if not self._attached:
             self.process.kernel.syscall_hooks.append(self._on_syscall)
-            self.process.counter.add_listener(self._mirror_work)
+            for proc in self._procs:
+                proc.counter.add_listener(self._mirror_work)
             self._attached = True
         return self
 
     def detach(self) -> None:
         if self._attached:
             self.process.kernel.syscall_hooks.remove(self._on_syscall)
-            self.process.counter.remove_listener(self._mirror_work)
+            for proc in self._procs:
+                proc.counter.remove_listener(self._mirror_work)
             self._attached = False
 
     def __enter__(self) -> "MvxBaseline":
@@ -80,11 +98,11 @@ class MvxBaseline:
         self.follower_counter.total_ns += ns
 
     def _on_syscall(self, proc, name: str) -> None:
-        if proc is not self.process:
+        if proc not in self._procs:
             return
         self.stats.intercepted += 1
         cost = self._interception_cost(name)
-        self.process.counter.charge(cost, f"mvx-{self.name}")
+        proc.counter.charge(cost, f"mvx-{self.name}")
         self.stats.overhead_charged_ns += cost
 
     def _interception_cost(self, name: str) -> float:  # pragma: no cover
@@ -93,8 +111,10 @@ class MvxBaseline:
     # -- resource accounting ---------------------------------------------------------
 
     def total_cpu_ns(self) -> float:
-        """Leader + follower CPU (the 200% of §4.1)."""
-        return self.process.counter.total_ns + self.follower_counter.total_ns
+        """Leader + follower CPU (the 200% of §4.1), summed over every
+        monitored process."""
+        return sum(proc.counter.total_ns for proc in self._procs) \
+            + self.follower_counter.total_ns
 
 
 class ReMonMvx(MvxBaseline):

@@ -82,14 +82,15 @@ class GuestProcess:
 
     def __init__(self, kernel: Kernel, name: str = "guest",
                  costs: CostModel = DEFAULT_COSTS,
-                 heap_pages: int = DEFAULT_HEAP_PAGES):
+                 heap_pages: int = DEFAULT_HEAP_PAGES,
+                 parent_pid: Optional[int] = None):
         self.kernel = kernel
         self.name = name
         self.costs = costs
         self.space = AddressSpace(name)
         self.counter = CycleCounter()
         kernel.attach_counter(self.counter)
-        self.pid = kernel.register_process(self, name)
+        self.pid = kernel.register_process(self, name, parent_pid)
         self.loader = Loader(self.space)
         self.cpu = CPU(self.space, counter=self.counter, costs=costs,
                        syscall_handler=self._syscall_from_isa,

@@ -33,6 +33,8 @@ from repro.trace.record import (
     TRACE_VERSION,
     Recorder,
     Trace,
+    drive_littled_workload,
+    record_littled,
     record_minx,
 )
 from repro.trace.replay import ReplayResult, replay_trace
@@ -47,6 +49,8 @@ __all__ = [
     "TRACE_VERSION",
     "Recorder",
     "Trace",
+    "drive_littled_workload",
+    "record_littled",
     "record_minx",
     "ReplayResult",
     "replay_trace",

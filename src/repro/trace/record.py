@@ -120,6 +120,7 @@ class Recorder:
         self.script: List[Dict] = []
         self.urandom_chunks: List[bytes] = []
         self.spawns: List[List] = []
+        self.task_exits: List[List] = []
         self.accept_order: List[int] = []
         self.capsules: List = []
         self._pending_capsules: List = []
@@ -127,6 +128,7 @@ class Recorder:
         self._clock_reads = 0
         self._syscall_digest = _stream_digest()
         self._syscall_count = 0
+        self._extra_procs: List = []
 
         self._install_kernel_taps()
 
@@ -139,18 +141,37 @@ class Recorder:
         kernel.vfs.urandom.tap = self._on_urandom
         kernel.clock.read_hook = self._on_clock_read
         kernel.tasks.spawn_hook = self._on_spawn
+        kernel.tasks.exit_hook = self._on_task_exit
         kernel.syscall_result_hooks.append(self._on_syscall)
         kernel.faults.fault_hook = self._on_fault
         network = kernel.network
         network.connect_hook = self._on_connect
         network.ingress_hook = self._on_ingress
         network.accept_hook = self._on_accept
+        self._tap_scheduler()
+
+    def _tap_scheduler(self) -> None:
+        """Tap the deterministic scheduler's decision stream (the
+        scheduler may be installed after the recorder, so this is also
+        re-checked at ``attach_server`` time)."""
+        sched = getattr(self.kernel, "sched", None)
+        if sched is not None and sched.decision_hook is None:
+            sched.decision_hook = self._on_sched_decision
 
     def attach_server(self, server) -> None:
         """Hook a MinxServer-shaped harness: process, monitor, alarms,
-        and the ``start``/``pump`` entry points (the stimulus script)."""
+        and the ``start``/``pump`` entry points (the stimulus script).
+        A multi-worker ``LittledServer`` additionally gets every
+        worker's process and monitor tapped."""
         self.server = server
         self.attach_process(server.process)
+        for worker in getattr(server, "workers", []) or []:
+            if worker.process is not self.process:
+                worker.process.libc_call_observers.append(self._on_libc)
+                self._extra_procs.append(worker.process)
+            monitor = worker.monitor
+            if monitor is not None and monitor is not server.monitor:
+                monitor.call_taps.append(self._on_rendezvous)
         monitor = getattr(server, "monitor", None)
         if monitor is not None:
             monitor.call_taps.append(self._on_rendezvous)
@@ -159,6 +180,7 @@ class Recorder:
             alarms.listeners.append(self._on_alarm)
         self._wrap_entry(server, "start")
         self._wrap_entry(server, "pump")
+        self._tap_scheduler()
 
     def attach_process(self, process) -> None:
         self.process = process
@@ -178,6 +200,12 @@ class Recorder:
             kernel.clock.read_hook = None
         if kernel.tasks.spawn_hook == self._on_spawn:
             kernel.tasks.spawn_hook = None
+        if kernel.tasks.exit_hook == self._on_task_exit:
+            kernel.tasks.exit_hook = None
+        sched = getattr(kernel, "sched", None)
+        if sched is not None \
+                and sched.decision_hook == self._on_sched_decision:
+            sched.decision_hook = None
         if self._on_syscall in kernel.syscall_result_hooks:
             kernel.syscall_result_hooks.remove(self._on_syscall)
         if kernel.faults.fault_hook == self._on_fault:
@@ -194,6 +222,9 @@ class Recorder:
                 self.process.libc_call_observers.remove(self._on_libc)
             if self.process.cpu.trace_hook == self._on_instruction:
                 self.process.cpu.trace_hook = None
+        for proc in self._extra_procs:
+            if self._on_libc in proc.libc_call_observers:
+                proc.libc_call_observers.remove(self._on_libc)
         self.ring.enabled = False
 
     # ------------------------------------------------------------------
@@ -221,11 +252,24 @@ class Recorder:
         self.ring.emit(EventKind.TASK_SWITCH, self._now, "spawn",
                        pid=pid, task=name, parent=parent)
 
+    def _on_task_exit(self, pid: int, code: int) -> None:
+        self.task_exits.append([pid, code])
+        self.ring.emit(EventKind.TASK_SWITCH, self._now, "exit",
+                       pid=pid, code=code)
+
+    def _on_sched_decision(self, kind: str, task: str, detail: Dict) -> None:
+        self.ring.emit(EventKind.TASK_SWITCH, self._now, kind,
+                       task=task, **detail)
+
     def _on_syscall(self, proc, name: str, result: int) -> None:
         self._syscall_count += 1
-        self._syscall_digest.update(f"{name}:{int(result)}".encode())
+        pid = getattr(proc, "pid", -1)
+        # the pid is part of the digest: under the scheduler the same
+        # retval stream interleaved across different workers is a
+        # *different* execution
+        self._syscall_digest.update(f"{name}:{pid}:{int(result)}".encode())
         self.ring.emit(EventKind.SYSCALL, self._now, name,
-                       pid=getattr(proc, "pid", -1), ret=int(result))
+                       pid=pid, ret=int(result))
 
     def _on_fault(self, kind: str, target: str, detail: Dict) -> None:
         self.ring.emit(EventKind.FAULT, self._now, f"{kind}:{target}",
@@ -369,11 +413,19 @@ class Recorder:
             "syscalls": self._syscall_count,
             "syscall_digest": self._syscall_digest.hexdigest(),
             "task_spawns": list(self.spawns),
+            "task_exits": list(self.task_exits),
             "accept_order": list(self.accept_order),
             "faults": kernel.faults.injected_total,
             "faults_by_kind": dict(kernel.faults.injected_by_kind),
             "fault_digest": kernel.faults.digest,
         }
+        sched = getattr(kernel, "sched", None)
+        if sched is not None:
+            footer.update({
+                "sched_decisions": sched.decisions,
+                "sched_digest": sched.digest,
+                "sched_stats": sched.stats.as_dict(),
+            })
         process = self.process
         if process is not None:
             footer.update({
@@ -386,10 +438,15 @@ class Recorder:
                     kernel.syscall_count(process.pid),
             })
         server = self.server
+        if server is not None and getattr(server, "workers_n", 0):
+            footer["worker_pids"] = [w.process.pid for w in server.workers]
+            footer["workers_busy_ns"] = sum(
+                w.process.counter.total_ns for w in server.workers)
         if server is not None and getattr(server, "alarms", None):
             footer["alarms"] = [
                 {"kind": report.kind.name, "seq": report.seq,
                  "libc_name": report.libc_name, "task_id": report.task_id,
+                 "pid": report.pid,
                  "guest_pc": report.guest_pc, "detail": report.detail}
                 for report in server.alarms.alarms]
         return footer
@@ -443,4 +500,59 @@ def record_minx(seed: str = "smvx-repro", capacity: int = 4096,
         capsule_window=capsule_window)
     recorder.attach_server(server)
     server.start()
+    return kernel, server, recorder
+
+
+def drive_littled_workload(kernel, server, workload: Dict):
+    """Run the scenario's ApacheBench workload against a (scheduled or
+    classic) littled.  Used identically on the record and replay sides,
+    so a scheduled run is replayed *by reproduction*: the same client
+    tasks re-derive the same interleaving from the same machine state.
+    """
+    from repro.workloads.ab import ApacheBench
+
+    bench = ApacheBench(
+        kernel, server,
+        path=workload.get("path", "/index.html"),
+        keepalive=workload.get("keepalive", True),
+        max_stalls=workload.get("max_stalls", 2),
+        timeout_ns=workload.get("timeout_ns", 50_000_000))
+    return bench.run(workload.get("requests", 8),
+                     paths=workload.get("paths"),
+                     concurrency=workload.get("concurrency", 1))
+
+
+def record_littled(seed: str = "smvx-repro", capacity: int = 4096,
+                   workload: Optional[Dict] = None,
+                   trace_instructions: bool = False,
+                   capsule_window: int = DEFAULT_CAPSULE_WINDOW,
+                   fault_schedule=None,
+                   **littled_kwargs):
+    """Like :func:`record_minx` but for littled, including the scheduled
+    multi-worker mode (pass ``workers=N``).  Returns (kernel, server,
+    recorder); the server is started and, if ``workload`` is given (ab
+    parameters: requests / concurrency / path / ...), the workload has
+    already been driven — call ``recorder.finish()`` *before*
+    ``server.shutdown()`` so the footer matches what replay rebuilds.
+    """
+    from repro.apps.littled import LittledServer
+    from repro.kernel.kernel import Kernel
+
+    kernel = Kernel(seed=seed)
+    server = LittledServer(kernel, **littled_kwargs)
+    scenario = {"app": "littled", "seed": seed,
+                "kwargs": dict(littled_kwargs)}
+    if workload is not None:
+        scenario["workload"] = dict(workload)
+    if fault_schedule is not None:
+        scenario["faults"] = fault_schedule.to_dict()
+        kernel.faults.install(fault_schedule)
+    recorder = Recorder(
+        kernel, scenario=scenario,
+        capacity=capacity, trace_instructions=trace_instructions,
+        capsule_window=capsule_window)
+    recorder.attach_server(server)
+    server.start()
+    if workload is not None:
+        drive_littled_workload(kernel, server, workload)
     return kernel, server, recorder

@@ -28,8 +28,10 @@ _FOOTER_KEYS = (
     "instructions_retired", "libc_calls_total", "libc_call_counts",
     "syscalls", "syscall_digest", "syscalls_of_process",
     "clock_reads", "clock_digest", "urandom_bytes",
-    "task_spawns", "accept_order", "alarms",
+    "task_spawns", "task_exits", "accept_order", "alarms",
     "faults", "faults_by_kind", "fault_digest",
+    "sched_decisions", "sched_digest", "sched_stats",
+    "worker_pids", "workers_busy_ns",
 )
 
 
@@ -89,15 +91,20 @@ class ReplayResult:
 def _build_scenario(trace: Trace):
     """Rebuild the recorded scenario: kernel (same seed), server (same
     config), recorder attached at the same point in the lifecycle."""
-    from repro.apps.minx import MinxServer
     from repro.kernel.kernel import Kernel
 
     scenario = trace.meta.get("scenario", {})
     app = scenario.get("app", "minx")
-    if app != "minx":
+    if app == "minx":
+        from repro.apps.minx import MinxServer
+        server_cls = MinxServer
+    elif app == "littled":
+        from repro.apps.littled import LittledServer
+        server_cls = LittledServer
+    else:
         raise ValueError(f"cannot rebuild unknown scenario app {app!r}")
     kernel = Kernel(seed=scenario.get("seed", "smvx-repro"))
-    server = MinxServer(kernel, **scenario.get("kwargs", {}))
+    server = server_cls(kernel, **scenario.get("kwargs", {}))
     if scenario.get("faults"):
         # re-arm the recorded fault schedule: the identical fault stream
         # re-derives from (seed, schedule, query sequence) — faults are
@@ -194,16 +201,50 @@ def _diff_footers(recorded: Dict, replayed: Dict) -> List[str]:
     return problems
 
 
+def _diff_events(recorded: List[Dict], replayed: List[Dict]) -> List[str]:
+    """Event-stream comparison for workload-driven replays: the ring
+    must be *identical*, event for event (both sides record with the
+    same capacity, so bounded-drop behaviour matches too)."""
+    problems: List[str] = []
+    if len(recorded) != len(replayed):
+        problems.append(
+            f"events: recorded {len(recorded)}, replayed {len(replayed)}")
+    for index, (want, got) in enumerate(zip(recorded, replayed)):
+        if want != got:
+            problems.append(
+                f"events[{index}]: recorded {want} != replayed {got}")
+            if len(problems) >= 10:
+                problems.append("... further event diffs suppressed")
+                break
+    return problems
+
+
 def replay_trace(trace: Trace, keep_server: bool = False) -> ReplayResult:
     """Replay ``trace`` from scratch; returns the comparison verdict.
+
+    Scenarios that carry a ``workload`` (littled + ApacheBench, possibly
+    scheduled multi-worker) are replayed *by reproduction*: the same
+    workload is re-driven and must regenerate the identical stimulus
+    script, event stream, and footer.  Script-only scenarios re-issue
+    the recorded host stimuli one by one.
 
     With ``keep_server=True`` the rebuilt server is left on the result
     (``result.server``) for post-mortem poking.
     """
     kernel, server, recorder, replay_urandom = _build_scenario(trace)
-    mismatches = _run_script(trace, kernel, server)
+    scenario = trace.meta.get("scenario", {})
+    workload = scenario.get("workload")
+    if workload is not None:
+        from repro.trace.record import drive_littled_workload
+        server.start()
+        drive_littled_workload(kernel, server, workload)
+        mismatches = []
+    else:
+        mismatches = _run_script(trace, kernel, server)
     replay_trace_out = recorder.finish()
     mismatches += _diff_scripts(trace.script, replay_trace_out.script)
+    if workload is not None:
+        mismatches += _diff_events(trace.events, replay_trace_out.events)
     mismatches += _diff_footers(trace.footer, replay_trace_out.footer)
     if replay_urandom.unconsumed:
         mismatches.append(

@@ -2,14 +2,24 @@
 
 Plays the remote client of the paper's server evaluation: HTTP/1.1
 keep-alive requests over the simulated loopback (0.1 ms latency), serving
-a 4 KB page.  The client co-simulates with the server: after sending a
-request it pumps the server's event loop until the full response has been
-read, advancing virtual time exactly as a saturating closed-loop load
-generator would.
+a 4 KB page.
+
+Two driving modes, selected by the server:
+
+* **co-simulated** (classic, single-process server): after sending a
+  request the client pumps the server's event loop until the full
+  response has been read, advancing virtual time exactly as a
+  saturating closed-loop load generator would.
+* **scheduled** (multi-worker server with ``kernel.sched`` installed):
+  ``ab -c C`` becomes C concurrent client *tasks*, each a closed loop
+  over its own connection; clients park on socket readiness and workers
+  park in ``epoll_wait``, so requests genuinely interleave across
+  workers and the harness never calls ``pump()``.
 
 Results carry both wall virtual time and the server's *busy* time; the
 Figure 7 overhead normalization uses busy time per request (the saturated-
-server regime the paper measures throughput in).
+server regime the paper measures throughput in), while the multi-worker
+scaling curves (BENCH_sched.json) use wall throughput.
 """
 
 from __future__ import annotations
@@ -30,6 +40,11 @@ class AbResult:
     server_cpu_ns: float = 0.0
     bytes_received: int = 0
     status_counts: dict = field(default_factory=dict)
+    #: scheduled-mode shape: client tasks / server workers (0 = classic
+    #: co-simulated run) and the scheduler's run_until outcome.
+    concurrency: int = 1
+    workers: int = 0
+    sched_status: str = ""
 
     @property
     def busy_per_request_ns(self) -> float:
@@ -49,13 +64,21 @@ class AbResult:
             return float("inf")
         return self.wall_ns / self.requests_completed
 
+    @property
+    def wall_throughput_rps(self) -> float:
+        """End-to-end throughput: completed requests per wall second —
+        the number that scales with workers."""
+        if not self.wall_ns:
+            return 0.0
+        return self.requests_completed * 1e9 / self.wall_ns
+
 
 class ApacheBench:
     """``ab -n <requests> -k`` against a simulated server."""
 
     def __init__(self, kernel: Kernel, server, path: str = "/index.html",
                  keepalive: bool = True, host: str = "localhost",
-                 max_stalls: int = 2):
+                 max_stalls: int = 2, timeout_ns: float = 50_000_000):
         self.kernel = kernel
         self.server = server            # MinxServer / LittledServer-like
         self.path = path
@@ -66,6 +89,11 @@ class ApacheBench:
         #: EAGAIN, segmented deliveries) legitimately need more patience
         #: than the happy path's 2.
         self.max_stalls = max_stalls
+        #: scheduled mode: per-read park deadline (virtual ns) — the
+        #: ab-style request timeout that turns a dead server into failed
+        #: requests instead of a stalled run.
+        self.timeout_ns = timeout_ns
+        self._run_seq = 0
 
     def _request_bytes(self, path: Optional[str] = None,
                        method: str = "GET") -> bytes:
@@ -88,12 +116,27 @@ class ApacheBench:
         chunk = sock.recv_wait(count)
         return chunk if isinstance(chunk, bytes) else b""
 
-    def _read_response(self, sock) -> "tuple[int, bytes] | None":
+    def _sched_fetch(self, sock, count: int) -> bytes:
+        """Scheduled-mode read: park the client task until the socket is
+        readable (or the request timeout fires), never pump."""
+        sched = self.kernel.sched
+        now = self.kernel.clock.monotonic_ns
+        if not sock.readable(now):
+            woke = sched.park(horizon=sock.next_ready_at,
+                              deadline_ns=now + self.timeout_ns)
+            if not woke:
+                return b""              # timeout or cancellation
+        chunk = sock.recv_wait(count)
+        return chunk if isinstance(chunk, bytes) else b""
+
+    def _read_response(self, sock,
+                       fetch=None) -> "tuple[int, bytes] | None":
         """Read exactly one HTTP response; returns (status, body)."""
+        fetch = fetch or self._recv_or_pump
         raw = b""
         stalls = 0
         while b"\r\n\r\n" not in raw:
-            chunk = self._recv_or_pump(sock, 4096)
+            chunk = fetch(sock, 4096)
             if not chunk:
                 stalls += 1
                 if stalls > self.max_stalls:
@@ -109,7 +152,7 @@ class ApacheBench:
         body = rest
         stalls = 0
         while len(body) < content_length:
-            chunk = self._recv_or_pump(sock, content_length - len(body))
+            chunk = fetch(sock, content_length - len(body))
             if not chunk:
                 stalls += 1
                 if stalls > self.max_stalls:
@@ -123,10 +166,18 @@ class ApacheBench:
             concurrency: int = 1) -> AbResult:
         """Issue ``requests`` keep-alive requests over ``concurrency``
         connections (``ab -n <requests> -c <concurrency> -k``) and collect
-        statistics.  Connections are driven round-robin; with c > 1 the
-        server sees interleaved in-flight requests, like a real ab run."""
+        statistics.
+
+        Against a classic single-process server, connections are driven
+        round-robin with co-simulated pumps.  Against a scheduled
+        multi-worker server, each connection becomes a concurrent client
+        task and the scheduler interleaves them — see
+        :meth:`_run_scheduled`.
+        """
+        if getattr(self.server, "workers_n", 0):
+            return self._run_scheduled(requests, paths, concurrency)
         process = self.server.process
-        result = AbResult(requests)
+        result = AbResult(requests, concurrency=max(1, concurrency))
         clock0 = self.kernel.clock.monotonic_ns
         busy0 = process.counter.total_ns
         cpu0 = process.total_cpu_ns()
@@ -138,7 +189,16 @@ class ApacheBench:
                 result.failures = requests
                 return result
             sockets.append(sock)
-        self.server.pump()              # let the server accept them all
+        # let the server accept them all: one pump is *not* enough in
+        # general (each epoll_wait batch is bounded, and under a faulty
+        # or high-latency schedule accepts trickle in), so pump until
+        # the accept queue drains — bounded by the connection count so a
+        # refusing server cannot stall the harness.
+        listener = self.kernel.network.listener_at(self.server.port)
+        for _ in range(len(sockets) + 1):
+            self.server.pump()
+            if listener is None or not listener.pending_count():
+                break
 
         for index in range(requests):
             sock = sockets[index % len(sockets)]
@@ -161,4 +221,74 @@ class ApacheBench:
         result.wall_ns = self.kernel.clock.monotonic_ns - clock0
         result.server_busy_ns = process.counter.total_ns - busy0
         result.server_cpu_ns = process.total_cpu_ns() - cpu0
+        return result
+
+    def _run_scheduled(self, requests: int, paths: Optional[List[str]],
+                       concurrency: int) -> AbResult:
+        """``ab -n <requests> -c C`` against a scheduled multi-worker
+        server: C coreless client tasks, each a closed request loop over
+        its own keep-alive connection.  The scheduler interleaves client
+        sends, worker accepts, and response reads; the harness never
+        calls ``pump()``."""
+        sched = self.kernel.sched
+        if sched is None:
+            raise RuntimeError("server has workers but kernel.sched is "
+                               "not installed")
+        n_clients = max(1, concurrency)
+        workers = self.server.workers
+        result = AbResult(requests, concurrency=n_clients,
+                          workers=self.server.workers_n)
+        clock0 = self.kernel.clock.monotonic_ns
+        busy0 = sum(w.process.counter.total_ns for w in workers)
+        cpu0 = sum(w.process.total_cpu_ns() for w in workers)
+        quotas = [requests // n_clients +
+                  (1 if i < requests % n_clients else 0)
+                  for i in range(n_clients)]
+        self._run_seq += 1
+
+        def make_client(index: int, quota: int):
+            def client() -> None:
+                sock = None
+                for shot in range(quota):
+                    me = sched.current
+                    if me is not None and me.cancelled:
+                        break
+                    now = self.kernel.clock.monotonic_ns
+                    if sock is None or not sock.writable(now):
+                        if sock is not None:
+                            sock.close()
+                        sock = self.kernel.network.connect(self.server.port)
+                        if isinstance(sock, int):
+                            sock = None    # refused: this shot fails
+                            continue
+                    path = paths[shot % len(paths)] if paths else self.path
+                    sock.send(self._request_bytes(path))
+                    response = self._read_response(sock,
+                                                   fetch=self._sched_fetch)
+                    if response is None:
+                        continue
+                    status, body = response
+                    result.requests_completed += 1
+                    result.bytes_received += len(body)
+                    result.status_counts[status] = \
+                        result.status_counts.get(status, 0) + 1
+                if sock is not None:
+                    sock.close()
+            return client
+
+        clients = [sched.spawn(f"ab{self._run_seq}-c{index}",
+                               make_client(index, quota))
+                   for index, quota in enumerate(quotas) if quota]
+        result.sched_status = sched.run_until(
+            lambda: all(task.done for task in clients))
+        if result.sched_status == "stall":
+            for task in clients:
+                sched.cancel(task)
+            sched.run_until(lambda: all(task.done for task in clients))
+        result.failures = requests - result.requests_completed
+        result.wall_ns = self.kernel.clock.monotonic_ns - clock0
+        result.server_busy_ns = \
+            sum(w.process.counter.total_ns for w in workers) - busy0
+        result.server_cpu_ns = \
+            sum(w.process.total_cpu_ns() for w in workers) - cpu0
         return result

@@ -1,0 +1,137 @@
+"""Pre-forked multi-worker littled: serving without a harness pump.
+
+The scheduler owns all progress: workers block in ``epoll_wait``, the
+shared listener's horizon wakes them, ``accept4`` never blocks (a worker
+beaten to a connection by a sibling takes EAGAIN and re-parks — the
+thundering-herd contract), and ``shutdown()`` leaves a clean task table.
+"""
+
+import pytest
+
+from repro.apps.littled import LittledServer
+from repro.kernel import Kernel
+from repro.kernel.sched import RunState
+
+REQUEST = (b"GET /index.html HTTP/1.1\r\n"
+           b"Host: localhost\r\n"
+           b"Connection: keep-alive\r\n"
+           b"\r\n")
+
+
+def read_response(kernel, sock):
+    raw = b""
+    for _ in range(64):
+        chunk = sock.recv_wait(4096)
+        if isinstance(chunk, bytes) and chunk:
+            raw += chunk
+        if b"\r\n\r\n" in raw:
+            break
+    return raw
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed="littled-workers")
+
+
+def test_four_workers_serve_without_pump(kernel):
+    server = LittledServer(kernel, workers=4)
+    assert server.start() >= 0
+    socks = [kernel.network.connect(server.port) for _ in range(4)]
+    for sock in socks:
+        sock.send(REQUEST)
+    status = kernel.sched.run_until(lambda: server.served >= 4)
+    assert status == "done"
+    assert server.served == 4
+    for sock in socks:
+        assert read_response(kernel, sock).startswith(b"HTTP/1.1 200")
+    # the listener distributed accepts across workers, not one hog
+    assert sum(1 for w in server.workers if w.served) >= 2
+    server.shutdown()
+
+
+def test_pump_raises_in_workers_mode(kernel):
+    server = LittledServer(kernel, workers=2)
+    with pytest.raises(RuntimeError, match="no pump"):
+        server.pump()
+
+
+def test_worker_processes_share_master_parentage(kernel):
+    server = LittledServer(kernel, workers=3)
+    for worker in server.workers:
+        record = kernel.tasks.tasks[worker.process.pid]
+        assert record.parent == server.master_pid
+    assert len({w.process.pid for w in server.workers}) == 3
+
+
+def test_thundering_herd_takes_eagain_and_reparks(kernel):
+    server = LittledServer(kernel, workers=4)
+    server.start()
+    decisions_before = kernel.sched.decisions
+    sock = kernel.network.connect(server.port)
+    sock.send(REQUEST)
+    # one connection, four parked workers: everyone may wake, exactly
+    # one accepts, the rest take EAGAIN and re-enter epoll_wait
+    assert kernel.sched.run_until(lambda: server.served >= 1) == "done"
+    assert server.served == 1
+    assert read_response(kernel, sock).startswith(b"HTTP/1.1 200")
+    # no accept-spin: the whole exchange fits in a small decision budget
+    assert kernel.sched.decisions - decisions_before < 500
+    # and the losers are parked again, not busy-looping
+    blocked = [t for t in kernel.sched.tasks
+               if t.state is RunState.BLOCKED]
+    assert len(blocked) >= 3
+    server.shutdown()
+
+
+def test_idle_workers_block_rather_than_spin(kernel):
+    server = LittledServer(kernel, workers=2)
+    server.start()
+    # with no client at all, the run stalls (every worker parked on a
+    # listener that will never become ready) instead of spinning
+    assert kernel.sched.run_until(lambda: server.served >= 1,
+                                  max_decisions=10_000) == "stall"
+    server.shutdown()
+
+
+def test_shutdown_reaps_every_worker(kernel):
+    server = LittledServer(kernel, workers=4)
+    server.start()
+    worker_pids = [w.process.pid for w in server.workers]
+    server.shutdown()
+    assert all(t.done for t in kernel.sched.tasks)
+    assert kernel.tasks.zombies() == []
+    for pid in worker_pids:
+        assert pid not in kernel.tasks.tasks
+    # the master survives (the harness may start another generation)
+    assert kernel.tasks.tasks[server.master_pid].alive
+
+
+def test_smvx_workers_have_own_monitors_one_alarm_log(kernel):
+    server = LittledServer(kernel, workers=2, smvx=True,
+                           protect="server_main_loop")
+    server.start()
+    monitors = [w.monitor for w in server.workers]
+    assert all(m is not None for m in monitors)
+    assert len(set(map(id, monitors))) == 2
+    socks = [kernel.network.connect(server.port) for _ in range(2)]
+    for sock in socks:
+        sock.send(REQUEST)
+    assert kernel.sched.run_until(lambda: server.served >= 2) == "done"
+    for sock in socks:
+        assert read_response(kernel, sock).startswith(b"HTTP/1.1 200")
+    server.shutdown()
+    # shutdown unwound the protected main loops in lockstep: cancelling
+    # a parked leader must not manufacture a divergence
+    assert server.alarms.alarms == []
+
+
+def test_worker_boot_charges_fork_cost_to_its_core(kernel):
+    server = LittledServer(kernel, workers=2)
+    server.start()
+    # worker 1 paid the Table-2 fork cost (COW setup scales with the
+    # parent's resident pages) on its own core's local time
+    fork_ns = kernel.tasks.fork_cost_ns(
+        server.workers[1].process.space.resident_bytes() // 4096)
+    assert kernel.sched.cores[1].local_ns >= fork_ns * 0.5
+    server.shutdown()

@@ -1,0 +1,166 @@
+"""Task-lifecycle tests: thread registration, reparenting, reaping.
+
+Regression coverage for two long-standing bugs: ``new_thread`` used to
+bump a counter without registering the tid (invisible to the spawn hook
+and the replayer), and ``exit`` used to drop the record on the floor
+(children orphaned unparented, zombies never reaped).
+"""
+
+from repro.kernel.tasks import TaskManager
+
+
+def test_spawn_registers_record_and_links_parent():
+    tm = TaskManager()
+    parent = tm.spawn("master")
+    child = tm.spawn("worker", parent)
+    assert tm.tasks[child].parent == parent
+    assert child in tm.tasks[parent].children
+    assert tm.tasks[child].kind == "process"
+    assert tm.tasks[child].alive
+
+
+def test_spawn_hook_fires_in_order():
+    tm = TaskManager()
+    seen = []
+    tm.spawn_hook = lambda pid, name, parent: seen.append((pid, name, parent))
+    a = tm.spawn("a")
+    b = tm.spawn("b", a)
+    assert seen == [(a, "a", None), (b, "b", a)]
+
+
+# -- satellite 1: new_thread ------------------------------------------------
+
+def test_new_thread_registers_a_real_task_record():
+    tm = TaskManager()
+    pid = tm.spawn("server")
+    tid = tm.new_thread(pid)
+    assert tid != pid
+    record = tm.tasks[tid]
+    assert record.kind == "thread"
+    assert record.parent == pid
+    assert tid in tm.tasks[pid].children
+    assert tm.tasks[pid].threads == 2
+    assert record.name == "server-t2"
+
+
+def test_new_thread_fires_spawn_hook():
+    tm = TaskManager()
+    pid = tm.spawn("server")
+    seen = []
+    tm.spawn_hook = lambda tid, name, parent: seen.append((tid, name, parent))
+    tid = tm.new_thread(pid)
+    assert seen == [(tid, "server-t2", pid)]
+
+
+def test_new_thread_of_unknown_pid_still_registers():
+    tm = TaskManager()
+    tid = tm.new_thread(4242)
+    assert tm.tasks[tid].name == f"tid{tid}"
+    assert tm.tasks[tid].kind == "thread"
+
+
+def test_thread_exit_is_reapable_like_a_child_process():
+    tm = TaskManager()
+    pid = tm.spawn("server")
+    tid = tm.new_thread(pid)
+    tm.exit(tid, 0)
+    assert tm.tasks[tid].state == "zombie"
+    assert tm.wait(pid) == (tid, 0)
+    assert tid not in tm.tasks
+
+
+# -- satellite 2: exit / reparent / reap ------------------------------------
+
+def test_exit_marks_zombie_until_reaped():
+    tm = TaskManager()
+    parent = tm.spawn("master")
+    child = tm.spawn("worker", parent)
+    tm.exit(child, 7)
+    assert child in tm.tasks                  # zombie lingers
+    assert not tm.tasks[child].alive
+    assert tm.zombies() == [child]
+    assert tm.wait(parent) == (child, 7)
+    assert tm.zombies() == []
+    assert tm.reaped_total == 1
+
+
+def test_wait_reaps_one_zombie_at_a_time():
+    tm = TaskManager()
+    parent = tm.spawn("master")
+    kids = [tm.spawn(f"w{i}", parent) for i in range(3)]
+    for pid in kids:
+        tm.exit(pid, pid % 2)
+    reaped = []
+    while True:
+        got = tm.wait(parent)
+        if got is None:
+            break
+        reaped.append(got)
+    assert reaped == [(pid, pid % 2) for pid in kids]
+    assert tm.wait(parent) is None
+
+
+def test_exit_reparents_children_to_nearest_live_ancestor():
+    tm = TaskManager()
+    grandparent = tm.spawn("init-ish")
+    parent = tm.spawn("master", grandparent)
+    child = tm.spawn("worker", parent)
+    tm.exit(parent)
+    assert tm.tasks[child].parent == grandparent
+    assert child in tm.tasks[grandparent].children
+    # the grandparent can now reap through the dead middle generation
+    tm.exit(child, 3)
+    assert tm.wait(grandparent) is not None   # parent's zombie or child's
+    assert tm.wait(grandparent) is not None
+    assert tm.wait(grandparent) is None
+    assert tm.zombies() == []
+
+
+def test_orphan_zombies_are_reaped_by_init():
+    tm = TaskManager()
+    parent = tm.spawn("master")               # no parent of its own
+    child = tm.spawn("worker", parent)
+    tm.exit(child, 1)                         # zombie, waiting on master
+    tm.exit(parent, 0)
+    # master had no live ancestor: both records go to "init", which
+    # reaps immediately — nothing lingers
+    assert parent not in tm.tasks
+    assert child not in tm.tasks
+    assert tm.zombies() == []
+    assert tm.reaped_total == 2
+
+
+def test_exit_of_parentless_task_reaps_itself():
+    tm = TaskManager()
+    pid = tm.spawn("loner")
+    tm.exit(pid)
+    assert pid not in tm.tasks
+
+
+def test_exit_hook_fires_with_code():
+    tm = TaskManager()
+    seen = []
+    tm.exit_hook = lambda pid, code: seen.append((pid, code))
+    parent = tm.spawn("master")
+    child = tm.spawn("worker", parent)
+    tm.exit(child, 9)
+    tm.exit(parent, 0)
+    assert seen == [(child, 9), (parent, 0)]
+
+
+def test_exit_of_unknown_pid_is_a_noop():
+    tm = TaskManager()
+    tm.exit(31337)
+    assert tm.tasks == {}
+
+
+def test_live_children_of_a_double_orphan_survive():
+    tm = TaskManager()
+    parent = tm.spawn("master")
+    child = tm.spawn("worker", parent)
+    tm.exit(parent)
+    # the live child is reparented to init (None) and keeps running
+    assert tm.tasks[child].alive
+    assert tm.tasks[child].parent is None
+    tm.exit(child)                            # init reaps on exit
+    assert child not in tm.tasks

@@ -138,6 +138,92 @@ def test_ab_concurrent_under_smvx():
     assert not server.alarms.triggered
 
 
+# -- the accept-drain fix ---------------------------------------------------
+#
+# ab used to issue exactly ONE pump to "let the server accept them all";
+# a server whose epoll batch is bounded (or a faulty schedule trickling
+# accepts in) left connections unaccepted.  The fix pumps until the
+# listener's backlog drains, bounded by the connection count so a
+# refusing server cannot stall the harness.
+
+class LazyAcceptServer:
+    """Host-side stub: accepts at most ONE pending connection per pump
+    (the adversarial epoll batch), then answers any buffered requests."""
+
+    def __init__(self, kernel, port=7001):
+        self.kernel = kernel
+        self.port = port
+        self.listener = kernel.network.listen(port)
+        self.conns = []
+        self.buffers = {}
+        self.pump_calls = 0
+        # counters ab reads for its statistics
+        self.process = MinxServer(kernel, port=port + 1).process
+
+    def pump(self):
+        self.pump_calls += 1
+        clock = self.kernel.clock
+        # model the blocking epoll_wait a real server would sit in:
+        # advance to the earliest readiness instant
+        ready = [t for t in
+                 [self.listener.next_ready_at()]
+                 + [s.next_ready_at() for s in self.conns]
+                 if t is not None]
+        if ready:
+            clock.advance_to(min(ready))
+        now = clock.monotonic_ns
+        if self.listener.readable(now):
+            sock = self.listener.accept()
+            if not isinstance(sock, int):
+                self.conns.append(sock)
+        for sock in self.conns:
+            data = sock.recv(4096)
+            if isinstance(data, bytes) and data:
+                buf = self.buffers.get(id(sock), b"") + data
+                self.buffers[id(sock)] = buf
+                while b"\r\n\r\n" in self.buffers[id(sock)]:
+                    _, _, rest = self.buffers[id(sock)].partition(b"\r\n\r\n")
+                    self.buffers[id(sock)] = rest
+                    sock.send(b"HTTP/1.1 200 OK\r\n"
+                              b"Content-Length: 2\r\n\r\nok")
+        return 0
+
+
+def test_ab_drains_lazy_accepts_before_first_request():
+    kernel = Kernel()
+    server = LazyAcceptServer(kernel)
+    result = ApacheBench(kernel, server).run(4, concurrency=4)
+    # one pump accepts one connection: a single-pump ab would have
+    # raced requests against three unaccepted connections
+    assert result.requests_completed == 4
+    assert result.failures == 0
+    assert server.listener.pending_count() == 0
+
+
+def test_ab_accept_loop_is_bounded_against_a_refusing_server():
+    kernel = Kernel()
+
+    class NeverAcceptServer:
+        port = 7005
+
+        def __init__(self):
+            self.listener = kernel.network.listen(self.port)
+            self.pump_calls = 0
+            self.process = MinxServer(kernel, port=7006).process
+
+        def pump(self):
+            self.pump_calls += 1
+            return 0
+
+    server = NeverAcceptServer()
+    result = ApacheBench(kernel, server).run(6, concurrency=3)
+    # the run terminates (bounded accept loop + per-request stall caps)
+    # with every request failed, rather than pumping forever
+    assert result.failures == 6
+    assert result.requests_completed == 0
+    assert server.pump_calls <= 4 + 6 * 8
+
+
 def test_head_request_returns_headers_only(served):
     kernel, server = served
     sock = kernel.network.connect(server.port)
