@@ -1,0 +1,34 @@
+"""repro.cluster — distributed sMVX over a simulated multi-host cluster.
+
+Each host is a full :class:`~repro.kernel.kernel.Kernel` (own seed, own
+virtual clock, own fault plane); hosts exchange length-prefixed wire
+frames over seeded, fault-injectable links.  On top rides the dMVX
+deployment of selective MVX: the leader application on host 0, lockstep
+variants and their monitors on other hosts, with only
+protected-region events crossing the network.
+"""
+
+from repro.cluster.host import Cluster, ClusterHost, WireEndpoint
+from repro.cluster.link import ClusterLink, PendingFrame
+from repro.cluster.remote import (
+    DEFAULT_SENSITIVE,
+    DistributedLeaderMonitor,
+    DistributedSmvx,
+    RemoteRegionRunner,
+)
+from repro.cluster.wire import BatchRing, FrameDecoder, encode_frame
+
+__all__ = [
+    "BatchRing",
+    "Cluster",
+    "ClusterHost",
+    "ClusterLink",
+    "DEFAULT_SENSITIVE",
+    "DistributedLeaderMonitor",
+    "DistributedSmvx",
+    "FrameDecoder",
+    "PendingFrame",
+    "RemoteRegionRunner",
+    "WireEndpoint",
+    "encode_frame",
+]

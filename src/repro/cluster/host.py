@@ -1,0 +1,194 @@
+"""Hosts, the cluster fabric, and the global dispatch loop.
+
+A :class:`Cluster` is a set of simulated machines, each a full
+:class:`~repro.kernel.kernel.Kernel` with its *own* seed, virtual clock,
+fault plane, VFS, and (optionally) scheduler, joined by directed
+:class:`~repro.cluster.link.ClusterLink` pipes.  Nothing is shared
+between hosts except wire frames.
+
+**Dispatch rule.**  In-flight frames are delivered in global
+virtual-time order: the pending frame with the lowest delivery time goes
+first (ties broken by destination host, then frame number), and the
+destination host's clock is advanced to the delivery time before its
+handler runs — the conservative lowest-global-virtual-time-first rule of
+parallel discrete-event simulation.  Host clocks therefore never run
+backwards relative to the traffic they observe, and the interleaving is
+a pure function of the seeds.
+
+**Causal time.**  Every host keeps a Lamport clock: ``L += 1`` stamps an
+outgoing frame, ``L = max(L, frame) + 1`` on receipt.  The per-host
+flight recorders log the stamps on WIRE events, which is what makes the
+cross-host trace merge (:mod:`repro.trace.merge`) causally consistent.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.link import ClusterLink, PendingFrame
+from repro.cluster.wire import BatchRing, decode_frame, encode_frame
+from repro.kernel.faults import FaultSchedule
+from repro.kernel.kernel import Kernel
+from repro.machine.costs import CostModel, DEFAULT_COSTS
+
+
+class ClusterHost:
+    """One simulated machine: a kernel plus cluster bookkeeping."""
+
+    def __init__(self, cluster: "Cluster", host_id: int, seed: str,
+                 costs: CostModel = DEFAULT_COSTS,
+                 latency_ns: Optional[int] = None):
+        self.cluster = cluster
+        self.host_id = host_id
+        self.kernel = Kernel(seed=f"{seed}/host{host_id}", costs=costs,
+                             latency_ns=latency_ns, host_id=host_id)
+        self.clock = self.kernel.clock
+        #: Lamport clock (causal, not virtual time).
+        self.lamport = 0
+
+    def stamp_send(self) -> int:
+        self.lamport += 1
+        return self.lamport
+
+    def observe_recv(self, frame_lamport: int) -> int:
+        self.lamport = max(self.lamport, frame_lamport) + 1
+        return self.lamport
+
+    def wire_event(self, direction: str, link: str, meta: Dict) -> None:
+        for hook in self.kernel.wire_hooks:
+            hook(direction, link, meta)
+
+
+class Cluster:
+    """The fabric: hosts, links, and the global delivery queue."""
+
+    def __init__(self, seed: str = "smvx-cluster", hosts: int = 2,
+                 latency_ns: float = 100_000,
+                 costs: CostModel = DEFAULT_COSTS):
+        self.seed = seed
+        self.latency_ns = latency_ns
+        self.costs = costs
+        self.hosts: List[ClusterHost] = [
+            ClusterHost(self, index, seed, costs) for index in range(hosts)]
+        self.links: Dict[Tuple[int, int], ClusterLink] = {}
+        self._link_schedule: Optional[FaultSchedule] = None
+        #: frames in flight, kept sorted by (deliver_at, dst, frame seq).
+        self._pending: List[Tuple[Tuple[float, int, int], PendingFrame]] = []
+        self.frames_delivered = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def host(self, host_id: int) -> ClusterHost:
+        return self.hosts[host_id]
+
+    def link(self, src: int, dst: int) -> ClusterLink:
+        """The directed link src -> dst, created on first use with its
+        own fault plane seeded from the cluster seed."""
+        key = (src, dst)
+        if key not in self.links:
+            self.links[key] = ClusterLink(self, src, dst,
+                                          latency_ns=self.latency_ns,
+                                          seed=self.seed)
+            self.links[key].install(self._link_schedule)
+        return self.links[key]
+
+    def install_link_faults(self,
+                            schedule: Optional[FaultSchedule]) -> None:
+        """Arm (or disarm, with None) every link's fault plane —
+        including links created after this call."""
+        self._link_schedule = schedule
+        for link in self.links.values():
+            link.install(schedule)
+
+    # -- the global dispatch loop --------------------------------------------
+
+    def enqueue(self, frame: PendingFrame) -> None:
+        # the key is unique per frame (src/dst/seq), so sorting never
+        # falls through to comparing PendingFrame objects
+        key = (frame.deliver_at, frame.link.dst, frame.link.src,
+               frame.seq)
+        bisect.insort(self._pending, (key, frame))
+
+    def pump_one(self) -> bool:
+        """Deliver the globally earliest in-flight frame, advancing the
+        destination host to its delivery time.  Returns True if a frame
+        was delivered (the scheduler idle-hook contract)."""
+        if not self._pending:
+            return False
+        _, frame = self._pending.pop(0)
+        dst = self.hosts[frame.link.dst]
+        dst.clock.advance_to(frame.deliver_at)
+        batch = decode_frame(frame.payload)
+        lamport = dst.observe_recv(batch["lamport"])
+        dst.wire_event("recv", frame.link.name, {
+            "lamport": lamport, "frame_lamport": batch["lamport"],
+            "frame": frame.seq, "chan": batch["chan"],
+            "bytes": len(frame.payload),
+            "msgs": [msg["type"] for msg in batch["msgs"]]})
+        self.frames_delivered += 1
+        if frame.link.on_frame is not None:
+            frame.link.on_frame(batch, frame.deliver_at)
+        return True
+
+    def pump(self) -> int:
+        """Deliver every in-flight frame (handlers may enqueue more)."""
+        delivered = 0
+        while self.pump_one():
+            delivered += 1
+        return delivered
+
+    def pending_frames(self) -> int:
+        return len(self._pending)
+
+    def global_time_ns(self) -> float:
+        """The cluster-wide virtual-time frontier (max over hosts)."""
+        return max(host.clock.monotonic_ns for host in self.hosts)
+
+
+class WireEndpoint:
+    """Sender side of one (link, channel): batches protocol messages in
+    a bounded ring and flushes them as length-prefixed frames.
+
+    Flushes happen on protected-region boundaries, at sensitive sync
+    points, and when the ring fills — never per call.  The flush charges
+    the sending process the frame serialization cost (this is the
+    leader-side work the distributed design trades the per-call
+    rendezvous for)."""
+
+    def __init__(self, host: ClusterHost, link: ClusterLink,
+                 chan: int = 0, capacity: int = 0):
+        self.host = host
+        self.link = link
+        self.chan = chan
+        self.ring = BatchRing(capacity) if capacity else BatchRing()
+        self.frame_seq = 0
+        self.frames_flushed = 0
+        self.bytes_flushed = 0
+
+    def post(self, msg: Dict, process=None) -> None:
+        """Queue a message; force a flush if the ring just filled."""
+        if self.ring.append(msg):
+            self.flush(process)
+
+    def flush(self, process=None) -> Optional[PendingFrame]:
+        msgs = self.ring.drain()
+        if not msgs:
+            return None
+        lamport = self.host.stamp_send()
+        self.frame_seq += 1
+        payload = encode_frame(lamport, self.frame_seq, self.chan, msgs)
+        if process is not None:
+            costs = self.host.cluster.costs
+            process.counter.charge(
+                costs.wire_frame_ns + len(payload) * costs.wire_byte_ns,
+                "smvx-wire")
+        self.host.wire_event("send", self.link.name, {
+            "lamport": lamport, "frame": self.frame_seq, "chan": self.chan,
+            "bytes": len(payload),
+            "msgs": [msg["type"] for msg in msgs]})
+        frame = self.link.transmit(payload,
+                                   self.host.clock.monotonic_ns, lamport)
+        self.frames_flushed += 1
+        self.bytes_flushed += len(payload)
+        return frame

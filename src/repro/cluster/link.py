@@ -1,0 +1,86 @@
+"""Simulated inter-host network links.
+
+A :class:`ClusterLink` is one *directed* pipe between two hosts.  It is
+a reliable, in-order transport (TCP-like) with a base propagation
+latency; loss, reordering, extra queueing delay, and transient
+partitions are injected by the link's own seeded
+:class:`~repro.kernel.faults.FaultPlane` and are all *latency-only*:
+
+* **delay** — a frame waits ``link_delay_ns`` longer in a queue;
+* **drop** — the first transmission is lost and the retransmit lands one
+  ``link_rto_ns`` later (the payload still arrives intact);
+* **reorder** — a frame is overtaken in flight and arrives
+  ``link_reorder_ns`` late; the receiver's in-order delivery then holds
+  every later frame behind it (``deliver_at`` is monotonic per link);
+* **partition** — every Nth frame hits a transient partition and waits
+  ``link_partition_ns`` for it to heal.
+
+Because content is never lost or corrupted and delivery order per link
+is preserved, link faults can delay verdicts but can never manufacture
+a divergence — the zero-spurious-divergence property the battery test
+asserts.
+
+Each link owns its own fault plane seeded ``{cluster seed}/link/{name}``,
+so link draws never perturb either host's syscall fault stream, and a
+replay reproduces the exact same frame timings bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.kernel.faults import FaultPlane, FaultSchedule
+
+
+@dataclass
+class PendingFrame:
+    """One frame in flight: delivery time plus the raw bytes."""
+
+    deliver_at: float
+    link: "ClusterLink"
+    seq: int
+    payload: bytes
+    lamport: int
+
+
+class ClusterLink:
+    """A directed host-to-host pipe with deterministic fault timing."""
+
+    def __init__(self, cluster, src: int, dst: int,
+                 latency_ns: float = 100_000,
+                 seed: "str | bytes" = b"smvx-cluster"):
+        self.cluster = cluster
+        self.src = src
+        self.dst = dst
+        self.name = f"h{src}->h{dst}"
+        self.latency_ns = latency_ns
+        if isinstance(seed, bytes):
+            seed = seed.decode()
+        self.faults = FaultPlane(f"{seed}/link/{self.name}")
+        #: receiver callback: fn(batch_dict, deliver_at_ns), installed by
+        #: the endpoint living on the destination host.
+        self.on_frame = None
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self._last_delivery = 0.0
+
+    def install(self, schedule: Optional[FaultSchedule]) -> None:
+        self.faults.install(schedule)
+
+    def transmit(self, payload: bytes, now: float, lamport: int
+                 ) -> PendingFrame:
+        """Compute the frame's delivery time and queue it with the
+        cluster; the sender charges its own wire costs separately."""
+        self.frames_sent += 1
+        self.bytes_sent += len(payload)
+        extra = self.faults.link_frame(self.name, self.frames_sent,
+                                       len(payload))
+        arrival = now + self.latency_ns + extra
+        # reliable in-order delivery: nothing overtakes an earlier frame
+        deliver_at = max(arrival, self._last_delivery)
+        self._last_delivery = deliver_at
+        frame = PendingFrame(deliver_at, self, self.frames_sent,
+                             payload, lamport)
+        self.cluster.enqueue(frame)
+        return frame

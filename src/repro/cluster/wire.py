@@ -1,0 +1,199 @@
+"""Length-prefixed wire protocol for inter-host sMVX traffic.
+
+A *frame* is one batch of protocol messages crossing a
+:class:`~repro.cluster.link.ClusterLink`:
+
+``<u32 little-endian payload length> <payload>``
+
+where the payload is canonical JSON (sorted keys, no whitespace) of::
+
+    {"lamport": L, "seq": k, "chan": c, "msgs": [...]}
+
+``lamport`` is the sender's Lamport clock stamped at flush time, ``seq``
+the per-link frame number, ``chan`` the leader/mirror pair the batch
+belongs to (multi-worker servers multiplex every pair over one link
+pair).  ``msgs`` carries the region protocol:
+
+====================  ====================================================
+``region_start``      root function, args, page deltas, heap bookkeeping
+``call``              one :class:`~repro.core.ipc.CallEvent`, already
+                      executed by the leader (relaxed lockstep)
+``sync``              a sensitive call announced *before* execution; the
+                      leader blocks for the remote ``verdict``
+``result``            the executed sensitive call's retval/buffers,
+                      releasing the parked remote follower
+``region_end``        close of the protected region
+``verdict``           remote monitor's answer: ok, or a serialized
+                      :class:`~repro.core.divergence.DivergenceReport`
+====================  ====================================================
+
+Outbound messages accumulate in a per-link :class:`BatchRing` and are
+flushed on protected-region boundaries (region start/end), at sensitive
+sync points, and when the ring fills — the dMVX batching discipline:
+only events inside sMVX-selected regions ever cross the network.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import asdict
+from typing import Dict, List, Optional
+
+from repro.core.divergence import DivergenceReport
+from repro.core.ipc import CallEvent
+
+_LEN = struct.Struct("<I")
+
+#: a batch ring never buffers more than this many messages before it
+#: force-flushes (bounded memory on the wire path, like the event ring).
+DEFAULT_RING_CAPACITY = 64
+
+
+def encode_frame(lamport: int, seq: int, chan: int,
+                 msgs: List[Dict]) -> bytes:
+    """One length-prefixed frame from a batch of messages."""
+    payload = json.dumps(
+        {"lamport": lamport, "seq": seq, "chan": chan, "msgs": msgs},
+        sort_keys=True, separators=(",", ":")).encode()
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict:
+    return json.loads(payload.decode())
+
+
+def decode_frame(data: bytes) -> Dict:
+    """Decode one complete length-prefixed frame."""
+    if len(data) < _LEN.size:
+        raise ValueError("truncated frame header")
+    (length,) = _LEN.unpack_from(data)
+    if len(data) != _LEN.size + length:
+        raise ValueError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(data) - _LEN.size}")
+    return decode_payload(data[_LEN.size:])
+
+
+class FrameDecoder:
+    """Incremental decoder: feed raw bytes, get complete batches out.
+
+    Frames on a link always arrive whole, but the decoder is written
+    against the byte-stream contract so a segmented transport would work
+    too."""
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> List[Dict]:
+        self._buffer += data
+        batches = []
+        while len(self._buffer) >= _LEN.size:
+            (length,) = _LEN.unpack_from(self._buffer)
+            if len(self._buffer) < _LEN.size + length:
+                break
+            payload = self._buffer[_LEN.size:_LEN.size + length]
+            self._buffer = self._buffer[_LEN.size + length:]
+            batches.append(decode_payload(payload))
+        return batches
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+class BatchRing:
+    """Bounded per-link outbox of protocol messages.
+
+    ``append`` returns True when the ring just filled and the owner must
+    flush; ``drain`` empties it for framing."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("batch ring capacity must be positive")
+        self.capacity = capacity
+        self._msgs: List[Dict] = []
+        self.appended = 0
+        self.flushes = 0
+
+    def append(self, msg: Dict) -> bool:
+        self._msgs.append(msg)
+        self.appended += 1
+        return len(self._msgs) >= self.capacity
+
+    def drain(self) -> List[Dict]:
+        msgs, self._msgs = self._msgs, []
+        if msgs:
+            self.flushes += 1
+        return msgs
+
+    def __len__(self) -> int:
+        return len(self._msgs)
+
+
+# -- message constructors ------------------------------------------------------
+
+
+def region_start_msg(region: int, root: str, args: List[int],
+                     pages: List, heap: Dict) -> Dict:
+    return {"type": "region_start", "region": region, "root": root,
+            "args": list(args), "pages": pages, "heap": heap}
+
+
+def call_msg(event: CallEvent) -> Dict:
+    return {"type": "sync" if event.sync else "call",
+            "event": event.to_dict()}
+
+
+def result_msg(event: CallEvent) -> Dict:
+    return {"type": "result", "event": event.to_dict()}
+
+
+def region_end_msg(region: int) -> Dict:
+    return {"type": "region_end", "region": region}
+
+
+def verdict_msg(region: int, seq: int, ok: bool,
+                alarm: Optional[DivergenceReport],
+                calls: int = 0) -> Dict:
+    return {"type": "verdict", "region": region, "seq": seq, "ok": ok,
+            "alarm": report_to_dict(alarm), "calls": calls}
+
+
+# -- DivergenceReport over the wire --------------------------------------------
+
+
+def report_to_dict(report: Optional[DivergenceReport]) -> Optional[Dict]:
+    if report is None:
+        return None
+    out = asdict(report)
+    out["kind"] = report.kind.name
+    out["leader"] = _record_to_dict(report.leader)
+    out["follower"] = _record_to_dict(report.follower)
+    return out
+
+
+def report_from_dict(raw: Optional[Dict]) -> Optional[DivergenceReport]:
+    if raw is None:
+        return None
+    from repro.core.divergence import CallRecord, DivergenceKind
+    return DivergenceReport(
+        DivergenceKind[raw["kind"]], raw["seq"], raw["libc_name"],
+        raw["detail"], _record_from_dict(raw["leader"]),
+        _record_from_dict(raw["follower"]), raw["task_id"],
+        raw["guest_pc"], raw["pid"])
+
+
+def _record_to_dict(record) -> Optional[Dict]:
+    if record is None:
+        return None
+    return {"seq": record.seq, "name": record.name,
+            "args": list(record.args), "variant": record.variant}
+
+
+def _record_from_dict(raw):
+    if raw is None:
+        return None
+    from repro.core.divergence import CallRecord
+    return CallRecord(raw["seq"], raw["name"], tuple(raw["args"]),
+                      raw["variant"])

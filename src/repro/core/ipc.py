@@ -53,6 +53,51 @@ class LibcResult:
     buffers_copied: Tuple[Tuple[int, int], ...] = ()
 
 
+@dataclass(frozen=True)
+class CallEvent:
+    """One intercepted libc call, flattened for shipping over a cluster
+    link (``repro.cluster.wire``): the leader-side :class:`CallRecord`
+    plus everything the remote monitor needs to emulate the call for its
+    follower — retval/errno and the bytes of every output buffer the call
+    produced in the leader's memory.
+
+    ``sync`` marks a security-sensitive call: the leader flushes the
+    batch and waits for the remote verdict *before* executing it (the
+    dMVX sensitive-operation sync point)."""
+
+    seq: int
+    name: str
+    args: Tuple[int, ...]
+    retval: int = 0
+    errno: int = 0
+    execute_locally: bool = False
+    #: (arg_index, payload bytes) for each output buffer, captured from
+    #: the leader's memory right after the call executed.
+    buffers: Tuple[Tuple[int, bytes], ...] = ()
+    sync: bool = False
+    #: leader-side location of the call (for location-exact alarms).
+    task: int = -1
+    pc: int = -1
+
+    def to_dict(self) -> Dict:
+        return {
+            "seq": self.seq, "name": self.name, "args": list(self.args),
+            "retval": self.retval, "errno": self.errno,
+            "local": self.execute_locally,
+            "buffers": [[index, data.hex()] for index, data in self.buffers],
+            "sync": self.sync, "task": self.task, "pc": self.pc,
+        }
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "CallEvent":
+        return CallEvent(
+            raw["seq"], raw["name"], tuple(raw["args"]), raw["retval"],
+            raw["errno"], raw["local"],
+            tuple((index, bytes.fromhex(data))
+                  for index, data in raw["buffers"]),
+            raw["sync"], raw["task"], raw["pc"])
+
+
 @dataclass
 class VariantStatus:
     done: bool = False
@@ -219,6 +264,7 @@ class LockstepChannel:
 
 
 __all__ = [
+    "CallEvent",
     "FOLLOWER",
     "LEADER",
     "LibcResult",

@@ -95,6 +95,28 @@ class FaultSchedule:
     #: readiness behind it and must re-check and re-block (kernels really
     #: do this; thundering-herd handling must survive it).
     spurious_wake_p: float = 0.0
+    # -- inter-host link faults (repro.cluster.link) ----------------------
+    # All four kinds are *latency-only* on a reliable in-order link
+    # (TCP-style): a dropped frame is retransmitted after the RTO, a
+    # reordered frame waits in the receive buffer until its predecessors
+    # deliver, a partition holds frames until it heals.  Payloads are
+    # never lost or corrupted, so link faults can never cause a spurious
+    # divergence — only later verdicts.
+    #: P(extra queueing delay) per frame, and how much.
+    link_delay_p: float = 0.0
+    link_delay_ns: int = 0
+    #: P(first transmission lost) per frame; the retransmit lands one
+    #: RTO later.
+    link_drop_p: float = 0.0
+    link_rto_ns: int = 2_000_000
+    #: P(frame overtaken in flight): it arrives late by this much and the
+    #: receiver's in-order delivery holds everything behind it.
+    link_reorder_p: float = 0.0
+    link_reorder_ns: int = 0
+    #: every Nth frame hits a transient partition (0 = never) and waits
+    #: this long for it to heal.
+    link_partition_every: int = 0
+    link_partition_ns: int = 0
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -106,20 +128,37 @@ class FaultSchedule:
 
 def battery() -> List[FaultSchedule]:
     """The standard adversarial battery: every paper workload must
-    complete under each of these with zero spurious MVX divergences."""
+    complete under each of these with zero spurious MVX divergences.
+
+    Each schedule also arms cluster-link faults (delay/drop/reorder/
+    partition); single-host runs never query them, so the historical
+    single-host decision streams are unchanged (link draws come from the
+    per-link planes in ``repro.cluster.link``, never the host plane)."""
     return [
         FaultSchedule(name="short-reads", short_read_p=0.4,
-                      short_read_cap=7),
+                      short_read_cap=7,
+                      link_delay_p=0.3, link_delay_ns=150_000),
         FaultSchedule(name="short-writes", short_write_p=0.4,
-                      short_write_cap=9),
-        FaultSchedule(name="eintr-storm", eintr_p=0.3),
-        FaultSchedule(name="spurious-eagain", eagain_p=0.25),
+                      short_write_cap=9,
+                      link_drop_p=0.2, link_rto_ns=1_000_000),
+        FaultSchedule(name="eintr-storm", eintr_p=0.3,
+                      link_reorder_p=0.25, link_reorder_ns=80_000),
+        FaultSchedule(name="spurious-eagain", eagain_p=0.25,
+                      link_partition_every=5,
+                      link_partition_ns=3_000_000),
         FaultSchedule(name="segmented-net", segment_bytes=5,
-                      segment_extra_delay_ns=20_000),
+                      segment_extra_delay_ns=20_000,
+                      link_delay_p=0.5, link_delay_ns=40_000,
+                      link_reorder_p=0.2, link_reorder_ns=60_000),
         FaultSchedule(name="everything", eintr_p=0.15, eagain_p=0.1,
                       short_read_p=0.2, short_read_cap=11,
                       short_write_p=0.2, short_write_cap=13,
-                      segment_bytes=48, segment_extra_delay_ns=5_000),
+                      segment_bytes=48, segment_extra_delay_ns=5_000,
+                      link_delay_p=0.2, link_delay_ns=100_000,
+                      link_drop_p=0.1, link_rto_ns=1_500_000,
+                      link_reorder_p=0.1, link_reorder_ns=50_000,
+                      link_partition_every=9,
+                      link_partition_ns=2_000_000),
     ]
 
 
@@ -284,6 +323,39 @@ class FaultPlane:
             self._inject("spurious_wake", "park")
             return True
         return False
+
+    def link_frame(self, link: str, frame_seq: int, nbytes: int) -> float:
+        """Extra delivery delay (ns) for one wire frame on a cluster
+        link, drawn from this plane's stream.  Each
+        :class:`repro.cluster.link.ClusterLink` owns its *own* plane, so
+        link draws never perturb a host's syscall fault stream.
+
+        All four kinds are additive latency on a reliable in-order
+        transport — content is never lost, so they can shift verdict
+        arrival times but never fabricate a divergence."""
+        schedule = self.schedule
+        if schedule is None:
+            return 0.0
+        extra = 0.0
+        if schedule.link_partition_every and \
+                frame_seq % schedule.link_partition_every == 0:
+            extra += schedule.link_partition_ns
+            self._inject("link_partition", link, frame=frame_seq,
+                         held_ns=schedule.link_partition_ns)
+        if schedule.link_delay_p and self._draw() < schedule.link_delay_p:
+            extra += schedule.link_delay_ns
+            self._inject("link_delay", link, frame=frame_seq,
+                         delay_ns=schedule.link_delay_ns)
+        if schedule.link_drop_p and self._draw() < schedule.link_drop_p:
+            extra += schedule.link_rto_ns
+            self._inject("link_drop", link, frame=frame_seq,
+                         rto_ns=schedule.link_rto_ns, nbytes=nbytes)
+        if schedule.link_reorder_p and \
+                self._draw() < schedule.link_reorder_p:
+            extra += schedule.link_reorder_ns
+            self._inject("link_reorder", link, frame=frame_seq,
+                         late_ns=schedule.link_reorder_ns)
+        return extra
 
     def backlog_limit(self, configured: int) -> int:
         """Effective listener backlog under this schedule."""

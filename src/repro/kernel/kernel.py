@@ -84,9 +84,14 @@ class Kernel:
     def __init__(self, clock: Optional[VirtualClock] = None,
                  costs: CostModel = DEFAULT_COSTS,
                  latency_ns: Optional[int] = None,
-                 seed: "bytes | str | None" = None):
+                 seed: "bytes | str | None" = None,
+                 host_id: int = 0):
         self.clock = clock or VirtualClock()
         self.costs = costs
+        #: which cluster host this kernel is (0 for a standalone machine).
+        #: ``repro.cluster`` gives every host its own kernel, seed, and
+        #: virtual clock; the id keys per-host traces and wire events.
+        self.host_id = host_id
         #: the one top-level determinism knob: every nondeterminism source
         #: the machine owns (today: /dev/urandom) derives from it.
         self.seed = seed if seed is not None else DEFAULT_URANDOM_SEED
@@ -112,6 +117,10 @@ class Kernel:
         #: syscall interposition hooks: fn(proc, name) on every syscall —
         #: how syscall-boundary MVX monitors (ReMon, ptrace) attach.
         self.syscall_hooks: List[Callable] = []
+        #: cluster wire observers: fn(direction, link, frame_meta) when a
+        #: wire frame leaves ("send") or reaches ("recv") this host — the
+        #: flight recorder's cross-host causality tap.
+        self.wire_hooks: List[Callable] = []
         #: post-syscall hooks: fn(proc, name, result) after the handler
         #: ran — the flight recorder digests the retval/errno stream here.
         self.syscall_result_hooks: List[Callable] = []

@@ -214,6 +214,11 @@ class Scheduler:
         self._digest = hashlib.sha256()
         #: flight-recorder tap: fn(kind, task_name, detail_dict).
         self.decision_hook = None
+        #: cross-host drain point: fn() -> bool called when no task is
+        #: runnable; returning True means external progress was made
+        #: (e.g. a cluster wire frame delivered) and dispatch should
+        #: retry instead of going idle.  Installed by ``repro.cluster``.
+        self.idle_hook = None
         self._run_queues: List[Deque[SchedTask]] = \
             [deque() for _ in self.cores]
         self._coreless: Deque[SchedTask] = deque()
@@ -394,6 +399,12 @@ class Scheduler:
                 self._wake_ready()
                 task = self._pick()
                 if task is None:
+                    # no runnable task: give cross-host machinery (the
+                    # cluster's pending wire frames) a chance to make
+                    # progress before declaring idle/stall — delivering a
+                    # frame may unblock a parked task or close a region.
+                    if self.idle_hook is not None and self.idle_hook():
+                        continue
                     if all(t.done for t in self.tasks):
                         if predicate is None:
                             return "idle"

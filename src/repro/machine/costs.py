@@ -74,6 +74,13 @@ class CostModel:
     #: rewriting one identified pointer.
     pointer_fixup_ns: int = 12
 
+    # -- cluster wire protocol (repro.cluster) --------------------------------
+    #: serializing + posting one wire frame onto an inter-host link
+    #: (length prefix, batch header, NIC doorbell).
+    wire_frame_ns: int = 2_000
+    #: marshalling one payload byte into a wire frame.
+    wire_byte_ns: float = 0.05
+
     # -- whole-program MVX baselines ------------------------------------------
     # Effective per-interception costs in the paper's measurement regime
     # (saturated server, lockstep variants contending for the machine):

@@ -7,6 +7,10 @@
   lower than sMVX's by exactly the libc:syscall ratio of Figure 7.
 * :class:`PtraceMvx` — an Orchestra-style cross-process monitor paying
   four context switches per interception (paper §2.1 footnote 1).
+* :class:`RemoteMvx` — whole-program distributed MVX (dMVX without
+  selection): every syscall crosses the wire, sensitive ones block for
+  a remote verdict — the yardstick for ``repro.cluster``'s selective
+  distributed mode.
 * :func:`spawn_duplicate` — "two copies of the vanilla application", the
   traditional-MVX memory model the paper's RSS comparison uses.
 
@@ -19,6 +23,7 @@ from repro.mvx.baselines import (
     MvxBaseline,
     PtraceMvx,
     ReMonMvx,
+    RemoteMvx,
     spawn_duplicate,
 )
 
@@ -26,5 +31,6 @@ __all__ = [
     "MvxBaseline",
     "PtraceMvx",
     "ReMonMvx",
+    "RemoteMvx",
     "spawn_duplicate",
 ]

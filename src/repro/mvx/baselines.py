@@ -149,6 +149,37 @@ class PtraceMvx(MvxBaseline):
         return self.costs.ptrace_intercept_ns
 
 
+class RemoteMvx(MvxBaseline):
+    """Whole-program *distributed* MVX (dMVX/DMON without selection):
+    every syscall is shipped to a remote monitor, so each interception
+    pays frame serialization, and the sensitive subset additionally
+    blocks for a verdict round trip at the link latency.  This is the
+    cost structure ``repro.cluster`` escapes by replicating only
+    selected regions."""
+
+    name = "remote"
+
+    def __init__(self, process: GuestProcess,
+                 costs: Optional[CostModel] = None,
+                 latency_ns: float = 100_000,
+                 sensitive: Optional[Set[str]] = None,
+                 frame_bytes: int = 160):
+        super().__init__(process, costs)
+        self.latency_ns = latency_ns
+        self.sensitive = (REMON_SENSITIVE_SYSCALLS if sensitive is None
+                          else sensitive)
+        self.frame_bytes = frame_bytes
+
+    def _interception_cost(self, name: str) -> float:
+        wire = self.costs.wire_frame_ns \
+            + self.frame_bytes * self.costs.wire_byte_ns
+        if name in self.sensitive:
+            self.stats.slow_path += 1
+            return wire + 2 * self.latency_ns
+        self.stats.fast_path += 1
+        return wire
+
+
 def spawn_duplicate(server_factory, kernel, **kwargs):
     """Create a second vanilla instance — the traditional-MVX memory model
     ('we replicated the vanilla applications to simulate the memory usage

@@ -64,8 +64,48 @@ def _cmd_record(args) -> int:
     return 0
 
 
+#: footer pins surfaced by ``info`` (text and --json modes).
+_INFO_FOOTER_KEYS = (
+    "clock_end_ns", "counter_total_ns", "instructions_retired",
+    "libc_calls_total", "syscalls", "syscall_digest", "clock_digest",
+    "fault_digest", "sched_digest", "host_id", "wire_frames",
+    "wire_bytes", "wire_digest", "lamport_max",
+)
+
+
+def _info_summary(trace: Trace) -> dict:
+    """Machine-readable ``info``: scenario, ring counts, footer pins."""
+    meta, footer = trace.meta, trace.footer
+    ring = meta.get("ring", {})
+    return {
+        "version": trace.version,
+        "scenario": meta.get("scenario"),
+        "events": {"emitted": ring.get("emitted"),
+                   "dropped": ring.get("dropped"),
+                   "capacity": ring.get("capacity")},
+        "stimulus_ops": len(trace.script),
+        "urandom_chunks": len(trace.inputs.get("urandom", [])),
+        "footer": {key: footer.get(key) for key in _INFO_FOOTER_KEYS},
+        "event_counts": _event_counts(trace),
+        "alarms": list(footer.get("alarms", [])),
+    }
+
+
+def _event_counts(trace: Trace) -> dict:
+    counts: dict = {}
+    for event in trace.events:
+        kind = event.get("kind", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
 def _cmd_info(args) -> int:
     trace = Trace.load(args.trace)
+    if getattr(args, "json", False):
+        import json as json_mod
+        print(json_mod.dumps(_info_summary(trace), indent=2,
+                             sort_keys=True))
+        return 0
     meta, footer = trace.meta, trace.footer
     print(f"trace version {trace.version}")
     print(f"scenario: {meta.get('scenario')}")
@@ -75,9 +115,7 @@ def _cmd_info(args) -> int:
           f"(ring capacity {ring.get('capacity')})")
     print(f"stimulus ops: {len(trace.script)}")
     print(f"urandom chunks: {len(trace.inputs.get('urandom', []))}")
-    for key in ("clock_end_ns", "counter_total_ns",
-                "instructions_retired", "libc_calls_total", "syscalls",
-                "syscall_digest", "clock_digest"):
+    for key in _INFO_FOOTER_KEYS:
         print(f"{key}: {footer.get(key)}")
     alarms = footer.get("alarms", [])
     print(f"alarms: {len(alarms)}")
@@ -114,7 +152,11 @@ def _cmd_export(args) -> int:
 
 def _cmd_replay(args) -> int:
     trace = Trace.load(args.trace)
-    result = replay_trace(trace)
+    try:
+        result = replay_trace(trace)
+    except ValueError as error:
+        print(f"cannot replay: {error}", file=sys.stderr)
+        return 1
     print(result.summary())
     return 0 if result.ok else 1
 
@@ -175,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="summarize a trace file")
     p.add_argument("trace")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary: scenario, event "
+                        "counts, and footer pins (fault_digest, "
+                        "sched_digest, wire_digest, ...)")
     p.set_defaults(func=_cmd_info)
 
     p = sub.add_parser("events", help="list events from a trace file")

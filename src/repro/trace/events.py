@@ -31,6 +31,7 @@ class EventKind(enum.Enum):
     NET_INGRESS = "net_ingress"      # payload delivered toward a socket
     NET_ACCEPT = "net_accept"        # a listener handed out a connection
     FAULT = "fault"                  # the fault plane injected a fault
+    WIRE = "wire"                    # a cluster wire frame sent/delivered
     STIMULUS = "stimulus"            # host-boundary input (the record script)
     MARK = "mark"                    # free-form annotation
 

@@ -128,6 +128,10 @@ class Recorder:
         self._clock_reads = 0
         self._syscall_digest = _stream_digest()
         self._syscall_count = 0
+        self._wire_digest = _stream_digest()
+        self._wire_frames = 0
+        self._wire_bytes = 0
+        self._lamport_max = 0
         self._extra_procs: List = []
 
         self._install_kernel_taps()
@@ -148,6 +152,8 @@ class Recorder:
         network.connect_hook = self._on_connect
         network.ingress_hook = self._on_ingress
         network.accept_hook = self._on_accept
+        if hasattr(kernel, "wire_hooks"):
+            kernel.wire_hooks.append(self._on_wire)
         self._tap_scheduler()
 
     def _tap_scheduler(self) -> None:
@@ -217,6 +223,8 @@ class Recorder:
             network.ingress_hook = None
         if network.accept_hook == self._on_accept:
             network.accept_hook = None
+        if self._on_wire in getattr(kernel, "wire_hooks", []):
+            kernel.wire_hooks.remove(self._on_wire)
         if self.process is not None:
             if self._on_libc in self.process.libc_call_observers:
                 self.process.libc_call_observers.remove(self._on_libc)
@@ -239,6 +247,23 @@ class Recorder:
         self.urandom_chunks.append(chunk)
         self.ring.emit(EventKind.URANDOM, self._now, "urandom",
                        nbytes=len(chunk))
+
+    def _on_wire(self, direction: str, link: str, meta: Dict) -> None:
+        """Cluster wire traffic as seen from this host (send and recv).
+        The Lamport stamp logged here is what makes the cross-host merge
+        (:mod:`repro.trace.merge`) causally consistent."""
+        self._wire_frames += 1
+        self._wire_bytes += meta.get("bytes", 0)
+        self._lamport_max = max(self._lamport_max, meta.get("lamport", 0))
+        self._wire_digest.update(
+            f"{direction}:{link}:{meta.get('frame')}:"
+            f"{meta.get('lamport')}:{meta.get('bytes')}".encode())
+        self.ring.emit(EventKind.WIRE, self._now, f"{direction}:{link}",
+                       lamport=meta.get("lamport", 0),
+                       frame=meta.get("frame", 0),
+                       chan=meta.get("chan", 0),
+                       nbytes=meta.get("bytes", 0),
+                       msgs=list(meta.get("msgs", [])))
 
     def _on_clock_read(self, kind: str, value) -> None:
         self._clock_reads += 1
@@ -418,6 +443,11 @@ class Recorder:
             "faults": kernel.faults.injected_total,
             "faults_by_kind": dict(kernel.faults.injected_by_kind),
             "fault_digest": kernel.faults.digest,
+            "host_id": getattr(kernel, "host_id", 0),
+            "wire_frames": self._wire_frames,
+            "wire_bytes": self._wire_bytes,
+            "wire_digest": self._wire_digest.hexdigest(),
+            "lamport_max": self._lamport_max,
         }
         sched = getattr(kernel, "sched", None)
         if sched is not None:

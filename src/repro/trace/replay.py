@@ -32,6 +32,7 @@ _FOOTER_KEYS = (
     "faults", "faults_by_kind", "fault_digest",
     "sched_decisions", "sched_digest", "sched_stats",
     "worker_pids", "workers_busy_ns",
+    "host_id", "wire_frames", "wire_bytes", "wire_digest", "lamport_max",
 )
 
 
@@ -101,6 +102,11 @@ def _build_scenario(trace: Trace):
     elif app == "littled":
         from repro.apps.littled import LittledServer
         server_cls = LittledServer
+    elif app.endswith("-cluster"):
+        raise ValueError(
+            f"{app!r} is a per-host trace of a cluster run; replay the "
+            f"whole cluster with `python -m repro.cluster replay` (a "
+            f"single host's stimulus depends on its peers' wire frames)")
     else:
         raise ValueError(f"cannot rebuild unknown scenario app {app!r}")
     kernel = Kernel(seed=scenario.get("seed", "smvx-repro"))

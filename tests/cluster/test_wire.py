@@ -1,0 +1,104 @@
+"""Wire protocol: framing, incremental decode, batching, serialization."""
+
+import pytest
+
+from repro.cluster.wire import (
+    BatchRing,
+    FrameDecoder,
+    call_msg,
+    decode_frame,
+    encode_frame,
+    region_start_msg,
+    report_from_dict,
+    report_to_dict,
+    verdict_msg,
+)
+from repro.core.divergence import CallRecord, DivergenceKind, \
+    DivergenceReport
+from repro.core.ipc import CallEvent
+
+
+def test_frame_roundtrip():
+    msgs = [region_start_msg(1, "root_fn", [4, 5], [[0x1000, "ab" * 16]],
+                             {"brk": 8, "free": [], "allocated": []})]
+    frame = encode_frame(7, 3, 1, msgs)
+    batch = decode_frame(frame)
+    assert batch["lamport"] == 7
+    assert batch["seq"] == 3
+    assert batch["chan"] == 1
+    assert batch["msgs"] == msgs
+
+
+def test_frame_encoding_is_canonical():
+    msgs = [{"type": "region_end", "region": 2}]
+    assert encode_frame(1, 1, 0, msgs) == encode_frame(1, 1, 0, msgs)
+
+
+def test_decode_frame_rejects_truncation():
+    frame = encode_frame(1, 1, 0, [{"type": "region_end", "region": 1}])
+    with pytest.raises(ValueError):
+        decode_frame(frame[:-2])
+    with pytest.raises(ValueError):
+        decode_frame(frame[:2])
+
+
+def test_frame_decoder_reassembles_byte_stream():
+    frames = [encode_frame(i, i, 0, [{"type": "region_end", "region": i}])
+              for i in range(1, 4)]
+    stream = b"".join(frames)
+    decoder = FrameDecoder()
+    batches = []
+    # drip-feed in awkward 5-byte segments
+    for start in range(0, len(stream), 5):
+        batches.extend(decoder.feed(stream[start:start + 5]))
+    assert [b["lamport"] for b in batches] == [1, 2, 3]
+    assert decoder.pending_bytes == 0
+
+
+def test_batch_ring_force_flush_signal():
+    ring = BatchRing(capacity=3)
+    assert not ring.append({"type": "a"})
+    assert not ring.append({"type": "b"})
+    assert ring.append({"type": "c"})       # full: owner must flush
+    assert len(ring) == 3
+    assert ring.drain() == [{"type": "a"}, {"type": "b"}, {"type": "c"}]
+    assert len(ring) == 0
+    assert ring.flushes == 1
+
+
+def test_batch_ring_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        BatchRing(capacity=0)
+
+
+def test_call_event_roundtrip_with_buffers():
+    event = CallEvent(5, "recv", (3, 0x2000, 128, 0), retval=9, errno=0,
+                      buffers=((1, b"payload\x00\xff"),), task=2,
+                      pc=0x4242)
+    raw = call_msg(event)
+    assert raw["type"] == "call"
+    back = CallEvent.from_dict(raw["event"])
+    assert back == event
+
+
+def test_sync_event_gets_sync_type():
+    event = CallEvent(1, "mkdir", (0x1000, 0o755), sync=True)
+    assert call_msg(event)["type"] == "sync"
+
+
+def test_divergence_report_roundtrip():
+    report = DivergenceReport(
+        DivergenceKind.FOLLOWER_FAULT, 18, "mkdir", "fetch fault",
+        CallRecord(18, "mkdir", (1, 2), "leader"), None,
+        task_id=2, guest_pc=0x5555, pid=-1)
+    back = report_from_dict(report_to_dict(report))
+    assert back == report
+    assert report_to_dict(None) is None
+    assert report_from_dict(None) is None
+
+
+def test_verdict_msg_carries_alarm():
+    report = DivergenceReport(DivergenceKind.RETVAL, 3, "read", "x")
+    msg = verdict_msg(2, 3, False, report)
+    assert msg["ok"] is False
+    assert report_from_dict(msg["alarm"]).kind is DivergenceKind.RETVAL

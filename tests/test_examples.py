@@ -62,3 +62,16 @@ def test_variant_strategies_all_catch():
     out = run_example("variant_strategies.py")
     assert out.count("caught") == 3
     assert "MISSED" not in out
+
+
+def test_distributed_smvx_walkthrough():
+    out = run_example("distributed_smvx.py")
+    assert "requests completed: 6/6" in out
+    assert "alarms: 0" in out
+    assert "distributed blocked: True" in out
+    assert "alarm location identical: True" in out
+    # the two deployments printed the same guest PC
+    import re
+    pcs = re.findall(r"guest pc .*:\s+(0x[0-9a-f]+)", out)
+    assert len(pcs) == 2 and pcs[0] == pcs[1]
+    assert "cluster replay bit-identical: True" in out

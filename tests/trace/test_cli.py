@@ -38,6 +38,27 @@ def test_info_summarizes(artifacts, capsys):
     assert "counter_total_ns" in out
 
 
+def test_info_json_summary(artifacts, capsys):
+    """--json prints a machine-readable summary with the footer pins
+    (fault_digest, sched_digest, wire/lamport) and per-kind counts."""
+    trace, _ = artifacts
+    assert main(["info", trace, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    footer = doc["footer"]
+    for key in ("fault_digest", "sched_digest", "syscall_digest",
+                "clock_digest", "wire_digest", "host_id",
+                "wire_frames", "lamport_max"):
+        assert key in footer
+    assert len(footer["fault_digest"]) == 64      # hex sha256
+    assert doc["event_counts"]["libc"] > 0
+    assert doc["event_counts"]["alarm"] == 1
+    assert doc["alarms"][0]["kind"] == "FOLLOWER_FAULT"
+    assert doc["scenario"]["seed"] == "smvx-repro"
+    # single-host recording: no wire traffic, but the pins are present
+    assert footer["wire_frames"] == 0
+    assert footer["host_id"] == 0
+
+
 def test_events_filters_by_kind(artifacts, capsys):
     trace, _ = artifacts
     assert main(["events", trace, "--kind", "alarm"]) == 0
@@ -95,3 +116,18 @@ def test_record_vanilla_smoke(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "no capsule captured" in out
     assert main(["replay", trace]) == 0
+
+
+def test_replay_rejects_cluster_host_trace_cleanly(tmp_path, capsys):
+    """A per-host cluster trace cannot be replayed single-host; the CLI
+    must fail with a pointer to `python -m repro.cluster replay`, not a
+    traceback."""
+    from repro.cluster.scenarios import run_distributed_ab
+
+    session = run_distributed_ab(requests=1, record=True)
+    path = str(tmp_path / "host0.json")
+    session["traces"][0].save(path)
+    assert main(["replay", path]) == 1
+    err = capsys.readouterr().err
+    assert "cannot replay" in err
+    assert "repro.cluster replay" in err
