@@ -1,26 +1,44 @@
-"""Interpreter throughput (ISSUE acceptance criterion): guest MIPS on an
-nbench-flavoured compute kernel, fast path vs. the precise path vs. an
-emulation of the pre-fast-path interpreter.
+"""Interpreter throughput (ISSUE acceptance criterion): guest MIPS per
+interpreter tier, reported per workload in ``BENCH_interp.json``.
 
-Three configurations run the identical LCG-fill + checksum loop:
+Tiers (see docs/architecture.md §13 for the three-tier contract):
 
-* **fast**     — the default interpreter: per-page decoded-instruction
-  cache, inlined dispatch, software TLB, batched charging;
+* **jit**      — the default interpreter: hot superblocks translated to
+  specialized Python closures (``repro.machine.jit``) above the decoded
+  page cache;
+* **fast**     — ``jit_enabled=False``: per-page decoded-instruction
+  cache, inlined dispatch, software TLB, batched charging (the PR-2
+  interpreter);
 * **precise**  — ``force_slow_path=True``: per-instruction ``step()``
   (still decode-cached — this is what tracing/taint pay);
 * **baseline** — precise plus a per-fetch re-decode ``_fetch`` override,
-  reproducing the pre-PR interpreter's fetch behavior (the "before"
-  number recorded in ``BENCH_interp.json``).
+  reproducing the pre-PR-2 interpreter (the historical "before").
 
-The acceptance bound is fast ≥ 3× baseline host instructions/sec, and
-all three configurations must retire the same instruction count, produce
-the same checksum, and charge identical virtual cycles.
+Workloads:
+
+* **lcg-checksum** — the nbench-flavoured compute loop; all four tiers
+  must retire the same instruction count, produce the same checksum and
+  charge identical virtual cycles, and the jit tier must clear the
+  pinned speedup over the fast path in steady state;
+* **nbench** — one real suite workload (Numeric Sort) run vanilla
+  through :class:`repro.apps.nbench.harness.NbenchHarness` machinery
+  per tier: identical checksum and virtual ns, host time reported;
+* **minx-request-loop** — ApacheBench against the minx server per tier:
+  zero failures and identical virtual busy-time per request, host
+  requests/sec reported.
+
+The steady-state jit measurement takes the best of several trials after
+a warmup run: CPython's adaptive interpreter needs one pass over the
+generated closure before it reaches steady state, and CI runners are
+noisy.
 """
 
 import json
 import os
 import time
+from contextlib import contextmanager
 
+from conftest import make_minx
 from repro.errors import InvalidInstruction
 from repro.machine import (
     INSTR_SIZE,
@@ -34,13 +52,29 @@ from repro.machine import (
 )
 from repro.machine.cpu import ExecState, HOST_RETURN_ADDRESS
 from repro.machine.registers import RegisterFile
+from repro.workloads import ApacheBench
 
 CODE_BASE = 0x40_0000
 DATA_BASE = 0x50_0000
 STACK_TOP = 0x7000_0000
+#: iteration count for the four-tier equality proof (precise and the
+#: re-decode baseline are slow; this keeps them to well under a second)
 ITERATIONS = 12_000
+#: iteration count for the steady-state jit measurement (long enough
+#: that the one-time translation cost is noise)
+JIT_ITERATIONS = 200_000
+#: best-of trials for the steady-state jit/fast numbers
+TRIALS = 3
+NBENCH_INDEX = 0               # Numeric Sort
+MINX_REQUESTS = 20
 BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
                           "BENCH_interp.json")
+
+
+class FastCPU(CPU):
+    """The PR-2 fast path with the jit tier switched off."""
+
+    jit_enabled = False
 
 
 class BaselineCPU(CPU):
@@ -48,6 +82,7 @@ class BaselineCPU(CPU):
     fetch + decode from raw page bytes on every instruction."""
 
     force_slow_path = True
+    jit_enabled = False
 
     def _fetch(self, state):
         addr = state.regs.rip
@@ -64,7 +99,6 @@ class BaselineCPU(CPU):
         except InvalidInstruction as exc:  # pragma: no cover
             exc.address = addr
             raise
-
 
 def lcg_checksum_kernel(iterations):
     """nbench-flavoured compute loop: an LCG stream written through a
@@ -94,9 +128,9 @@ def lcg_checksum_kernel(iterations):
     return a
 
 
-def _run(cpu_cls):
+def _run(cpu_cls, iterations=ITERATIONS):
     space = AddressSpace()
-    code = lcg_checksum_kernel(ITERATIONS).assemble(CODE_BASE)
+    code = lcg_checksum_kernel(iterations).assemble(CODE_BASE)
     space.mmap(CODE_BASE, len(code), prot=PROT_RX, tag="text")
     for offset in range(0, len(code), PAGE_SIZE):
         page = space.page_at(CODE_BASE + offset)
@@ -120,6 +154,7 @@ def _run(cpu_cls):
         "virtual_ns": cpu.counter.total_ns,
         "host_s": host_s,
         "mips": cpu.instructions_retired / host_s / 1e6,
+        "stats": cpu.stats(),
     }
 
 
@@ -129,51 +164,179 @@ def _precise_cpu(space):
     return cpu
 
 
-def test_interp_throughput(table):
-    runs = {
-        "fast": _run(CPU),
+@contextmanager
+def _tier(name):
+    """Pin every CPU constructed in the block to one interpreter tier
+    (the server/nbench harnesses build their machines internally)."""
+    saved = (CPU.jit_enabled, CPU.force_slow_path)
+    CPU.jit_enabled = name == "jit"
+    CPU.force_slow_path = name == "precise"
+    try:
+        yield
+    finally:
+        CPU.jit_enabled, CPU.force_slow_path = saved
+
+
+def _bench_lcg():
+    tiers = {
+        "jit": _run(CPU),
+        "fast": _run(FastCPU),
         "precise": _run(_precise_cpu),
         "baseline": _run(BaselineCPU),
     }
-    fast, precise, baseline = (runs["fast"], runs["precise"],
-                               runs["baseline"])
-
     # identical architectural results in every configuration
-    for other in (precise, baseline):
-        assert other["checksum"] == fast["checksum"]
-        assert other["instructions"] == fast["instructions"]
-        assert other["virtual_ns"] == fast["virtual_ns"]
+    reference = tiers["fast"]
+    for name, run in tiers.items():
+        assert run["checksum"] == reference["checksum"], name
+        assert run["instructions"] == reference["instructions"], name
+        assert run["virtual_ns"] == reference["virtual_ns"], name
+    assert tiers["jit"]["stats"]["jit_insns"] > 0
+    assert tiers["precise"]["stats"]["jit_insns"] == 0
 
-    speedup_vs_baseline = fast["mips"] / baseline["mips"]
-    speedup_vs_precise = fast["mips"] / precise["mips"]
+    # steady state: best-of-TRIALS at JIT_ITERATIONS after one warmup
+    # (CPython's adaptive interpreter, noisy CI runners)
+    _run(CPU, JIT_ITERATIONS)
+    best_jit, best_fast = None, None
+    for _ in range(TRIALS):
+        jit = _run(CPU, JIT_ITERATIONS)
+        fast = _run(FastCPU, JIT_ITERATIONS)
+        assert jit["checksum"] == fast["checksum"]
+        assert jit["virtual_ns"] == fast["virtual_ns"]
+        if best_jit is None or jit["mips"] > best_jit["mips"]:
+            best_jit = jit
+        if best_fast is None or fast["mips"] > best_fast["mips"]:
+            best_fast = fast
+    return tiers, best_jit, best_fast
+
+
+def _bench_nbench():
+    from repro.apps.nbench.harness import NbenchHarness
+    from repro.apps.nbench.workloads import NBENCH_WORKLOADS
+
+    results = {}
+    for name in ("jit", "fast", "precise"):
+        with _tier(name):
+            harness = NbenchHarness(runs=1)
+            host_t0 = time.perf_counter()
+            virtual_ns, checksum = harness._run_once(NBENCH_INDEX,
+                                                     smvx=False)
+            host_s = time.perf_counter() - host_t0
+        results[name] = {"host_s": host_s, "virtual_ns": virtual_ns,
+                         "checksum": checksum}
+    reference = results["fast"]
+    for name, run in results.items():
+        assert run["checksum"] == reference["checksum"], name
+        assert run["virtual_ns"] == reference["virtual_ns"], name
+    return NBENCH_WORKLOADS[NBENCH_INDEX].name, results
+
+
+def _bench_minx():
+    results = {}
+    for name in ("jit", "fast", "precise"):
+        with _tier(name):
+            kernel, server = make_minx()
+            bench = ApacheBench(kernel, server)
+            host_t0 = time.perf_counter()
+            result = bench.run(MINX_REQUESTS)
+            host_s = time.perf_counter() - host_t0
+        assert result.failures == 0, name
+        results[name] = {
+            "host_s": host_s,
+            "requests_per_host_s": MINX_REQUESTS / host_s,
+            "busy_per_request_ns": result.busy_per_request_ns,
+        }
+    reference = results["fast"]
+    for name, run in results.items():
+        assert run["busy_per_request_ns"] == \
+            reference["busy_per_request_ns"], name
+    return results
+
+
+def test_interp_throughput(table):
+    tiers, best_jit, best_fast = _bench_lcg()
+    jit_speedup = best_jit["mips"] / best_fast["mips"]
+    speedup_vs_baseline = tiers["fast"]["mips"] / tiers["baseline"]["mips"]
+    nbench_name, nbench = _bench_nbench()
+    minx = _bench_minx()
+
+    def entry(run):
+        return {"mips": round(run["mips"], 3),
+                "host_s": round(run["host_s"], 4)}
 
     payload = {
-        "workload": "lcg-checksum",
-        "iterations": ITERATIONS,
-        "guest_instructions": fast["instructions"],
-        "before": {"config": "pre-fast-path interpreter",
-                   "mips": round(baseline["mips"], 3),
-                   "host_s": round(baseline["host_s"], 4)},
-        "after": {"config": "decoded-page cache + TLB + batched charging",
-                  "mips": round(fast["mips"], 3),
-                  "host_s": round(fast["host_s"], 4)},
-        "precise_path": {"config": "force_slow_path (tracing/taint cost)",
-                         "mips": round(precise["mips"], 3),
-                         "host_s": round(precise["host_s"], 4)},
-        "speedup": round(speedup_vs_baseline, 2),
-        "speedup_vs_precise": round(speedup_vs_precise, 2),
+        "workloads": {
+            "lcg-checksum": {
+                "iterations": JIT_ITERATIONS,
+                "guest_instructions": best_jit["instructions"],
+                "tiers": {
+                    "jit": entry(best_jit),
+                    "fast": entry(best_fast),
+                    "precise": entry(tiers["precise"]),
+                    "baseline": entry(tiers["baseline"]),
+                },
+                "jit_speedup_vs_fast": round(jit_speedup, 2),
+                "fast_speedup_vs_baseline": round(speedup_vs_baseline, 2),
+            },
+            "nbench": {
+                "workload": nbench_name,
+                "tiers": {name: {"host_s": round(run["host_s"], 4)}
+                          for name, run in nbench.items()},
+                "virtual_ns": nbench["fast"]["virtual_ns"],
+                "jit_speedup_vs_fast": round(
+                    nbench["fast"]["host_s"] / nbench["jit"]["host_s"], 2),
+            },
+            "minx-request-loop": {
+                "requests": MINX_REQUESTS,
+                "tiers": {name: {
+                    "host_s": round(run["host_s"], 4),
+                    "requests_per_host_s":
+                        round(run["requests_per_host_s"], 1)}
+                    for name, run in minx.items()},
+                "busy_per_request_ns":
+                    minx["fast"]["busy_per_request_ns"],
+                "jit_speedup_vs_fast": round(
+                    minx["fast"]["host_s"] / minx["jit"]["host_s"], 2),
+            },
+        },
+        "jit_speedup_vs_fast": round(jit_speedup, 2),
+        "jit_mips": round(best_jit["mips"], 3),
+        "fast_mips": round(best_fast["mips"], 3),
     }
     with open(BENCH_JSON, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
 
-    table(f"Interpreter throughput ({ITERATIONS:,} iterations, "
-          f"{fast['instructions']:,} guest instructions)",
-          ("config", "guest MIPS", "host time", "speedup"),
-          [(name, f"{r['mips']:.2f}", f"{r['host_s'] * 1e3:,.1f} ms",
-            f"{fast['mips'] / r['mips']:.2f}x")
-           for name, r in runs.items()])
+    table(f"Interpreter throughput (lcg-checksum, {JIT_ITERATIONS:,} "
+          f"iterations steady-state; equality proof at {ITERATIONS:,})",
+          ("tier", "guest MIPS", "host time"),
+          [("jit", f"{best_jit['mips']:.2f}",
+            f"{best_jit['host_s'] * 1e3:,.1f} ms"),
+           ("fast", f"{best_fast['mips']:.2f}",
+            f"{best_fast['host_s'] * 1e3:,.1f} ms"),
+           ("precise", f"{tiers['precise']['mips']:.2f}",
+            f"{tiers['precise']['host_s'] * 1e3:,.1f} ms"),
+           ("baseline", f"{tiers['baseline']['mips']:.2f}",
+            f"{tiers['baseline']['host_s'] * 1e3:,.1f} ms")])
+    table("Per-workload jit vs fast (host time)",
+          ("workload", "jit", "fast", "speedup"),
+          [("lcg-checksum", f"{best_jit['host_s'] * 1e3:,.1f} ms",
+            f"{best_fast['host_s'] * 1e3:,.1f} ms",
+            f"{jit_speedup:.2f}x"),
+           (f"nbench/{nbench_name}",
+            f"{nbench['jit']['host_s'] * 1e3:,.1f} ms",
+            f"{nbench['fast']['host_s'] * 1e3:,.1f} ms",
+            f"{nbench['fast']['host_s'] / nbench['jit']['host_s']:.2f}x"),
+           ("minx-request-loop",
+            f"{minx['jit']['host_s'] * 1e3:,.1f} ms",
+            f"{minx['fast']['host_s'] * 1e3:,.1f} ms",
+            f"{minx['fast']['host_s'] / minx['jit']['host_s']:.2f}x")])
 
     assert speedup_vs_baseline >= 3.0, \
         f"fast path is only {speedup_vs_baseline:.2f}x the pre-PR " \
         f"interpreter (need >= 3x); see {BENCH_JSON}"
+    # the pinned jit floor is deliberately below the ~10-12x measured on
+    # a quiet machine: CI runners are noisy and the floor guards against
+    # silent de-optimization, not against scheduler jitter
+    assert jit_speedup >= 6.0, \
+        f"jit tier is only {jit_speedup:.2f}x the fast path " \
+        f"(pinned floor 6x); see {BENCH_JSON}"

@@ -1,0 +1,961 @@
+"""The JIT tier: superblock translation of hot guest code to Python closures.
+
+Third interpreter tier above the precise path (``CPU.step``) and the fast
+path (``CPU._run_fast``).  When the fast path takes a backward direct
+branch often enough (:attr:`JitEngine.threshold`), the engine recovers a
+bounded CFG region around the branch target with
+:func:`repro.analysis.cfg.recover_hot_region`, translates the region into
+one specialized Python function (guest registers held in locals, memory
+through per-site inline caches backed by the same checked MMU paths), and
+installs it in the page's :attr:`~repro.machine.memory.Page.jit_cache`.
+
+Architectural contract (precise ≡ fast ≡ jit, proven by the differential
+suite):
+
+* **Virtual time / retired instructions** are charged in one batch per
+  closure invocation through an out-cell the closure fills even when it
+  faults mid-block; because ``instruction_ns`` is an exactly-representable
+  integer cost the batched sums are bit-identical to per-instruction
+  charging, and the charge lands before any host callback runs.
+* **Exits**: every ``SYSCALL``/``HLCALL``/``WRPKRU`` exits *before* the
+  instruction (the interpreter re-executes it precisely); ``CALL``/
+  ``RET``/``CALL_R``/``JMP_R``/``JMP_M`` and region-escaping branches
+  execute their side effects and exit after.  Exit after exit, execution
+  chains into the next translation without returning to the interpreter.
+* **Faults** restore the exact precise-path state: translated memory ops
+  flush every pending register/flag update first, record a *site* id, and
+  the closure's ``except`` handler writes back locals, sets ``rip`` to
+  the faulting instruction's ``rip_next`` (the precise path advances rip
+  before the handler body runs) and reports the charged count through the
+  out-cell before re-raising.
+* **Invalidation**: translations live on the page
+  (``Page.jit_cache``) and are dropped by exactly the hooks that flush
+  the decoded-instruction cache — MMU writes, mprotect/pkey_mprotect/
+  munmap, ``invalidate_decode()``.  A translated store that invalidates
+  *this* translation exits right after the store.  Inline store caches
+  only memoize pages with no decode/jit cache, so cached stores can never
+  leave stale translations behind.
+* **Demotion**: closures are only entered from the fast path (never when
+  a trace hook, memory observer, counter listener or ``force_slow_path``
+  is active) and the chain loop re-checks ``CPU._precision_forced()``
+  between hops, so an observer attached by a syscall handler mid-run
+  demotes execution to the precise path at the next block boundary.
+
+Deliberate non-observable shortcut: the inline fast paths do not bump
+``AddressSpace.access_count`` (a diagnostic counter, never architectural
+state); ``CPU.stats()`` documents the tier split instead.
+
+The per-invocation inline caches are sound because nothing can change a
+mapping, permission, protection key, PKRU, or attach an observer *while a
+closure runs*: all of those happen in host callbacks, and every host
+callback is an exit.  Each cache entry is established by one real checked
+access (``read_word``/``write_word``/``read``/``write``) in the same
+invocation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.machine.cpu import CpuExit
+from repro.machine.isa import INSTR_SIZE, Op
+from repro.machine.registers import GP_REGISTERS
+
+_M = (1 << 64) - 1
+_WORD = struct.Struct("<Q")
+
+#: backward-branch executions at one target before translation kicks in.
+HOT_THRESHOLD = 20
+#: cap on blocks per superblock region (keeps closures compact).
+MAX_BLOCKS = 12
+#: bound on the promotion-counter table (cleared wholesale when full —
+#: deterministic, since it only ever delays promotion).
+MAX_HOT_ENTRIES = 4096
+
+
+def _matf(fa: int, fb: int) -> int:
+    """Materialize compare flags from the recorded operands — the exact
+    semantics of ``RegisterFile.set_compare_flags``."""
+    diff = (fa - fb) & _M
+    if diff == 0:
+        flags = 1
+    elif diff >> 63:
+        flags = 2
+    else:
+        flags = 0
+    if fa < fb:
+        flags |= 4
+    return flags
+
+
+class Translation:
+    """One compiled superblock: the closure plus its validity cell."""
+
+    __slots__ = ("fn", "valid", "covers", "entry", "blocks", "insns",
+                 "engine", "source")
+
+    def __init__(self, fn, valid, covers, entry, blocks, insns, engine,
+                 source):
+        self.fn = fn
+        self.valid = valid          # one-element list shared with the closure
+        self.covers = covers        # every instruction address in the region
+        self.entry = entry
+        self.blocks = blocks
+        self.insns = insns
+        self.engine = engine
+        self.source = source
+
+    def invalidate(self) -> None:
+        if self.valid[0]:
+            self.valid[0] = False
+            self.engine.invalidations += 1
+
+
+class JitFailure(Exception):
+    """Raised by the translator when a region is not worth (or not safe
+    to) translate; the entry is blacklisted."""
+
+
+# --------------------------------------------------------------------------
+# expression model for the translator
+
+class _Expr:
+    """A pending (not yet emitted) right-hand side.
+
+    ``text`` is a self-contained Python expression over *concrete* closure
+    locals.  ``masked`` means the value is known to lie in [0, 2**64).
+    ``mod8``/``bits`` carry static alignment/width facts used to elide
+    alignment guards and masking.
+    """
+
+    __slots__ = ("text", "refs", "masked", "mod8", "bits")
+
+    def __init__(self, text: str, refs: frozenset, masked: bool,
+                 mod8: Optional[int] = None, bits: Optional[int] = None):
+        self.text = text
+        self.refs = refs
+        self.masked = masked
+        self.mod8 = mod8
+        self.bits = bits
+
+
+def _const(value: int) -> _Expr:
+    value &= _M
+    return _Expr(repr(value), frozenset(), True,
+                 mod8=value % 8, bits=value.bit_length())
+
+
+_NOREFS = frozenset()
+
+
+class _Flags:
+    """Lazily materialized compare flags: the two masked operands."""
+
+    __slots__ = ("a", "arefs", "b", "brefs", "emitted")
+
+    def __init__(self, a: str, arefs: frozenset, b: str, brefs: frozenset):
+        self.a = a
+        self.arefs = arefs
+        self.b = b
+        self.brefs = brefs
+        self.emitted = False
+
+    @property
+    def refs(self) -> frozenset:
+        return self.arefs | self.brefs
+
+
+_EXIT_BEFORE = frozenset({Op.SYSCALL, Op.HLCALL, Op.WRPKRU})
+_COND = {
+    Op.JE: ("({a} == {b})", "flags & 1"),
+    Op.JNE: ("({a} != {b})", "not flags & 1"),
+    Op.JL: ("((({a} - {b}) & M) >> 63)", "flags & 2"),
+    Op.JGE: ("(not (({a} - {b}) & M) >> 63)", "not flags & 2"),
+    Op.JB: ("({a} < {b})", "flags & 4"),
+    Op.JAE: ("({a} >= {b})", "not flags & 4"),
+}
+
+_VALID_REGS = frozenset(GP_REGISTERS)
+
+
+class _Translator:
+    """Emits the closure source for one superblock region."""
+
+    def __init__(self, region, entry: int):
+        self.region = region
+        self.entry = entry
+        self.single = len(region) == 1
+        self.block_ids = {start: i for i, start in
+                          enumerate(sorted(region))}
+        self.block_ids[entry], old = 0, self.block_ids[entry]
+        for start, bid in list(self.block_ids.items()):
+            if start != entry and bid == 0:
+                self.block_ids[start] = old
+        self.used: Set[str] = set()
+        # site 0 is the entry sentinel: rip=entry, 0 charged
+        self.sites: List[Tuple[int, int]] = [(entry, 0)]
+        self.caches: List[int] = []       # site ids with inline caches
+        self.lines: List[str] = []
+        self.base_indent = 0
+        # per-block state
+        self.pend: Dict[str, _Expr] = {}
+        self.fpend: Optional[_Flags] = None
+        self.meta: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+        #: register name for which `_i` currently holds `reg >> 12`
+        self.last_idx: Optional[str] = None
+        #: id of the block being emitted (self-edges skip the `b =`)
+        self.cur_bid = 0
+        self.insns = 0
+
+    # -- emission helpers ---------------------------------------------------
+
+    def _o(self, text: str, depth: int = 0) -> None:
+        self.lines.append("    " * (self.base_indent + depth) + text)
+
+    def _site(self, rip_next: int, charged: int) -> int:
+        self.sites.append((rip_next, charged))
+        return len(self.sites) - 1
+
+    def _reg(self, name: str) -> str:
+        if name not in _VALID_REGS:
+            raise JitFailure(f"unknown register {name!r}")
+        self.used.add(name)
+        return name
+
+    # -- value tracking -----------------------------------------------------
+
+    def _val(self, reg: str) -> _Expr:
+        expr = self.pend.get(reg)
+        if expr is not None:
+            return expr
+        mod8, bits = self.meta.get(reg, (None, None))
+        return _Expr(self._reg(reg), frozenset((reg,)), True, mod8, bits)
+
+    @staticmethod
+    def _masked(expr: _Expr) -> str:
+        return expr.text if expr.masked else f"({expr.text} & M)"
+
+    def _commit_flags(self) -> None:
+        # `_fa = -1` is the "no pending compare" sentinel (committed
+        # operands are always masked, hence >= 0), so a commit is two
+        # statements, not three
+        fp = self.fpend
+        if fp is None or fp.emitted:
+            return
+        self._o(f"_fa = {fp.a}")
+        self._o(f"_fb = {fp.b}")
+        fp.a, fp.arefs = "_fa", _NOREFS
+        fp.b, fp.brefs = "_fb", _NOREFS
+        fp.emitted = True
+
+    def _materialize(self, reg: str) -> None:
+        expr = self.pend.pop(reg)
+        # emitting rebinds `reg`, so every other pending expression that
+        # still reads reg's *current* value must be emitted first (no
+        # cycles: _assign never leaves two pends referencing each other)
+        for other in list(self.pend):
+            if other in self.pend and reg in self.pend[other].refs:
+                self._materialize(other)
+        text = self._masked(expr)
+        fp = self.fpend
+        if fp is not None and not fp.emitted and reg in fp.refs:
+            # the common `op r; cmp r, x; jcc` idiom: if a flag operand is
+            # textually the value being materialized, retarget it at the
+            # fresh local instead of emitting the expression twice
+            if fp.a == text and reg not in fp.brefs:
+                self._o(f"{reg} = {text}")
+                self._clobber(reg)
+                fp.a, fp.arefs = reg, frozenset((reg,))
+                self.meta[reg] = (expr.mod8,
+                                  expr.bits if expr.masked else None)
+                return
+            if fp.b == text and reg not in fp.arefs:
+                self._o(f"{reg} = {text}")
+                self._clobber(reg)
+                fp.b, fp.brefs = reg, frozenset((reg,))
+                self.meta[reg] = (expr.mod8,
+                                  expr.bits if expr.masked else None)
+                return
+            self._commit_flags()
+        self._o(f"{reg} = {text}")
+        self._clobber(reg)
+        self.meta[reg] = (expr.mod8, expr.bits if expr.masked else None)
+
+    def _flush_all(self) -> None:
+        for reg in list(self.pend):
+            if reg in self.pend:
+                self._materialize(reg)
+        self._commit_flags()
+
+    def _define(self, reg: str) -> None:
+        """Rebinding local ``reg``: flush every pending value that still
+        reads its current contents."""
+        for other in list(self.pend):
+            if other in self.pend and other != reg \
+                    and reg in self.pend[other].refs:
+                self._materialize(other)
+        fp = self.fpend
+        if fp is not None and not fp.emitted and reg in fp.refs:
+            self._commit_flags()
+        self.meta.pop(reg, None)
+
+    def _assign(self, reg: str, expr: _Expr) -> None:
+        self._reg(reg)
+        # if `expr` inlines the pending value of a register that _define
+        # is about to materialize (because that pend reads `reg`), the
+        # rebind would go stale inside `expr` — evaluate it first
+        if any(other != reg and other in expr.refs
+               and reg in self.pend[other].refs for other in self.pend):
+            self._o(f"_v = {self._masked(expr)}")
+            self._define(reg)
+            self.pend.pop(reg, None)
+            self._o(f"{reg} = _v")
+            self._clobber(reg)
+            self.meta[reg] = (expr.mod8, expr.bits if expr.masked else None)
+            return
+        self._define(reg)
+        self.pend[reg] = expr
+
+    # -- ALU expression builders --------------------------------------------
+
+    def _alu(self, op: Op, a: _Expr, b: _Expr) -> _Expr:
+        refs = a.refs | b.refs
+        am, bm = a.mod8, b.mod8
+        ab, bb = a.bits, b.bits
+        if op in (Op.ADD_RR, Op.ADD_RI):
+            bits = max(ab, bb) + 1 if ab is not None and bb is not None \
+                and a.masked and b.masked else None
+            masked = bits is not None and bits <= 64
+            return _Expr(f"({a.text} + {b.text})", refs, masked,
+                         (am + bm) % 8 if am is not None and bm is not None
+                         else None, bits if masked else None)
+        if op in (Op.SUB_RR, Op.SUB_RI):
+            return _Expr(f"({a.text} - {b.text})", refs, False,
+                         (am - bm) % 8 if am is not None and bm is not None
+                         else None, None)
+        if op in (Op.AND_RR, Op.AND_RI):
+            masked = a.masked or b.masked
+            bits = min(x for x in (ab, bb) if x is not None) \
+                if (ab is not None or bb is not None) else None
+            return _Expr(f"({a.text} & {b.text})", refs, masked,
+                         am & bm if am is not None and bm is not None
+                         else None, bits if masked else None)
+        if op in (Op.OR_RR, Op.OR_RI):
+            masked = a.masked and b.masked
+            bits = max(ab, bb) if ab is not None and bb is not None else None
+            return _Expr(f"({a.text} | {b.text})", refs, masked,
+                         am | bm if am is not None and bm is not None
+                         else None, bits if masked else None)
+        if op in (Op.XOR_RR, Op.XOR_RI):
+            masked = a.masked and b.masked
+            bits = max(ab, bb) if ab is not None and bb is not None else None
+            return _Expr(f"({a.text} ^ {b.text})", refs, masked,
+                         am ^ bm if am is not None and bm is not None
+                         else None, bits if masked else None)
+        if op is Op.MUL_RR:
+            bits = ab + bb if ab is not None and bb is not None \
+                and a.masked and b.masked else None
+            masked = bits is not None and bits <= 64
+            return _Expr(f"({a.text} * {b.text})", refs, masked,
+                         (am * bm) % 8 if am is not None and bm is not None
+                         else None, bits if masked else None)
+        raise JitFailure(f"no ALU rule for {op}")        # pragma: no cover
+
+    def _shift(self, op: Op, a: _Expr, imm: int) -> _Expr:
+        sh = imm & 63
+        if op is Op.SHL_RI:
+            bits = a.bits + sh if a.bits is not None and a.masked else None
+            masked = bits is not None and bits <= 64
+            if a.mod8 is not None:
+                mod8 = (a.mod8 << sh) & 7
+            else:
+                mod8 = 0 if sh >= 3 else None
+            return _Expr(f"({a.text} << {sh})", a.refs, masked, mod8,
+                         bits if masked else None)
+        # SHR_RI: operate on the masked value (logical shift)
+        text = self._masked(a)
+        known = a.bits if a.masked and a.bits is not None else 64
+        return _Expr(f"({text} >> {sh})", a.refs, True,
+                     a.mod8 if sh == 0 else None, max(known - sh, 0))
+
+    def _addr(self, base: _Expr, imm: int) -> _Expr:
+        if imm == 0:
+            return base
+        return self._alu(Op.ADD_RI, base, _const(imm))
+
+    # -- memory-op emitters (all flush pending state first at call sites) ---
+
+    def _clobber(self, reg: str) -> None:
+        """A closure local was rebound: forget any `_i` derived from it."""
+        if self.last_idx == reg:
+            self.last_idx = None
+
+    def _bind_addr(self, addr: _Expr) -> str:
+        """Address operand as a closure local.  A bare local (register or
+        ``pkru``) is used directly — nothing can rebind it during the
+        emitted access sequence; compound expressions bind the ``_a``
+        scratch once."""
+        text = self._masked(addr)
+        if text.isidentifier():
+            return text
+        self._o(f"_a = {text}")
+        return "_a"
+
+    def _page_index(self, av: str) -> None:
+        """``_i = av >> 12``, CSE'd across back-to-back memory ops on the
+        same (unclobbered) register."""
+        if av != "_a" and self.last_idx == av:
+            return
+        self._o(f"_i = {av} >> 12")
+        self.last_idx = av if av != "_a" else None
+
+    def _emit_load_word(self, addr: _Expr, dest: str, rip_next: int,
+                        charged: int) -> None:
+        site = self._site(rip_next, charged)
+        av = self._bind_addr(addr)
+        if addr.mod8 not in (None, 0):
+            # statically misaligned: read_word always raises AlignmentFault
+            self._o(f"site = {site}")
+            self._o(f"{dest} = read_word({av}, pkru)")
+            self._clobber(dest)
+            return
+        self.caches.append(site)
+        ci, cd = f"c{site}_i", f"c{site}_d"
+        self._page_index(av)
+        guard = f"_i == {ci}" if addr.mod8 == 0 \
+            else f"_i == {ci} and not {av} & 7"
+        self._o(f"if {guard}:")
+        self._o(f"{dest} = up({cd}, {av} & 4095)[0]", 1)
+        self._o("else:")
+        self._o(f"site = {site}", 1)
+        self._o(f"{dest} = read_word({av}, pkru)", 1)
+        self._o("_p = pages_get(_i)", 1)
+        self._o("if _p is not None:", 1)
+        self._o(f"{ci} = _i", 2)
+        self._o(f"{cd} = _p.data", 2)
+        self._clobber(dest)
+
+    def _emit_store_word(self, addr: _Expr, value: str, rip_next: int,
+                         charged: int, exit_pc: str) -> None:
+        site = self._site(rip_next, charged)
+        av = self._bind_addr(addr)
+        if addr.mod8 not in (None, 0):
+            self._o(f"site = {site}")
+            self._o(f"write_word({av}, {value}, pkru)")
+            return
+        self.caches.append(site)
+        ci, cd = f"c{site}_i", f"c{site}_d"
+        self._page_index(av)
+        guard = f"_i == {ci}" if addr.mod8 == 0 \
+            else f"_i == {ci} and not {av} & 7"
+        self._o(f"if {guard}:")
+        self._o(f"pk({cd}, {av} & 4095, {value})", 1)
+        self._o("else:")
+        self._o(f"site = {site}", 1)
+        self._o(f"write_word({av}, {value}, pkru)", 1)
+        # the store may have invalidated *this* translation
+        self._o("if not V0[0]:", 1)
+        self._o(f"n += {charged}", 2)
+        self._o(f"pc = {exit_pc}", 2)
+        self._o("break", 2)
+        # only memoize pages nothing decodes/translates from, so cached
+        # stores can never bypass an invalidation
+        self._o("_p = pages_get(_i)", 1)
+        self._o("if _p is not None and _p.decode_cache is None "
+                "and _p.jit_cache is None:", 1)
+        self._o(f"{ci} = _i", 2)
+        self._o(f"{cd} = _p.data", 2)
+
+    def _emit_load_byte(self, addr: _Expr, dest: str, rip_next: int,
+                        charged: int) -> None:
+        site = self._site(rip_next, charged)
+        self.caches.append(site)
+        ci, cd = f"c{site}_i", f"c{site}_d"
+        av = self._bind_addr(addr)
+        self._page_index(av)
+        self._o(f"if _i == {ci}:")
+        self._o(f"{dest} = {cd}[{av} & 4095]", 1)
+        self._o("else:")
+        self._o(f"site = {site}", 1)
+        self._o(f"{dest} = read_({av}, 1, pkru)[0]", 1)
+        self._o("_p = pages_get(_i)", 1)
+        self._o("if _p is not None:", 1)
+        self._o(f"{ci} = _i", 2)
+        self._o(f"{cd} = _p.data", 2)
+        self._clobber(dest)
+
+    def _emit_store_byte(self, addr: _Expr, value: str, rip_next: int,
+                         charged: int) -> None:
+        site = self._site(rip_next, charged)
+        self.caches.append(site)
+        ci, cd = f"c{site}_i", f"c{site}_d"
+        av = self._bind_addr(addr)
+        self._page_index(av)
+        self._o(f"if _i == {ci}:")
+        self._o(f"{cd}[{av} & 4095] = {value} & 255", 1)
+        self._o("else:")
+        self._o(f"site = {site}", 1)
+        self._o(f"write_({av}, _B(({value} & 255,)), pkru)", 1)
+        self._o("if not V0[0]:", 1)
+        self._o(f"n += {charged}", 2)
+        self._o(f"pc = {rip_next}", 2)
+        self._o("break", 2)
+        self._o("_p = pages_get(_i)", 1)
+        self._o("if _p is not None and _p.decode_cache is None "
+                "and _p.jit_cache is None:", 1)
+        self._o(f"{ci} = _i", 2)
+        self._o(f"{cd} = _p.data", 2)
+
+    # -- per-instruction emission -------------------------------------------
+
+    def _emit_insn(self, k: int, addr: int, ins) -> None:
+        op = ins.op
+        nxt = addr + INSTR_SIZE
+        if op in (Op.NOP, Op.BRK):
+            return
+        if op is Op.MOV_RR:
+            self._reg(ins.reg2)
+            self._assign(ins.reg1, self._val(ins.reg2))
+            return
+        if op is Op.MOV_RI:
+            self._assign(ins.reg1, _const(ins.imm))
+            return
+        if op is Op.LEA:
+            self._assign(ins.reg1, _const(nxt + ins.imm))
+            return
+        if op is Op.RDPKRU:
+            # pkru is constant per invocation (WRPKRU is an exit)
+            self._assign("rax", _Expr("pkru", frozenset(("pkru",)), True))
+            return
+        if op in _ALU_RR:
+            expr = self._alu(op, self._val(ins.reg1), self._val(ins.reg2))
+            self._reg(ins.reg2)
+            self._assign(ins.reg1, expr)
+            return
+        if op in _ALU_RI:
+            expr = self._alu(op, self._val(ins.reg1), _const(ins.imm))
+            self._assign(ins.reg1, expr)
+            return
+        if op in (Op.SHL_RI, Op.SHR_RI):
+            self._assign(ins.reg1,
+                         self._shift(op, self._val(ins.reg1), ins.imm))
+            return
+        if op is Op.NOT_R:
+            a = self._val(ins.reg1)
+            self._assign(ins.reg1, _Expr(
+                f"(~{a.text})", a.refs, False,
+                (~a.mod8) % 8 if a.mod8 is not None else None, None))
+            return
+        if op is Op.CMP_RR:
+            a, b = self._val(ins.reg1), self._val(ins.reg2)
+            self._reg(ins.reg1), self._reg(ins.reg2)
+            self.fpend = _Flags(self._masked(a), a.refs,
+                                self._masked(b), b.refs)
+            return
+        if op is Op.CMP_RI:
+            a = self._val(ins.reg1)
+            self._reg(ins.reg1)
+            self.fpend = _Flags(self._masked(a), a.refs,
+                                repr(ins.imm & _M), _NOREFS)
+            return
+        if op is Op.TEST_RR:
+            e = self._alu(Op.AND_RR, self._val(ins.reg1),
+                          self._val(ins.reg2))
+            self._reg(ins.reg1), self._reg(ins.reg2)
+            self.fpend = _Flags(self._masked(e), e.refs, "0", _NOREFS)
+            return
+        if op is Op.LOAD:
+            self._flush_all()
+            addr_e = self._addr(self._val(ins.reg2), ins.imm)
+            self._reg(ins.reg2)
+            dest = self._reg(ins.reg1)
+            self._emit_load_word(addr_e, dest, nxt, k + 1)
+            self.meta[dest] = (None, None)
+            return
+        if op is Op.STORE:
+            self._flush_all()
+            addr_e = self._addr(self._val(ins.reg1), ins.imm)
+            self._reg(ins.reg1)
+            value = self._masked(self._val(ins.reg2))
+            self._reg(ins.reg2)
+            self._emit_store_word(addr_e, value, nxt, k + 1, repr(nxt))
+            return
+        if op is Op.LOAD8:
+            self._flush_all()
+            addr_e = self._addr(self._val(ins.reg2), ins.imm)
+            self._reg(ins.reg2)
+            dest = self._reg(ins.reg1)
+            self._emit_load_byte(addr_e, dest, nxt, k + 1)
+            self.meta[dest] = (None, 8)
+            return
+        if op is Op.STORE8:
+            self._flush_all()
+            addr_e = self._addr(self._val(ins.reg1), ins.imm)
+            self._reg(ins.reg1)
+            value = self._masked(self._val(ins.reg2))
+            self._reg(ins.reg2)
+            self._emit_store_byte(addr_e, value, nxt, k + 1)
+            return
+        if op in (Op.PUSH_R, Op.PUSH_I):
+            self._flush_all()
+            self._reg("rsp")
+            if op is Op.PUSH_I:
+                value = repr(ins.imm & _M)
+            elif ins.reg1 == "rsp":
+                # the precise handler reads the value *before* moving rsp
+                self._o("_v = rsp")
+                value = "_v"
+            else:
+                value = self._reg(ins.reg1)
+            self._o("rsp = (rsp - 8) & M")
+            self.meta.pop("rsp", None)
+            self._clobber("rsp")
+            self._emit_store_word(
+                _Expr("rsp", frozenset(("rsp",)), True), value, nxt,
+                k + 1, repr(nxt))
+            return
+        if op is Op.POP_R:
+            self._flush_all()
+            self._reg("rsp")
+            self._emit_load_word(
+                _Expr("rsp", frozenset(("rsp",)), True), "_v", nxt, k + 1)
+            self._o("rsp = (rsp + 8) & M")
+            self.meta.pop("rsp", None)
+            self._clobber("rsp")
+            dest = self._reg(ins.reg1)
+            self._o(f"{dest} = _v")
+            self.meta[dest] = (None, None)
+            self._clobber(dest)
+            return
+        raise JitFailure(f"untranslatable opcode {op} at {addr:#x}")
+
+    # -- control flow -------------------------------------------------------
+
+    def _edge(self, target: int, depth: int) -> None:
+        if target in self.block_ids:
+            bid = self.block_ids[target]
+            if not self.single and bid != self.cur_bid:
+                self._o(f"b = {bid}", depth)
+            self._o("continue", depth)
+        else:
+            self._o(f"pc = {target}", depth)
+            self._o("break", depth)
+
+    def _emit_exit_before(self, addr: int, k: int) -> None:
+        """SYSCALL/HLCALL/WRPKRU: hand the instruction itself back to the
+        interpreter (host callbacks and PKRU writes are never jitted)."""
+        self._flush_all()
+        self._o(f"n += {k}")
+        self._o(f"pc = {addr}")
+        self._o("break")
+
+    def _emit_terminator(self, block, k: int, addr: int, ins) -> None:
+        op = ins.op
+        nxt = addr + INSTR_SIZE
+        cnt = len(block.instructions)
+        if op is Op.HLT:
+            self._flush_all()
+            site = self._site(nxt, 0)
+            self._o(f"n += {cnt}")
+            self._o(f"site = {site}")
+            self._o("raise CpuExit('hlt')")
+            return
+        if op is Op.JMP:
+            self._flush_all()
+            self._o(f"n += {cnt}")
+            self._edge((nxt + ins.imm) & _M, 0)
+            return
+        if op in _COND:
+            self._flush_all()
+            self._o(f"n += {cnt}")
+            fp = self.fpend
+            static, runtime = _COND[op]
+            if fp is not None:
+                cond = static.format(a=fp.a, b=fp.b)
+            else:
+                self._o("if _fa >= 0:")
+                self._o("flags = _matf(_fa, _fb)", 1)
+                self._o("_fa = -1", 1)
+                cond = runtime
+            self._o(f"if {cond}:")
+            self._edge((nxt + ins.imm) & _M, 1)
+            self._edge(nxt, 0)
+            return
+        if op in (Op.CALL, Op.CALL_R):
+            self._flush_all()
+            self._reg("rsp")
+            self._o("rsp = (rsp - 8) & M")
+            self.meta.pop("rsp", None)
+            self._clobber("rsp")
+            if op is Op.CALL:
+                exit_pc = repr((nxt + ins.imm) & _M)
+            else:
+                # precise CALL_R reads the target *after* the push
+                exit_pc = self._reg(ins.reg1)
+            self._emit_store_word(
+                _Expr("rsp", frozenset(("rsp",)), True), repr(nxt), nxt,
+                cnt, exit_pc)
+            self._o(f"n += {cnt}")
+            if op is Op.CALL:
+                self._edge((nxt + ins.imm) & _M, 0)
+            else:
+                self._o(f"pc = {exit_pc}")
+                self._o("break")
+            return
+        if op is Op.RET:
+            self._flush_all()
+            self._reg("rsp")
+            self._emit_load_word(
+                _Expr("rsp", frozenset(("rsp",)), True), "_v", nxt, cnt)
+            self._o("rsp = (rsp + 8) & M")
+            self.meta.pop("rsp", None)
+            self._clobber("rsp")
+            self._o(f"n += {cnt}")
+            self._o("pc = _v")
+            self._o("break")
+            return
+        if op is Op.JMP_R:
+            self._flush_all()
+            self._o(f"n += {cnt}")
+            self._o(f"pc = {self._reg(ins.reg1)}")
+            self._o("break")
+            return
+        if op is Op.JMP_M:
+            self._flush_all()
+            self._emit_load_word(_const(nxt + ins.imm), "_v", nxt, cnt)
+            self._o(f"n += {cnt}")
+            self._o("pc = _v")
+            self._o("break")
+            return
+        raise JitFailure(f"unhandled terminator {op}")  # pragma: no cover
+
+    def _emit_block(self, block) -> None:
+        self.pend = {}
+        self.fpend = None
+        self.meta = {}
+        self.last_idx = None
+        self.cur_bid = self.block_ids[block.start]
+        instrs = block.instructions
+        cnt = len(instrs)
+        self.insns += cnt
+        for k, (addr, ins) in enumerate(instrs):
+            op = ins.op
+            if op in _EXIT_BEFORE:
+                self._emit_exit_before(addr, k)
+                return
+            if k == cnt - 1 and (op in _TERM_SPECIAL or op is Op.JMP
+                                 or op is Op.HLT or op in _COND):
+                self._emit_terminator(block, k, addr, ins)
+                return
+            self._emit_insn(k, addr, ins)
+        # block was split by a leader: plain fall-through
+        self._flush_all()
+        self._o(f"n += {cnt}")
+        self._edge(block.end, 0)
+
+    # -- assembly -----------------------------------------------------------
+
+    def build(self) -> str:
+        ordered = sorted(self.region.values(),
+                         key=lambda blk: self.block_ids[blk.start])
+        if self.single:
+            self.base_indent = 3
+            self._emit_block(ordered[0])
+        else:
+            for blk in ordered:
+                bid = self.block_ids[blk.start]
+                self.base_indent = 3
+                self._o(f"{'if' if bid == 0 else 'elif'} b == {bid}:")
+                self.base_indent = 4
+                self._emit_block(blk)
+            self.base_indent = 3
+            self._o("else:")
+            self._o("raise RuntimeError('jit dispatch')", 1)
+
+        head = ["def _jit(state, regs, regs_d, space, OUT):"]
+
+        def p(text: str, depth: int = 1) -> None:
+            head.append("    " * depth + text)
+
+        p("pkru = state.pkru")
+        p("pages_get = space._pages.get")
+        p("read_word = space.read_word")
+        p("write_word = space.write_word")
+        p("read_ = space.read")
+        p("write_ = space.write")
+        p("flags = regs.flags")
+        p("_fa = -1; _fb = 0; _v = 0; _a = 0; _i = -1; _p = None")
+        p("n = 0; site = 0; pc = 0")
+        if not self.single:
+            p("b = 0")
+        for s in self.caches:
+            p(f"c{s}_i = -1; c{s}_d = None")
+        regs_used = sorted(self.used)
+        for r in regs_used:
+            p(f"{r} = regs_d['{r}']")
+        p("try:")
+        p("while True:", 2)
+        out = head + self.lines
+        p2 = out.append
+        p2("    except BaseException:")
+        for r in regs_used:
+            p2(f"        regs_d['{r}'] = {r}")
+        p2("        regs.flags = flags if _fa < 0 else _matf(_fa, _fb)")
+        p2("        regs.rip = _SRIP[site]")
+        p2("        OUT[0] = n + _SN[site]")
+        p2("        raise")
+        for r in regs_used:
+            p2(f"    regs_d['{r}'] = {r}")
+        p2("    regs.flags = flags if _fa < 0 else _matf(_fa, _fb)")
+        p2("    regs.rip = pc")
+        p2("    OUT[0] = n")
+        return "\n".join(out) + "\n"
+
+
+# --------------------------------------------------------------------------
+# the engine
+
+_ALU_RR = frozenset({Op.ADD_RR, Op.SUB_RR, Op.AND_RR, Op.OR_RR,
+                     Op.XOR_RR, Op.MUL_RR})
+_ALU_RI = frozenset({Op.ADD_RI, Op.SUB_RI, Op.AND_RI, Op.OR_RI,
+                     Op.XOR_RI})
+_TERM_SPECIAL = frozenset({Op.CALL, Op.CALL_R, Op.RET, Op.JMP_R, Op.JMP_M})
+
+
+class JitEngine:
+    """Per-CPU promotion counters, translation, and the chained executor."""
+
+    def __init__(self, cpu, threshold: int = HOT_THRESHOLD):
+        self.cpu = cpu
+        self.threshold = threshold
+        self.hot: Dict[int, int] = {}
+        self.failed: set = set()
+        self.promotions = 0
+        self.invalidations = 0
+        self.entries = 0
+        self.blocks_translated = 0
+        self.insns_translated = 0
+        self.last_error: Optional[BaseException] = None
+        self._out = [0]
+
+    def maybe_enter(self, state, until_rip: int) -> int:
+        """Called by the fast path after a taken backward branch.  Counts
+        the target, translates at threshold, and runs the translation.
+        Returns the number of guest instructions retired in the JIT (0 if
+        it stayed cold/blacklisted)."""
+        rip = state.regs.rip
+        page = self.cpu.space._pages.get(rip >> 12)
+        if page is None or not page.prot & 4:                 # PROT_EXEC
+            return 0
+        cache = page.jit_cache
+        tr = cache.get(rip & 0xFFF) if cache is not None else None
+        if tr is None:
+            return self._promote(state, page, rip, until_rip)
+        if tr is False or until_rip in tr.covers:
+            return 0
+        return self._execute(state, until_rip, tr)
+
+    def _promote(self, state, page, rip: int, until_rip: int) -> int:
+        hot = self.hot
+        count = hot.get(rip, 0) + 1
+        if count < self.threshold:
+            if len(hot) >= MAX_HOT_ENTRIES:
+                hot.clear()
+            hot[rip] = count
+            return 0
+        hot.pop(rip, None)
+        tr: "object" = False
+        if rip not in self.failed:
+            try:
+                tr = self._translate(page, rip) or False
+            except Exception as exc:          # codegen bug: stay correct,
+                self.last_error = exc         # run the region interpreted
+                tr = False
+        cache = page.jit_cache
+        if cache is None:
+            cache = page.jit_cache = {}
+        cache[rip & 0xFFF] = tr
+        if tr is False:
+            self.failed.add(rip)
+            return 0
+        self.promotions += 1
+        self.blocks_translated += tr.blocks
+        self.insns_translated += tr.insns
+        if until_rip in tr.covers:
+            return 0
+        return self._execute(state, until_rip, tr)
+
+    def _translate(self, page, entry: int) -> Optional[Translation]:
+        from repro.analysis.cfg import recover_hot_region
+
+        base = entry & ~0xFFF
+        region = recover_hot_region(bytes(page.data), base, entry,
+                                    MAX_BLOCKS)
+        if not region:
+            return None
+        # only translate regions with an internal loop: a straight-line
+        # region costs more in entry overhead than interpreting it
+        if not any(succ in region and succ <= start
+                   for start, blk in region.items()
+                   for succ in blk.successors):
+            return None
+        first_op = region[entry].instructions[0][1].op
+        if first_op in _EXIT_BEFORE:
+            return None                       # zero-progress translation
+        translator = _Translator(region, entry)
+        try:
+            source = translator.build()
+            code = compile(source, f"<jit {entry:#x}>", "exec")
+        except JitFailure:
+            return None
+        valid = [True]
+        namespace = {
+            "M": _M, "up": _WORD.unpack_from, "pk": _WORD.pack_into,
+            "_matf": _matf, "CpuExit": CpuExit, "V0": valid,
+            "_SRIP": tuple(r for r, _ in translator.sites),
+            "_SN": tuple(c for _, c in translator.sites), "_B": bytes,
+        }
+        exec(code, namespace)
+        covers = frozenset(addr for blk in region.values()
+                           for addr, _ in blk.instructions)
+        return Translation(namespace["_jit"], valid, covers, entry,
+                           len(region), translator.insns, self, source)
+
+    def _execute(self, state, until_rip: int, tr: Translation) -> int:
+        """Run translations, chaining across exits, charging each batch
+        through the out-cell (also on faults, via the finally)."""
+        cpu = self.cpu
+        counter = cpu.counter
+        cost_ns = cpu.costs.instruction_ns
+        regs = state.regs
+        pages_get = cpu.space._pages.get
+        out = self._out
+        executed = 0
+        self.entries += 1
+        fn = tr.fn
+        while True:
+            out[0] = 0
+            try:
+                fn(state, regs, regs._regs, cpu.space, out)
+            finally:
+                n = out[0]
+                if n:
+                    executed += n
+                    counter.charge(n * cost_ns, "cpu")
+                    cpu.instructions_retired += n
+                    cpu.jit_insns += n
+            rip = regs.rip
+            if rip == until_rip:
+                break
+            page = pages_get(rip >> 12)
+            if page is None or not page.prot & 4:
+                break
+            cache = page.jit_cache
+            tr = cache.get(rip & 0xFFF) if cache is not None else None
+            if not tr:                        # None or a False blacklist
+                break
+            if until_rip in tr.covers or cpu._precision_forced():
+                break
+            fn = tr.fn
+        return executed

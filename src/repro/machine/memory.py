@@ -76,7 +76,7 @@ def page_align_up(addr: int) -> int:
 class Page:
     """One 4 KiB page: backing bytes, R/W/X permissions, protection key."""
 
-    __slots__ = ("data", "prot", "pkey", "tag", "decode_cache")
+    __slots__ = ("data", "prot", "pkey", "tag", "decode_cache", "jit_cache")
 
     def __init__(self, prot: int = PROT_RW, pkey: int = PKEY_DEFAULT,
                  tag: str = ""):
@@ -91,12 +91,23 @@ class Page:
         #: Page itself, pages aliased into other spaces (share_into) are
         #: invalidated through whichever space performs the write.
         self.decode_cache: Optional[dict] = None
+        #: per-page JIT code cache, owned by :mod:`repro.machine.jit`
+        #: (offset -> Translation, or ``False`` for a blacklisted entry).
+        #: Invalidated by exactly the same hooks as ``decode_cache``.
+        self.jit_cache: Optional[dict] = None
 
     def invalidate_decode(self) -> None:
-        """Drop the decoded-instruction cache.  Must be called by host
-        code that mutates ``data`` directly instead of going through
-        ``AddressSpace.write`` (e.g. variant page refresh)."""
+        """Drop the decoded-instruction cache *and* any JIT translations
+        anchored on this page.  Must be called by host code that mutates
+        ``data`` directly instead of going through ``AddressSpace.write``
+        (e.g. variant page refresh)."""
         self.decode_cache = None
+        cache = self.jit_cache
+        if cache is not None:
+            self.jit_cache = None
+            for translation in cache.values():
+                if translation:        # skip blacklist markers (False)
+                    translation.invalidate()
 
     def clone(self) -> "Page":
         page = Page(self.prot, self.pkey, self.tag)
@@ -125,6 +136,10 @@ class AddressSpace:
         #: monotonically increasing hint for mmap(NULL) placement.
         self._mmap_hint = 0x7F00_0000_0000
         self.access_count = 0
+        #: TLB fill count (misses on the memoized check paths); together
+        #: with ``access_count`` this gives an approximate TLB hit rate
+        #: for ``CPU.stats()``.
+        self.tlb_fills = 0
         #: bumped on every mapping/permission/pkey change; the CPU's
         #: fast path re-validates its cached text page when this moves.
         self.mapping_epoch = 0
@@ -228,14 +243,14 @@ class AddressSpace:
         for index in range(first, first + length // PAGE_SIZE):
             page = self._pages.pop(index, None)
             if page is not None:
-                page.decode_cache = None
+                page.invalidate_decode()
         self._mapping_changed()
 
     def mprotect(self, addr: int, length: int, prot: int) -> None:
         for index in self._page_range(addr, length):
             page = self._pages[index]
             page.prot = prot
-            page.decode_cache = None
+            page.invalidate_decode()
         self._mapping_changed()
 
     def pkey_mprotect(self, addr: int, length: int, prot: int,
@@ -246,7 +261,7 @@ class AddressSpace:
             page = self._pages[index]
             page.prot = prot
             page.pkey = pkey
-            page.decode_cache = None
+            page.invalidate_decode()
         self._mapping_changed()
 
     def set_tag(self, addr: int, length: int, tag: str) -> None:
@@ -355,6 +370,7 @@ class AddressSpace:
             if page.prot == prot and page.pkey == pkey:
                 return page
         page = self.check_read(addr, pkru, False)
+        self.tlb_fills += 1
         self._tlb_read[key] = (page, page.prot, page.pkey)
         return page
 
@@ -369,6 +385,7 @@ class AddressSpace:
             if page.prot == prot and page.pkey == pkey:
                 return page
         page = self.check_write(addr, pkru, False)
+        self.tlb_fills += 1
         self._tlb_write[key] = (page, page.prot, page.pkey)
         return page
 
@@ -409,8 +426,8 @@ class AddressSpace:
             offset = cursor % PAGE_SIZE
             chunk = min(len(view), PAGE_SIZE - offset)
             page.data[offset:offset + chunk] = view[:chunk]
-            if page.decode_cache is not None:
-                page.decode_cache = None
+            if page.decode_cache is not None or page.jit_cache is not None:
+                page.invalidate_decode()
             cursor += chunk
             view = view[chunk:]
         if self._observers:
@@ -450,8 +467,8 @@ class AddressSpace:
         self.access_count += 1
         page = self._lookup_write(addr, pkru, privileged)
         _WORD_STRUCT.pack_into(page.data, addr % PAGE_SIZE, value & _MASK64)
-        if page.decode_cache is not None:
-            page.decode_cache = None
+        if page.decode_cache is not None or page.jit_cache is not None:
+            page.invalidate_decode()
 
     def read_cstring(self, addr: int, pkru: int = PKRU_ALLOW_ALL,
                      privileged: bool = False, limit: int = 1 << 16) -> bytes:

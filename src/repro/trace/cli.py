@@ -67,6 +67,7 @@ def _cmd_record(args) -> int:
 #: footer pins surfaced by ``info`` (text and --json modes).
 _INFO_FOOTER_KEYS = (
     "clock_end_ns", "counter_total_ns", "instructions_retired",
+    "cpu_tiers",
     "libc_calls_total", "syscalls", "syscall_digest", "clock_digest",
     "fault_digest", "sched_digest", "host_id", "wire_frames",
     "wire_bytes", "wire_digest", "lamport_max",

@@ -462,6 +462,7 @@ class Recorder:
                 "counter_total_ns": process.counter.total_ns,
                 "total_cpu_ns": process.total_cpu_ns(),
                 "instructions_retired": process.cpu.instructions_retired,
+                "cpu_tiers": process.cpu.stats(),
                 "libc_calls_total": process.libc_calls_total,
                 "libc_call_counts": dict(process.libc_call_counts),
                 "syscalls_of_process":

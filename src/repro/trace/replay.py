@@ -25,7 +25,8 @@ from repro.trace.record import Recorder, Trace
 #: footer fields compared scalar-for-scalar.
 _FOOTER_KEYS = (
     "clock_end_ns", "counter_total_ns", "total_cpu_ns",
-    "instructions_retired", "libc_calls_total", "libc_call_counts",
+    "instructions_retired", "cpu_tiers", "libc_calls_total",
+    "libc_call_counts",
     "syscalls", "syscall_digest", "syscalls_of_process",
     "clock_reads", "clock_digest", "urandom_bytes",
     "task_spawns", "task_exits", "accept_order", "alarms",

@@ -1,0 +1,513 @@
+"""Unit and differential tests for the JIT tier (``repro.machine.jit``).
+
+The three-tier contract says a translated superblock is architecturally
+invisible: registers, flags, memory, virtual time, retired-instruction
+counts and fault state must be bit-identical to the precise path at
+every observable point.  These tests drive the edge cases the
+differential workload suite can't reach deterministically: promotion
+thresholds, self-modifying code inside a live superblock, mprotect/
+munmap invalidation, observers attached mid-run from a syscall handler,
+``until_rip`` landing inside a translated region, faults mid-superblock,
+and randomized program fuzz against the precise interpreter.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.machine import (
+    INSTR_SIZE,
+    PAGE_SIZE,
+    PROT_RW,
+    PROT_RWX,
+    PROT_RX,
+    AddressSpace,
+    Assembler,
+    CPU,
+)
+from repro.machine.cpu import CpuExit, ExecState, HOST_RETURN_ADDRESS
+from repro.machine.registers import RegisterFile
+
+CODE_BASE = 0x40_0000
+DATA_BASE = 0x50_0000
+STACK_TOP = 0x7000_0000
+
+
+class PreciseCPU(CPU):
+    force_slow_path = True
+    jit_enabled = False
+
+
+class FastCPU(CPU):
+    jit_enabled = False
+
+
+def make_machine(assembler, cpu_cls=CPU, code_prot=PROT_RX, data_pages=2,
+                 threshold=2, syscall_handler=None):
+    space = AddressSpace()
+    code = assembler.assemble(CODE_BASE)
+    space.mmap(CODE_BASE, max(len(code), 1), prot=code_prot, tag="text")
+    space.write(CODE_BASE, code, privileged=True)
+    space.mmap(DATA_BASE, data_pages * PAGE_SIZE, prot=PROT_RW, tag="data")
+    space.mmap(STACK_TOP - 4 * PAGE_SIZE, 4 * PAGE_SIZE, prot=PROT_RW,
+               tag="stack")
+    cpu = cpu_cls(space, syscall_handler=syscall_handler)
+    if cpu.jit is not None:
+        cpu.jit.threshold = threshold
+    state = ExecState(RegisterFile())
+    state.regs.rip = CODE_BASE
+    state.regs.set("rsp", STACK_TOP - 64)
+    return cpu, state
+
+
+def run_to_host(cpu, state, until_rip=HOST_RETURN_ADDRESS):
+    cpu._push(state, HOST_RETURN_ADDRESS)
+    reason = cpu.run(state, until_rip=until_rip)
+    assert reason == "host-return"
+    return state
+
+
+def observables(cpu, state):
+    return {
+        "registers": state.regs.snapshot(),
+        "virtual_ns": cpu.counter.total_ns,
+        "instructions": cpu.instructions_retired,
+        "data": bytes(cpu.space.page_at(DATA_BASE).data),
+    }
+
+
+def differential(assembler, **kwargs):
+    """Run the program on the jit and precise tiers; both observable end
+    states, jit first."""
+    results = []
+    for cls in (CPU, PreciseCPU):
+        cpu, state = make_machine(assembler, cpu_cls=cls, **kwargs)
+        run_to_host(cpu, state)
+        results.append((cpu, observables(cpu, state)))
+    (jit_cpu, jit_obs), (_, precise_obs) = results
+    assert jit_obs == precise_obs
+    return jit_cpu, jit_obs
+
+
+def counting_loop(n=100):
+    a = Assembler()
+    a.mov_ri("rax", 0)
+    a.mov_ri("rcx", 0)
+    a.label("loop")
+    a.add_rr("rax", "rcx")
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", n)
+    a.jne("loop")
+    a.ret()
+    return a
+
+
+# -- promotion policy ---------------------------------------------------------
+
+
+def test_hot_loop_promotes_and_runs_jitted():
+    jit_cpu, _ = differential(counting_loop(100))
+    stats = jit_cpu.stats()
+    assert stats["jit_promotions"] == 1
+    assert stats["jit_blocks"] >= 1
+    assert stats["jit_insns"] > stats["fast_insns"]
+    assert jit_cpu.jit.entries >= 1
+
+
+def test_cold_loop_stays_interpreted():
+    cpu, state = make_machine(counting_loop(30), threshold=200)
+    run_to_host(cpu, state)
+    stats = cpu.stats()
+    assert stats["jit_insns"] == 0
+    assert stats["jit_promotions"] == 0
+    assert cpu.jit.hot          # counted, below threshold
+
+
+def test_jit_disabled_cpu_has_no_engine():
+    cpu, state = make_machine(counting_loop(50), cpu_cls=FastCPU)
+    run_to_host(cpu, state)
+    assert cpu.jit is None
+    assert cpu.stats()["jit_insns"] == 0
+    assert cpu.stats()["fast_insns"] > 0
+
+
+def test_max_steps_disables_jit_tier():
+    cpu, state = make_machine(counting_loop(100))
+    cpu._push(state, HOST_RETURN_ADDRESS)
+    reason = cpu.run(state, max_steps=10_000)
+    assert reason == "host-return"
+    assert cpu.stats()["jit_insns"] == 0
+    assert cpu.stats()["fast_insns"] > 0
+
+
+def test_stats_keys_complete():
+    cpu, state = make_machine(counting_loop(50))
+    run_to_host(cpu, state)
+    stats = cpu.stats()
+    for key in ("precise_insns", "fast_insns", "jit_insns",
+                "instructions_retired", "jit_blocks", "jit_promotions",
+                "jit_invalidations", "jit_entries", "tlb_fills",
+                "tlb_hit_rate"):
+        assert key in stats, key
+    assert 0.0 <= stats["tlb_hit_rate"] <= 1.0
+    assert stats["instructions_retired"] == (
+        stats["precise_insns"] + stats["fast_insns"] + stats["jit_insns"])
+
+
+def test_tier_split_deterministic_across_runs():
+    first, second = [], []
+    for bucket in (first, second):
+        cpu, state = make_machine(counting_loop(200))
+        run_to_host(cpu, state)
+        bucket.append(cpu.stats())
+    assert first == second
+
+
+# -- memory-rich differential -------------------------------------------------
+
+
+def test_memory_loop_matches_precise():
+    a = Assembler()
+    a.mov_ri("r9", DATA_BASE)
+    a.mov_ri("rax", 0x1234_5678)
+    a.mov_ri("rbx", 0)
+    a.mov_ri("rcx", 0)
+    a.label("loop")
+    a.mov_rr("rsi", "rcx")
+    a.and_ri("rsi", 255)
+    a.shl_ri("rsi", 3)
+    a.add_rr("rsi", "r9")
+    a.store("rsi", "rax", 0)
+    a.load("rdx", "rsi", 0)
+    a.store8("rsi", "rcx", 7)
+    a.load8("rdi", "rsi", 7)
+    a.xor_rr("rbx", "rdx")
+    a.add_rr("rbx", "rdi")
+    a.mul_rr("rax", "rbx")
+    a.add_ri("rax", 99991)
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 150)
+    a.jne("loop")
+    a.mov_rr("rax", "rbx")
+    a.ret()
+    jit_cpu, _ = differential(a)
+    assert jit_cpu.stats()["jit_insns"] > 0
+
+
+def test_call_ret_chain_through_jit():
+    a = Assembler()
+    a.mov_ri("rax", 0)
+    a.mov_ri("rcx", 0)
+    a.label("outer")
+    a.call("func")
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 40)
+    a.jne("outer")
+    a.ret()
+    a.label("func")
+    a.mov_ri("r9", 0)
+    a.label("inner")
+    a.add_ri("rax", 7)
+    a.add_ri("r9", 1)
+    a.cmp_ri("r9", 10)
+    a.jne("inner")
+    a.ret()
+    jit_cpu, _ = differential(a)
+    stats = jit_cpu.stats()
+    assert stats["jit_insns"] > 0
+    assert stats["jit_promotions"] >= 1
+
+
+def test_hlt_exits_identically():
+    a = Assembler()
+    a.mov_ri("rax", 0)
+    a.mov_ri("rcx", 0)
+    a.label("loop")
+    a.add_ri("rax", 3)
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 80)
+    a.jne("loop")
+    a.hlt()
+    results = []
+    for cls in (CPU, PreciseCPU):
+        cpu, state = make_machine(a, cpu_cls=cls)
+        with pytest.raises(CpuExit):
+            cpu.run(state)
+        results.append(observables(cpu, state))
+    assert results[0] == results[1]
+
+
+# -- invalidation -------------------------------------------------------------
+
+
+def _live_translation(cpu, state):
+    """Run the loop to promotion and return the page + live translation."""
+    run_to_host(cpu, state)
+    page = cpu.space.page_at(CODE_BASE)
+    assert page.jit_cache
+    translations = [t for t in page.jit_cache.values() if t]
+    assert translations
+    return page, translations[0]
+
+
+def test_mprotect_invalidates_live_translations():
+    cpu, state = make_machine(counting_loop(100))
+    page, translation = _live_translation(cpu, state)
+    assert translation.valid[0]
+    cpu.space.mprotect(CODE_BASE, PAGE_SIZE, PROT_RW)
+    assert not translation.valid[0]
+    assert page.jit_cache is None
+    assert cpu.stats()["jit_invalidations"] >= 1
+
+
+def test_pkey_mprotect_invalidates_live_translations():
+    cpu, state = make_machine(counting_loop(100))
+    page, translation = _live_translation(cpu, state)
+    cpu.space.pkey_mprotect(CODE_BASE, PAGE_SIZE, PROT_RX, 1)
+    assert not translation.valid[0]
+    assert page.jit_cache is None
+
+
+def test_munmap_invalidates_live_translations():
+    cpu, state = make_machine(counting_loop(100))
+    _, translation = _live_translation(cpu, state)
+    cpu.space.munmap(CODE_BASE, PAGE_SIZE)
+    assert not translation.valid[0]
+
+
+def test_privileged_write_invalidates_live_translations():
+    cpu, state = make_machine(counting_loop(100))
+    page, translation = _live_translation(cpu, state)
+    cpu.space.write(CODE_BASE, b"\x00" * 8, privileged=True)
+    assert not translation.valid[0]
+    assert page.jit_cache is None
+
+
+def _instruction_words(build):
+    a = Assembler()
+    build(a)
+    return struct.unpack("<qq", a.assemble(0)[:INSTR_SIZE])
+
+
+def test_self_modifying_code_inside_superblock():
+    """A store in a translated superblock that patches an instruction of
+    the same superblock: the write must invalidate the translation
+    mid-run, and the patched semantics must match the precise path."""
+    old = _instruction_words(lambda a: a.add_ri("rbx", 1))
+    new = _instruction_words(lambda a: a.add_ri("rbx", 3))
+    diffs = [i for i in range(2) if old[i] != new[i]]
+    assert diffs, "patch must change the encoding"
+
+    a = Assembler()
+    a.mov_ri("rbx", 0)
+    a.mov_ri("rcx", 0)
+    a.lea("r9", "patch")
+    for i, word in enumerate(new):
+        a.mov_ri(("r10", "r11")[i], word)
+    a.label("loop")
+    a.label("patch")
+    a.add_ri("rbx", 1)              # becomes add_ri rbx, 3 on iteration 1
+    for i in range(2):
+        a.store("r9", ("r10", "r11")[i], i * 8)
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 60)
+    a.jne("loop")
+    a.mov_rr("rax", "rbx")
+    a.ret()
+
+    results = []
+    for cls in (CPU, PreciseCPU):
+        cpu, state = make_machine(a, cpu_cls=cls, code_prot=PROT_RWX)
+        run_to_host(cpu, state)
+        results.append((cpu, observables(cpu, state)))
+    (jit_cpu, jit_obs), (_, precise_obs) = results
+    assert jit_obs == precise_obs
+    # iteration 1 ran the old instruction, the rest the patched one
+    assert jit_obs["registers"]["rax"] == 1 + 3 * 59
+    stats = jit_cpu.stats()
+    assert stats["jit_invalidations"] >= 1
+    assert stats["jit_insns"] > 0
+
+
+# -- demotion -----------------------------------------------------------------
+
+
+def test_observer_attached_from_syscall_mid_run():
+    """A syscall handler that attaches a memory observer demotes the
+    rest of the run to the precise path; the architectural end state is
+    unchanged."""
+    a = Assembler()
+    a.mov_ri("r9", DATA_BASE)
+    a.mov_ri("rax", 0)
+    a.mov_ri("rcx", 0)
+    a.label("loop1")
+    a.store("r9", "rcx", 0)
+    a.add_ri("rax", 5)
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 80)
+    a.jne("loop1")
+    a.syscall()
+    a.mov_ri("rcx", 0)
+    a.label("loop2")
+    a.store("r9", "rax", 8)
+    a.add_ri("rax", 1)
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 80)
+    a.jne("loop2")
+    a.ret()
+
+    def make_handler(cpu_box, marks, events):
+        def handler(state):
+            cpu = cpu_box[0]
+            marks["jit_insns_at_syscall"] = cpu.jit_insns
+            marks["retired_at_syscall"] = cpu.instructions_retired
+            cpu.space.add_observer(
+                lambda op, addr, size, value:
+                    events.append((op, addr, size)))
+        return handler
+
+    results = []
+    for cls in (CPU, PreciseCPU):
+        box, marks, events = [None], {}, []
+        cpu, state = make_machine(
+            a, cpu_cls=cls, syscall_handler=make_handler(box, marks, events))
+        box[0] = cpu
+        run_to_host(cpu, state)
+        results.append((cpu, observables(cpu, state), marks, events))
+    (jit_cpu, jit_obs, jit_marks, jit_events), \
+        (_, precise_obs, _, precise_events) = results
+    assert jit_obs == precise_obs
+    # the observer saw the identical post-syscall access stream
+    assert jit_events == precise_events
+    assert jit_events                      # loop2 stores were observed
+    # before the syscall the jit ran; after it, nothing more was jitted
+    stats = jit_cpu.stats()
+    assert jit_marks["jit_insns_at_syscall"] == stats["jit_insns"] > 0
+    assert stats["precise_insns"] > 0
+
+
+def test_until_rip_inside_superblock_is_exact():
+    a = Assembler()
+    a.mov_ri("rax", 0)
+    a.mov_ri("rcx", 0)
+    a.label("loop")
+    a.add_rr("rax", "rcx")
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 90)
+    a.jne("loop")
+    a.label("after")
+    a.add_ri("rax", 1)
+    a.ret()
+    stop = a.labels(CODE_BASE)["after"]
+
+    results = []
+    for cls in (CPU, PreciseCPU):
+        cpu, state = make_machine(a, cpu_cls=cls)
+        run_to_host(cpu, state, until_rip=stop)
+        assert state.regs.rip == stop
+        results.append((cpu, observables(cpu, state)))
+    (jit_cpu, jit_obs), (_, precise_obs) = results
+    assert jit_obs == precise_obs
+    # the stop address lies inside the translated region, so the covers
+    # guard kept the closure from ever being entered
+    assert jit_cpu.stats()["jit_blocks"] >= 1
+    assert jit_cpu.stats()["jit_entries"] == 0
+
+
+# -- faults mid-superblock ----------------------------------------------------
+
+
+def test_fault_mid_superblock_restores_precise_state():
+    """A store that walks off the mapped data region faults inside the
+    closure; registers, rip, charges and retired counts must match the
+    precise path exactly."""
+    a = Assembler()
+    a.mov_ri("rsi", DATA_BASE)
+    a.mov_ri("rcx", 0)
+    a.label("loop")
+    a.store("rsi", "rcx", 0)
+    a.add_ri("rsi", 8)
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 5000)
+    a.jne("loop")
+    a.ret()
+
+    results = []
+    for cls in (CPU, PreciseCPU):
+        cpu, state = make_machine(a, cpu_cls=cls, data_pages=1)
+        cpu._push(state, HOST_RETURN_ADDRESS)
+        with pytest.raises(SegmentationFault):
+            cpu.run(state)
+        results.append((cpu, observables(cpu, state)))
+    assert results[0][1] == results[1][1]
+    assert results[0][0].stats()["jit_insns"] > 0
+
+
+# -- randomized differential fuzz ---------------------------------------------
+
+_BODY_REGS = ("rax", "rbx", "rdx", "rsi", "rdi", "r8", "r10", "r11")
+
+
+def _random_program(rng):
+    a = Assembler()
+    a.mov_ri("r9", DATA_BASE)
+    for reg in _BODY_REGS:
+        a.mov_ri(reg, rng.getrandbits(63))
+    a.mov_ri("rcx", 0)
+    a.label("loop")
+    skip = 0
+    for _ in range(rng.randrange(6, 15)):
+        pick = rng.random()
+        dst = rng.choice(_BODY_REGS)
+        src = rng.choice(_BODY_REGS)
+        if pick < 0.30:
+            getattr(a, rng.choice(
+                ("add_rr", "sub_rr", "and_rr", "or_rr", "xor_rr",
+                 "mul_rr")))(dst, src)
+        elif pick < 0.50:
+            getattr(a, rng.choice(
+                ("add_ri", "sub_ri", "and_ri", "or_ri", "xor_ri")))(
+                    dst, rng.getrandbits(rng.choice((8, 32, 63))))
+        elif pick < 0.60:
+            getattr(a, rng.choice(("shl_ri", "shr_ri")))(
+                dst, rng.randrange(1, 64))
+        elif pick < 0.65:
+            a.not_r(dst)
+        elif pick < 0.75:
+            offset = rng.randrange(0, PAGE_SIZE - 8)
+            if rng.random() < 0.5:
+                a.store8("r9", src, offset)
+                a.load8(dst, "r9", offset)
+            else:
+                aligned = offset & ~7
+                a.store("r9", src, aligned)
+                a.load(dst, "r9", aligned)
+        elif pick < 0.85:
+            if rng.random() < 0.5:
+                a.cmp_rr(dst, src)
+            else:
+                a.cmp_ri(dst, rng.getrandbits(16))
+        elif pick < 0.92:
+            a.push_r(src)
+            a.pop_r(dst)
+        else:
+            label = f"skip{skip}"
+            skip += 1
+            a.test_rr(dst, src)
+            a.je(label)
+            a.add_ri(dst, 1)
+            a.label(label)
+    a.add_ri("rcx", 1)
+    a.cmp_ri("rcx", 40)
+    a.jne("loop")
+    a.ret()
+    return a
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_programs_match_precise(seed):
+    rng = random.Random(f"jit-fuzz-{seed}")
+    jit_cpu, _ = differential(_random_program(rng))
+    assert jit_cpu.stats()["jit_insns"] > 0
