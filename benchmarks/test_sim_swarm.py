@@ -1,0 +1,73 @@
+"""Throughput of the simulation swarm (the DST cost model).
+
+FoundationDB-style swarms only pay off if a scenario is cheap enough to
+run by the hundreds per CI invocation, so this benchmark measures what
+one seeded swarm actually costs: scenarios/second overall and mean
+wall-clock per workload family (classic minx vs scheduled littled vs
+two-host cluster), plus the price of the determinism recheck (which
+runs every scenario twice).  Results go to ``BENCH_sim.json``.
+
+Virtual time is useless here — the swarm's cost is host CPU — so this
+is the one place the harness reads the host clock.
+"""
+
+import json
+import os
+import time
+
+from repro.sim import OK_CLASSES, generate_matrix
+from repro.sim.runner import run_scenario
+
+MASTER = "bench-swarm"
+COUNT = 60
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_sim.json")
+
+
+def test_sim_swarm_throughput():
+    matrix = generate_matrix(MASTER, COUNT)
+    per_workload = {}
+    histogram = {}
+    rechecked = {"count": 0, "seconds": 0.0}
+
+    begin = time.perf_counter()
+    for scenario in matrix:
+        start = time.perf_counter()
+        outcome = run_scenario(scenario)
+        elapsed = time.perf_counter() - start
+        bucket = per_workload.setdefault(
+            scenario.workload, {"count": 0, "seconds": 0.0})
+        bucket["count"] += 1
+        bucket["seconds"] += elapsed
+        if scenario.recheck:
+            rechecked["count"] += 1
+            rechecked["seconds"] += elapsed
+        histogram[outcome.klass] = histogram.get(outcome.klass, 0) + 1
+        assert outcome.klass in OK_CLASSES, (
+            scenario.describe(), outcome.klass, outcome.detail)
+    total = time.perf_counter() - begin
+
+    rows = [
+        {"workload": workload, "scenarios": bucket["count"],
+         "mean_ms": round(1000 * bucket["seconds"] / bucket["count"], 2)}
+        for workload, bucket in sorted(per_workload.items())
+    ]
+    payload = {
+        "master_seed": MASTER,
+        "scenarios": COUNT,
+        "histogram": histogram,
+        "total_seconds": round(total, 2),
+        "scenarios_per_second": round(COUNT / total, 1),
+        "per_workload": rows,
+        "recheck": {
+            "scenarios": rechecked["count"],
+            "mean_ms": round(1000 * rechecked["seconds"]
+                             / max(1, rechecked["count"]), 2),
+        },
+    }
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    # a 200-scenario CI sweep must stay well under a minute of CPU
+    assert payload["scenarios_per_second"] > 3.3, payload

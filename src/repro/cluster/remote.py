@@ -592,10 +592,11 @@ class DistributedSmvx:
         self.link_out.on_frame = self._deliver_to_mirror
         self.link_back.on_frame = self._deliver_to_leader
         sched = host0.kernel.sched
-        if sched is not None and sched.idle_hook is None:
+        if sched is not None:
             # scheduled serving: drain pending frames at scheduler idle
-            # points so verdicts land while every task is parked
-            sched.idle_hook = cluster.pump_one
+            # points so verdicts land while every task is parked; chained
+            # so sim instrumentation hooks coexist with the pump
+            sched.add_idle_hook(cluster.pump_one)
 
     @property
     def monitor(self) -> DistributedLeaderMonitor:

@@ -27,6 +27,14 @@ fault stream.
 
 The plane is inert by default: ``Kernel`` creates one with no schedule
 installed and the syscall hot path pays a single attribute test.
+
+Schedules come in two forms.  *Probabilistic* schedules draw per
+opportunity from the counter stream, as above.  *Plan* schedules
+(``FaultSchedule(plan=[...])``) list explicit ``(kind, nth-opportunity)``
+events: the plane counts opportunities at every injection site either
+way, so a failing probabilistic run's ``injected_events`` convert
+one-for-one into a plan (:meth:`FaultSchedule.plan_from_events`) whose
+event list `repro.sim`'s shrinker can then bisect deterministically.
 """
 
 from __future__ import annotations
@@ -53,6 +61,15 @@ EAGAIN_SYSCALLS = frozenset(("recvfrom", "accept4"))
 #: syscalls whose byte counts a schedule may clamp (partial transfer).
 SHORT_READ_SYSCALLS = frozenset(("read", "recvfrom"))
 SHORT_WRITE_SYSCALLS = frozenset(("write", "sendto"))
+
+#: every fault kind a plane can inject.  Plan entries and sim axes are
+#: validated against this set at construction so a typo fails loudly
+#: instead of producing a vacuous scenario.
+KNOWN_FAULT_KINDS = frozenset((
+    "eintr", "eagain", "emfile", "enomem",
+    "short_read", "short_write", "segment", "spurious_wake",
+    "link_delay", "link_drop", "link_reorder", "link_partition",
+))
 
 
 @dataclass
@@ -117,13 +134,70 @@ class FaultSchedule:
     #: this long for it to heal.
     link_partition_every: int = 0
     link_partition_ns: int = 0
+    #: explicit fault plan: a list of ``{"kind", "nth", ...params}``
+    #: entries keyed by (kind, nth opportunity).  When set, the plane
+    #: ignores the probabilistic fields and injects *exactly* these
+    #: events — the shrinkable form a failing probabilistic run is
+    #: converted to (``FaultPlane.injected_events`` →
+    #: :meth:`plan_from_events`) so `repro.sim` can bisect the event
+    #: list while every surviving event stays pinned to its opportunity.
+    plan: Optional[List[Dict]] = None
+
+    def __post_init__(self) -> None:
+        if self.plan is None:
+            return
+        for entry in self.plan:
+            kind = entry.get("kind")
+            if kind not in KNOWN_FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} in plan for schedule "
+                    f"{self.name!r}; known kinds: "
+                    f"{', '.join(sorted(KNOWN_FAULT_KINDS))}")
+            nth = entry.get("nth")
+            if not isinstance(nth, int) or nth < 1:
+                raise ValueError(
+                    f"plan entry for {kind!r} needs a 1-indexed integer "
+                    f"'nth' opportunity, got {nth!r}")
 
     def to_dict(self) -> Dict:
-        return asdict(self)
+        raw = asdict(self)
+        if raw.get("plan") is None:
+            del raw["plan"]
+        return raw
 
     @staticmethod
     def from_dict(raw: Dict) -> "FaultSchedule":
+        known = FaultSchedule.__dataclass_fields__
+        unknown = [key for key in raw if key not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown fault schedule field(s) "
+                f"{', '.join(sorted(unknown))}; known fields: "
+                f"{', '.join(sorted(known))}")
         return FaultSchedule(**raw)
+
+    @staticmethod
+    def plan_from_events(events: List[Dict], name: str = "plan",
+                         backlog_cap: Optional[int] = None
+                         ) -> "FaultSchedule":
+        """Build an explicit-plan schedule replaying exactly ``events``
+        (the ``FaultPlane.injected_events`` of a prior run).  Link-kind
+        events keep their link name as a ``target`` so per-link planes
+        only apply their own entries."""
+        plan: List[Dict] = []
+        for event in events:
+            kind = event["kind"]
+            entry: Dict = {"kind": kind, "nth": event["nth"]}
+            if kind in ("short_read", "short_write"):
+                entry["granted"] = event["granted"]
+            elif kind == "segment":
+                entry["size"] = event["size"]
+                entry["delay_ns"] = event["delay_ns"]
+            elif kind.startswith("link_"):
+                entry["target"] = event["target"]
+                entry["extra_ns"] = event["extra_ns"]
+            plan.append(entry)
+        return FaultSchedule(name=name, backlog_cap=backlog_cap, plan=plan)
 
 
 def battery() -> List[FaultSchedule]:
@@ -184,6 +258,17 @@ class FaultPlane:
         self._opens = 0
         self.injected_total = 0
         self.injected_by_kind: Dict[str, int] = {}
+        #: per-kind opportunity counters, incremented at every injection
+        #: site whether or not a fault fires.  The nth value carried by
+        #: each injected event is what lets a probabilistic run be
+        #: re-expressed as an explicit plan (same opportunities, same
+        #: decisions) and then bisected.
+        self._opps: Dict[str, int] = {}
+        #: every injection of the current install, with its opportunity
+        #: index and site parameters — the raw material for
+        #: :meth:`FaultSchedule.plan_from_events`.
+        self.injected_events: List[Dict] = []
+        self._plan: Optional[Dict[Tuple[str, int], List[Dict]]] = None
         self._digest = hashlib.sha256()
         #: observer: fn(kind, target, detail_dict) on every injection —
         #: the flight recorder's tap.  Never charged virtual time.
@@ -199,6 +284,14 @@ class FaultPlane:
         self._opens = 0
         self.injected_total = 0
         self.injected_by_kind = {}
+        self._opps = {}
+        self.injected_events = []
+        self._plan = None
+        if schedule is not None and schedule.plan is not None:
+            self._plan = {}
+            for entry in schedule.plan:
+                key = (entry["kind"], entry["nth"])
+                self._plan.setdefault(key, []).append(entry)
         self._digest = hashlib.sha256()
         self.active = schedule is not None
 
@@ -233,8 +326,31 @@ class FaultPlane:
         payload = f"{kind}:{target}:" + ",".join(
             f"{k}={detail[k]}" for k in sorted(detail))
         self._digest.update(payload.encode())
+        self.injected_events.append(
+            dict(detail, kind=kind, target=target))
         if self.fault_hook is not None:
             self.fault_hook(kind, target, detail)
+
+    def _opp(self, kind: str) -> int:
+        """Count one opportunity for ``kind``; returns its 1-indexed
+        position.  Counted unconditionally (plan or probabilistic mode)
+        so recorded nth values line up across both."""
+        nth = self._opps.get(kind, 0) + 1
+        self._opps[kind] = nth
+        return nth
+
+    def _planned(self, kind: str, nth: int,
+                 target: Optional[str] = None) -> Optional[Dict]:
+        """The plan entry for this (kind, nth) opportunity, if any.
+        Entries carrying a ``target`` (link names) only match that
+        target; untargeted entries match anywhere."""
+        if self._plan is None:
+            return None
+        for entry in self._plan.get((kind, nth), ()):
+            want = entry.get("target")
+            if want is None or want == target:
+                return entry
+        return None
 
     @property
     def digest(self) -> str:
@@ -252,23 +368,42 @@ class FaultPlane:
         schedule = self.schedule
         if schedule is None:
             return None
+        plan = self._plan
         if name == "open":
             self._opens += 1
-            if schedule.emfile_every and \
-                    self._opens % schedule.emfile_every == 0:
-                self._inject("emfile", name, nth=self._opens)
-                return -Errno.EMFILE
-            if schedule.enomem_every and \
-                    self._opens % schedule.enomem_every == 0:
-                self._inject("enomem", name, nth=self._opens)
-                return -Errno.ENOMEM
-        if schedule.eintr_p and name in RETRYABLE_SYSCALLS:
-            if self._draw() < schedule.eintr_p:
-                self._inject("eintr", name)
+            if plan is not None:
+                if self._planned("emfile", self._opens) is not None:
+                    self._inject("emfile", name, nth=self._opens)
+                    return -Errno.EMFILE
+                if self._planned("enomem", self._opens) is not None:
+                    self._inject("enomem", name, nth=self._opens)
+                    return -Errno.ENOMEM
+            else:
+                if schedule.emfile_every and \
+                        self._opens % schedule.emfile_every == 0:
+                    self._inject("emfile", name, nth=self._opens)
+                    return -Errno.EMFILE
+                if schedule.enomem_every and \
+                        self._opens % schedule.enomem_every == 0:
+                    self._inject("enomem", name, nth=self._opens)
+                    return -Errno.ENOMEM
+        if name in RETRYABLE_SYSCALLS:
+            nth = self._opp("eintr")
+            if plan is not None:
+                if self._planned("eintr", nth) is not None:
+                    self._inject("eintr", name, nth=nth)
+                    return -Errno.EINTR
+            elif schedule.eintr_p and self._draw() < schedule.eintr_p:
+                self._inject("eintr", name, nth=nth)
                 return -Errno.EINTR
-        if schedule.eagain_p and name in EAGAIN_SYSCALLS:
-            if self._draw() < schedule.eagain_p:
-                self._inject("eagain", name)
+        if name in EAGAIN_SYSCALLS:
+            nth = self._opp("eagain")
+            if plan is not None:
+                if self._planned("eagain", nth) is not None:
+                    self._inject("eagain", name, nth=nth)
+                    return -Errno.EAGAIN
+            elif schedule.eagain_p and self._draw() < schedule.eagain_p:
+                self._inject("eagain", name, nth=nth)
                 return -Errno.EAGAIN
         return None
 
@@ -278,19 +413,40 @@ class FaultPlane:
         schedule = self.schedule
         if schedule is None or count <= 1:
             return count
-        if schedule.short_read_p and name in SHORT_READ_SYSCALLS:
-            if self._draw() < schedule.short_read_p:
+        plan = self._plan
+        if name in SHORT_READ_SYSCALLS:
+            nth = self._opp("short_read")
+            if plan is not None:
+                entry = self._planned("short_read", nth)
+                if entry is not None:
+                    clamped = max(1, min(count, entry["granted"]))
+                    if clamped < count:
+                        self._inject("short_read", name, asked=count,
+                                     granted=clamped, nth=nth)
+                    return clamped
+            elif schedule.short_read_p and \
+                    self._draw() < schedule.short_read_p:
                 clamped = max(1, min(count, schedule.short_read_cap))
                 if clamped < count:
                     self._inject("short_read", name, asked=count,
-                                 granted=clamped)
+                                 granted=clamped, nth=nth)
                 return clamped
-        if schedule.short_write_p and name in SHORT_WRITE_SYSCALLS:
-            if self._draw() < schedule.short_write_p:
+        if name in SHORT_WRITE_SYSCALLS:
+            nth = self._opp("short_write")
+            if plan is not None:
+                entry = self._planned("short_write", nth)
+                if entry is not None:
+                    clamped = max(1, min(count, entry["granted"]))
+                    if clamped < count:
+                        self._inject("short_write", name, asked=count,
+                                     granted=clamped, nth=nth)
+                    return clamped
+            elif schedule.short_write_p and \
+                    self._draw() < schedule.short_write_p:
                 clamped = max(1, min(count, schedule.short_write_cap))
                 if clamped < count:
                     self._inject("short_write", name, asked=count,
-                                 granted=clamped)
+                                 granted=clamped, nth=nth)
                 return clamped
         return count
 
@@ -300,16 +456,26 @@ class FaultPlane:
         pieces, or None to deliver whole.  Delays are cumulative in the
         caller: segment *k* arrives k * extra_delay_ns after the first."""
         schedule = self.schedule
-        if schedule is None or not schedule.segment_bytes:
+        if schedule is None:
             return None
-        size = schedule.segment_bytes
+        nth = self._opp("segment")
+        if self._plan is not None:
+            entry = self._planned("segment", nth)
+            if entry is None:
+                return None
+            size, delay_ns = entry["size"], entry["delay_ns"]
+        elif schedule.segment_bytes:
+            size, delay_ns = (schedule.segment_bytes,
+                              schedule.segment_extra_delay_ns)
+        else:
+            return None
         if len(data) <= size:
             return None
-        pieces = [(bytes(data[i:i + size]),
-                   (i // size) * schedule.segment_extra_delay_ns)
+        pieces = [(bytes(data[i:i + size]), (i // size) * delay_ns)
                   for i in range(0, len(data), size)]
         self._inject("segment", "deliver", nbytes=len(data),
-                     pieces=len(pieces))
+                     pieces=len(pieces), size=size, delay_ns=delay_ns,
+                     nth=nth)
         return pieces
 
     def spurious_wake(self) -> bool:
@@ -317,10 +483,18 @@ class FaultPlane:
         scheduler; draws only when the schedule arms it, so schedules
         without it keep their exact historical decision streams.)"""
         schedule = self.schedule
-        if schedule is None or not schedule.spurious_wake_p:
+        if schedule is None:
+            return False
+        nth = self._opp("spurious_wake")
+        if self._plan is not None:
+            if self._planned("spurious_wake", nth) is not None:
+                self._inject("spurious_wake", "park", nth=nth)
+                return True
+            return False
+        if not schedule.spurious_wake_p:
             return False
         if self._draw() < schedule.spurious_wake_p:
-            self._inject("spurious_wake", "park")
+            self._inject("spurious_wake", "park", nth=nth)
             return True
         return False
 
@@ -337,24 +511,43 @@ class FaultPlane:
         if schedule is None:
             return 0.0
         extra = 0.0
+        if self._plan is not None:
+            # frame_seq is the per-link opportunity index: plan entries
+            # for link kinds carry the link name as their target, so a
+            # plan shared across links applies only where it was recorded.
+            for kind in ("link_partition", "link_delay", "link_drop",
+                         "link_reorder"):
+                entry = self._planned(kind, frame_seq, target=link)
+                if entry is not None:
+                    extra += entry["extra_ns"]
+                    self._inject(kind, link, frame=frame_seq,
+                                 extra_ns=entry["extra_ns"],
+                                 nth=frame_seq)
+            return extra
         if schedule.link_partition_every and \
                 frame_seq % schedule.link_partition_every == 0:
             extra += schedule.link_partition_ns
             self._inject("link_partition", link, frame=frame_seq,
-                         held_ns=schedule.link_partition_ns)
+                         held_ns=schedule.link_partition_ns,
+                         extra_ns=schedule.link_partition_ns,
+                         nth=frame_seq)
         if schedule.link_delay_p and self._draw() < schedule.link_delay_p:
             extra += schedule.link_delay_ns
             self._inject("link_delay", link, frame=frame_seq,
-                         delay_ns=schedule.link_delay_ns)
+                         delay_ns=schedule.link_delay_ns,
+                         extra_ns=schedule.link_delay_ns, nth=frame_seq)
         if schedule.link_drop_p and self._draw() < schedule.link_drop_p:
             extra += schedule.link_rto_ns
             self._inject("link_drop", link, frame=frame_seq,
-                         rto_ns=schedule.link_rto_ns, nbytes=nbytes)
+                         rto_ns=schedule.link_rto_ns, nbytes=nbytes,
+                         extra_ns=schedule.link_rto_ns, nth=frame_seq)
         if schedule.link_reorder_p and \
                 self._draw() < schedule.link_reorder_p:
             extra += schedule.link_reorder_ns
             self._inject("link_reorder", link, frame=frame_seq,
-                         late_ns=schedule.link_reorder_ns)
+                         late_ns=schedule.link_reorder_ns,
+                         extra_ns=schedule.link_reorder_ns,
+                         nth=frame_seq)
         return extra
 
     def backlog_limit(self, configured: int) -> int:

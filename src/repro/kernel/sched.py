@@ -214,17 +214,45 @@ class Scheduler:
         self._digest = hashlib.sha256()
         #: flight-recorder tap: fn(kind, task_name, detail_dict).
         self.decision_hook = None
-        #: cross-host drain point: fn() -> bool called when no task is
-        #: runnable; returning True means external progress was made
-        #: (e.g. a cluster wire frame delivered) and dispatch should
-        #: retry instead of going idle.  Installed by ``repro.cluster``.
-        self.idle_hook = None
+        #: cross-host drain points: each fn() -> bool is called when no
+        #: task is runnable; returning True means external progress was
+        #: made (e.g. a cluster wire frame delivered) and dispatch should
+        #: retry instead of going idle.  A *list* so the cluster pump and
+        #: sim instrumentation can coexist (every hook runs each idle
+        #: round, in registration order).
+        self.idle_hooks: List[Callable[[], bool]] = []
         self._run_queues: List[Deque[SchedTask]] = \
             [deque() for _ in self.cores]
         self._coreless: Deque[SchedTask] = deque()
         self._driver_evt = threading.Event()
         self._in_run = False
         kernel.sched = self
+
+    # -- idle hooks ----------------------------------------------------------
+
+    @property
+    def idle_hook(self):
+        """Legacy single-hook view: the first chained hook, or None."""
+        return self.idle_hooks[0] if self.idle_hooks else None
+
+    @idle_hook.setter
+    def idle_hook(self, fn) -> None:
+        # legacy assignment API: None clears the chain; a callable is
+        # appended (once) so older callers can no longer clobber hooks
+        # registered by someone else.
+        if fn is None:
+            self.idle_hooks.clear()
+        else:
+            self.add_idle_hook(fn)
+
+    def add_idle_hook(self, fn: Callable[[], bool]) -> None:
+        """Chain an idle-time drain hook (idempotent per callable)."""
+        if fn not in self.idle_hooks:
+            self.idle_hooks.append(fn)
+
+    def remove_idle_hook(self, fn: Callable[[], bool]) -> None:
+        if fn in self.idle_hooks:
+            self.idle_hooks.remove(fn)
 
     # -- decision stream ----------------------------------------------------
 
@@ -261,6 +289,17 @@ class Scheduler:
                 record.state = RunState.RUNNABLE.value
         self._decision("spawn", task)
         return task
+
+    def apply_clock_skew(self, skews_ns: "List[float]") -> None:
+        """Pre-advance core-local clocks by per-core offsets (sim axis:
+        workers booting out of phase).  Skews are plain virtual-time
+        offsets, so a skewed run is exactly as deterministic as an
+        unskewed one; the global frontier follows the fastest core."""
+        for core, skew in zip(self.cores, skews_ns):
+            if skew < 0:
+                raise ValueError("clock skew must be non-negative")
+            if skew:
+                core.advance_ns(skew)
 
     def bind_core(self, counter, core: int) -> CoreClock:
         """Attach a process's cycle counter to a core's local clock (the
@@ -403,7 +442,13 @@ class Scheduler:
                     # cluster's pending wire frames) a chance to make
                     # progress before declaring idle/stall — delivering a
                     # frame may unblock a parked task or close a region.
-                    if self.idle_hook is not None and self.idle_hook():
+                    # Every chained hook runs, in registration order, so
+                    # one hook's progress never starves another's.
+                    progressed = False
+                    for hook in tuple(self.idle_hooks):
+                        if hook():
+                            progressed = True
+                    if progressed:
                         continue
                     if all(t.done for t in self.tasks):
                         if predicate is None:

@@ -1,0 +1,12 @@
+"""Deterministic simulation testing (`python -m repro.sim`).
+
+FoundationDB-style swarm testing over the determinism stack: one master
+seed derives a matrix of scenarios (`repro.sim.scenario`), each run and
+classified (`repro.sim.runner` / `repro.sim.oracle`); failures shrink
+to minimal replayable capsules (`repro.sim.shrink`).
+"""
+
+from repro.sim.scenario import (  # noqa: F401
+    OK_CLASSES, Scenario, generate_matrix, generate_scenario,
+    schedule_palette,
+)

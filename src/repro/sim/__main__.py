@@ -1,0 +1,7 @@
+"""``python -m repro.sim`` entry point."""
+
+import sys
+
+from repro.sim.cli import main
+
+sys.exit(main())

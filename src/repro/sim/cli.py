@@ -1,0 +1,193 @@
+"""Command-line front end for the simulation swarm.
+
+::
+
+    python -m repro.sim swarm  --seed S --count N [--shrink] [--strict]
+    python -m repro.sim shrink --seed S --index I [--mutate M]
+    python -m repro.sim replay CAPSULE.json
+
+``swarm`` runs a seeded slice of the scenario matrix and prints one
+line per scenario plus a class histogram.  ``--strict`` exits non-zero
+unless every outcome is clean or expected-alarm (the CI gate);
+``--expect-failure`` inverts that for known-bug mutation runs, and
+``--shrink`` minimizes the first failure into a capsule on the spot.
+``shrink`` minimizes one (seed, index) scenario directly, and
+``replay`` re-derives a saved capsule and verifies it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.sim.runner import ScenarioOutcome, run_scenario
+from repro.sim.scenario import (MUTATIONS, OK_CLASSES, Scenario,
+                                generate_matrix, generate_scenario)
+from repro.sim.shrink import shrink
+from repro.trace.capsule import ScenarioCapsule
+
+
+def _say(message: str) -> None:
+    print(message, flush=True)
+
+
+def _apply_mutation(scenario: Scenario, mutation: str) -> Scenario:
+    if mutation != "none":
+        scenario.mutation = mutation
+    return scenario
+
+
+def _shrink_to_capsule(scenario: Scenario, capsule_path: Optional[str],
+                       meta: dict) -> ScenarioCapsule:
+    result = shrink(scenario, log=_say)
+    capsule = result.capsule(meta=meta)
+    if capsule_path:
+        capsule.save(capsule_path)
+        _say(f"capsule written to {capsule_path}")
+    return capsule
+
+
+def _cmd_swarm(args: argparse.Namespace) -> int:
+    scenarios = generate_matrix(args.seed, args.count, start=args.start)
+    outcomes: List[ScenarioOutcome] = []
+    histogram: dict = {}
+    first_failure: Optional[ScenarioOutcome] = None
+    for scenario in scenarios:
+        _apply_mutation(scenario, args.mutate)
+        outcome = run_scenario(scenario)
+        outcomes.append(outcome)
+        histogram[outcome.klass] = histogram.get(outcome.klass, 0) + 1
+        marker = " " if outcome.klass in OK_CLASSES else "!"
+        detail = f" — {outcome.detail}" if outcome.detail else ""
+        _say(f"{marker} [{scenario.index:4d}] {outcome.klass:20s} "
+             f"{scenario.describe()}{detail}")
+        if first_failure is None and outcome.klass not in OK_CLASSES:
+            first_failure = outcome
+
+    _say(f"\n{len(outcomes)} scenario(s): "
+         + ", ".join(f"{k}={v}" for k, v in sorted(histogram.items())))
+
+    capsule = None
+    if first_failure is not None and args.shrink:
+        _say("")
+        capsule = _shrink_to_capsule(
+            first_failure.scenario, args.capsule,
+            meta={"master_seed": args.seed, "mutation": args.mutate})
+
+    if args.json:
+        report = {
+            "master_seed": args.seed, "start": args.start,
+            "count": args.count, "mutation": args.mutate,
+            "histogram": histogram,
+            "ok": first_failure is None,
+            "outcomes": [outcome.to_dict() for outcome in outcomes],
+        }
+        if capsule is not None:
+            report["capsule"] = capsule.to_dict()
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, sort_keys=True, indent=2)
+        _say(f"report written to {args.json}")
+
+    if args.expect_failure:
+        if first_failure is None:
+            _say("EXPECTED a failure, found none")
+            return 1
+        return 0
+    if args.strict and first_failure is not None:
+        return 1
+    return 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    scenario = _apply_mutation(
+        generate_scenario(args.seed, args.index), args.mutate)
+    try:
+        capsule = _shrink_to_capsule(
+            scenario, args.capsule,
+            meta={"master_seed": args.seed, "mutation": args.mutate})
+    except ValueError as exc:
+        _say(str(exc))
+        return 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(capsule.to_dict(), fh, sort_keys=True, indent=2)
+        _say(f"capsule JSON written to {args.json}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        capsule = ScenarioCapsule.load(args.capsule)
+    except (OSError, ValueError, KeyError) as exc:
+        _say(f"cannot load capsule {args.capsule}: {exc}")
+        return 1
+    result = capsule.replay()
+    _say(result.summary())
+    if args.json:
+        report = {"ok": result.ok, "reproduced": result.reproduced,
+                  "bit_identical": result.bit_identical,
+                  "class": result.klass, "digest": result.digest,
+                  "mismatches": result.mismatches}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, sort_keys=True, indent=2)
+    return 0 if result.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="deterministic simulation swarm for the repro stack")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    swarm = sub.add_parser("swarm", help="run a seeded scenario swarm")
+    swarm.add_argument("--seed", required=True,
+                       help="master seed deriving the scenario matrix")
+    swarm.add_argument("--count", type=int, default=25,
+                       help="number of scenarios to run (default 25)")
+    swarm.add_argument("--start", type=int, default=0,
+                       help="matrix index to start from (default 0)")
+    swarm.add_argument("--mutate", choices=MUTATIONS, default="none",
+                       help="arm a known-bug mutation in every scenario")
+    swarm.add_argument("--shrink", action="store_true",
+                       help="shrink the first failure into a capsule")
+    swarm.add_argument("--capsule",
+                       help="write the shrunk capsule to this path")
+    swarm.add_argument("--json", help="write a full JSON report here")
+    swarm.add_argument("--strict", action="store_true",
+                       help="exit 1 unless every outcome is clean or "
+                            "expected-alarm")
+    swarm.add_argument("--expect-failure", action="store_true",
+                       help="exit 1 unless at least one failure is "
+                            "found (mutation runs)")
+    swarm.set_defaults(func=_cmd_swarm)
+
+    shrink_cmd = sub.add_parser(
+        "shrink", help="minimize one scenario to a capsule")
+    shrink_cmd.add_argument("--seed", required=True)
+    shrink_cmd.add_argument("--index", type=int, required=True,
+                            help="scenario index in the matrix")
+    shrink_cmd.add_argument("--mutate", choices=MUTATIONS,
+                            default="none")
+    shrink_cmd.add_argument("--capsule",
+                            help="write the capsule to this path")
+    shrink_cmd.add_argument("--json",
+                            help="also write the capsule JSON here")
+    shrink_cmd.set_defaults(func=_cmd_shrink)
+
+    replay = sub.add_parser(
+        "replay", help="replay a saved scenario capsule")
+    replay.add_argument("capsule", help="path to a capsule JSON file")
+    replay.add_argument("--json", help="write the verdict JSON here")
+    replay.set_defaults(func=_cmd_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":            # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Outcome classification: what *should* have happened?
+
+The oracle turns a raw run into one of six classes:
+
+* ``clean`` — traffic completed, no alarms, every expectation met;
+* ``expected-alarm`` — an attack was fired against a protected
+  deployment, the monitor raised a divergence, and the attack's payload
+  (the mkdir) never landed: the paper's security property holding;
+* ``unexpected-alarm`` — the monitor alarmed with no attack in play: a
+  spurious divergence, the cardinal sin of an MVX deployment;
+* ``conformance-failure`` — no alarm, but the serving contract broke
+  (failed/missing/non-200 responses, or an attack payload landing);
+* ``divergence`` — the determinism recheck produced different digests
+  for the same scenario (assigned by the runner, not here);
+* ``crash`` — an unhandled exception escaped the harness.
+
+Expectations are mode-aware: a worker-kill scenario tolerates failed
+requests (connections parked on a cancelled worker time out), and a
+neutered attack (faults broke the exploit before the monitor saw it,
+with no payload landing) is clean, matching the fault-battery
+invariant: *detected or neutered, never successful*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:                     # pragma: no cover
+    from repro.sim.runner import RawRun
+    from repro.sim.scenario import Scenario
+
+
+def classify(scenario: "Scenario", raw: "RawRun") -> Tuple[str, str]:
+    """(class, human detail) for one raw run."""
+    if raw.error is not None:
+        return "crash", f"{raw.error_kind}: {raw.error}"
+
+    if raw.attack is not None:
+        if raw.attack["directory_created"]:
+            return ("conformance-failure",
+                    "attack payload landed (victim directory created)")
+        attack_seen = (raw.attack["divergence_detected"]
+                       or raw.attack["alarm_count"] > 0)
+    else:
+        attack_seen = False
+        if raw.alarms:
+            first = raw.alarms[0]
+            return ("unexpected-alarm",
+                    f"{len(raw.alarms)} alarm(s) with no attack in "
+                    f"play; first: {first['kind']} at "
+                    f"{first['libc_name']}")
+
+    expected = scenario.requests
+    if scenario.worker_kill:
+        # a killed worker's in-flight and parked connections may fail;
+        # the surviving workers must still have made progress
+        if raw.completed < 1:
+            return ("conformance-failure",
+                    f"worker-kill run completed {raw.completed} of "
+                    f"{expected} requests (need >= 1)")
+    else:
+        if raw.completed < expected or raw.failures:
+            return ("conformance-failure",
+                    f"completed {raw.completed}/{expected}, "
+                    f"{raw.failures} failure(s)")
+        bad = {status: count
+               for status, count in raw.status_counts.items()
+               if status != 200}
+        if bad:
+            return ("conformance-failure",
+                    f"non-200 responses: {bad}")
+
+    if attack_seen:
+        return ("expected-alarm",
+                f"attack detected ({raw.attack['alarm_count']} "
+                f"alarm(s)), payload blocked")
+    if raw.attack is not None:
+        return "clean", "attack neutered by faults; traffic clean"
+    return "clean", ""

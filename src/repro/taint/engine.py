@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Set, Tuple
 
+from repro.errors import SymbolNotFound
 from repro.process.process import GuestProcess
 
 #: how many recent tainted reads to keep for propagation matching
@@ -127,7 +128,10 @@ class TaintEngine:
         self.site_names.add(name)
         try:
             self.access_sites.add(self.process.resolve(name))
-        except Exception:
+        except SymbolNotFound:
+            # HL-only frames (synthetic function names with no load
+            # address) legitimately have no symbol; the name set above
+            # still records the access.  Anything else must surface.
             pass
 
     # -- queries ------------------------------------------------------------------------

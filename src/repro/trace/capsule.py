@@ -1,15 +1,20 @@
-"""Divergence capsules: a replayable snapshot taken when an alarm fires.
+"""Replayable failure capsules.
 
-When ``AlarmLog.raise_alarm`` goes off mid-run, the attached recorder
-freezes the last-N ring events and — once the stimulus op that triggered
-the alarm has landed in the script — packs them together with the full
-recording so far into a :class:`DivergenceCapsule`.  The capsule is
-self-contained: it embeds the divergence report (kind, libc call seq,
-task id, guest PC), the event window leading up to the alarm, and a
-complete :class:`~repro.trace.record.Trace` whose replay re-executes the
-run from scratch and must re-raise the *same* alarm at the *same* guest
-PC.  That turns a one-in-a-thousand divergence into a deterministic unit
-test you can ship in a bug report.
+Two kinds live here:
+
+* :class:`DivergenceCapsule` — a snapshot taken when ``AlarmLog.
+  raise_alarm`` goes off mid-run: the divergence report, the last-N ring
+  events, and the full recording so far, whose replay must re-raise the
+  *same* alarm at the *same* guest PC.
+* :class:`ScenarioCapsule` — the output of `repro.sim`'s shrinker: a
+  minimized scenario dict plus the failure signature and combined digest
+  of its final run.  Replay re-derives the whole run from the scenario
+  (scenarios are pure functions of their seeds — nothing is played back)
+  and must reproduce the identical outcome class *and* bit-identical
+  digests.
+
+Both turn a one-in-a-thousand failure into a deterministic unit test you
+can ship in a bug report.
 """
 
 from __future__ import annotations
@@ -116,3 +121,114 @@ class DivergenceCapsule:
                                    replay_ok=result.ok,
                                    matched_alarm=matched,
                                    mismatches=mismatches)
+
+
+SIM_CAPSULE_VERSION = 1
+
+
+@dataclass
+class SimReplayResult:
+    """Verdict of replaying a scenario capsule."""
+
+    reproduced: bool                 # same failure signature
+    bit_identical: bool              # same combined digest
+    klass: str = ""
+    digest: str = ""
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.reproduced and self.bit_identical
+
+    def summary(self) -> str:
+        if self.ok:
+            return (f"capsule reproduced: {self.klass} "
+                    f"(digest {self.digest[:16]}, bit-identical)")
+        lines = ["capsule NOT reproduced" if not self.reproduced
+                 else "capsule reproduced but digests diverged"]
+        lines += [f"  - {m}" for m in self.mismatches[:20]]
+        return "\n".join(lines)
+
+
+@dataclass
+class ScenarioCapsule:
+    """A minimal failing sim scenario, self-contained and replayable.
+
+    ``scenario`` is the shrunk scenario dict (including any explicit
+    fault plan and armed mutation); ``original`` is the scenario the
+    swarm first caught; ``signature`` is the failure signature both must
+    produce; ``digest``/``digests`` pin the shrunk run bit-for-bit;
+    ``shrink_steps`` logs every reduction the shrinker tried."""
+
+    version: int = SIM_CAPSULE_VERSION
+    scenario: Dict = field(default_factory=dict)
+    original: Dict = field(default_factory=dict)
+    signature: Dict = field(default_factory=dict)
+    digest: str = ""
+    digests: Dict = field(default_factory=dict)
+    shrink_steps: List[Dict] = field(default_factory=list)
+    meta: Dict = field(default_factory=dict)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {"version": self.version, "kind": "sim-scenario",
+                "scenario": self.scenario, "original": self.original,
+                "signature": self.signature, "digest": self.digest,
+                "digests": self.digests,
+                "shrink_steps": self.shrink_steps, "meta": self.meta}
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "ScenarioCapsule":
+        version = raw.get("version")
+        if version != SIM_CAPSULE_VERSION:
+            raise ValueError(
+                f"unsupported sim capsule version {version!r} "
+                f"(this build reads version {SIM_CAPSULE_VERSION})")
+        return ScenarioCapsule(
+            version=version, scenario=raw.get("scenario", {}),
+            original=raw.get("original", {}),
+            signature=raw.get("signature", {}),
+            digest=raw.get("digest", ""), digests=raw.get("digests", {}),
+            shrink_steps=raw.get("shrink_steps", []),
+            meta=raw.get("meta", {}))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, sort_keys=True)
+
+    @staticmethod
+    def load(path: str) -> "ScenarioCapsule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return ScenarioCapsule.from_dict(json.load(fh))
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self) -> SimReplayResult:
+        """Re-derive the shrunk scenario from its seeds and compare the
+        failure signature and the combined digest bit-for-bit."""
+        from repro.sim.runner import run_scenario
+        from repro.sim.scenario import Scenario
+        from repro.sim.shrink import signature_of
+
+        outcome = run_scenario(Scenario.from_dict(dict(self.scenario)))
+        signature = signature_of(outcome)
+        mismatches: List[str] = []
+        if signature != self.signature:
+            mismatches.append(
+                f"signature: capsule {self.signature!r} "
+                f"!= replay {signature!r}")
+        if outcome.digest != self.digest:
+            for key in sorted(set(outcome.digests)
+                              | set(self.digests)):
+                want = self.digests.get(key)
+                got = outcome.digests.get(key)
+                if want != got:
+                    mismatches.append(
+                        f"digest.{key}: capsule {want!r} != replay "
+                        f"{got!r}")
+        return SimReplayResult(
+            reproduced=signature == self.signature,
+            bit_identical=outcome.digest == self.digest,
+            klass=outcome.klass, digest=outcome.digest,
+            mismatches=mismatches)

@@ -20,6 +20,19 @@ Results carry both wall virtual time and the server's *busy* time; the
 Figure 7 overhead normalization uses busy time per request (the saturated-
 server regime the paper measures throughput in), while the multi-worker
 scaling curves (BENCH_sched.json) use wall throughput.
+
+Client behaviour is itself a scenario axis (`repro.sim`):
+
+* ``client_mode="normal"`` — plain keep-alive GETs (the default);
+* ``client_mode="slowloris"`` — every request is dripped onto the wire
+  in small pieces with per-piece pacing delays (the CVE-2013-2028
+  attacker's traffic shape applied to benign requests);
+* ``client_mode="chunked"`` — benign chunked POST uploads shaped like
+  the CVE request (chunk-size line + raw chunk bytes) but with an
+  honest small size, exercising the discard path the exploit abuses;
+* ``partial_preludes=N`` — N aggressor connections that send a
+  truncated request head and slam the connection shut before the
+  benchmark proper, leaving the server half-read state to clean up.
 """
 
 from __future__ import annotations
@@ -28,6 +41,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.kernel.kernel import Kernel
+
+#: client-behaviour modes understood by :class:`ApacheBench`.
+CLIENT_MODES = ("normal", "slowloris", "chunked")
 
 
 @dataclass
@@ -78,12 +94,28 @@ class ApacheBench:
 
     def __init__(self, kernel: Kernel, server, path: str = "/index.html",
                  keepalive: bool = True, host: str = "localhost",
-                 max_stalls: int = 2, timeout_ns: float = 50_000_000):
+                 max_stalls: int = 2, timeout_ns: float = 50_000_000,
+                 client_mode: str = "normal", drip_bytes: int = 16,
+                 drip_delay_ns: int = 200_000, chunk_bytes: int = 256,
+                 partial_preludes: int = 0):
+        if client_mode not in CLIENT_MODES:
+            raise ValueError(f"unknown client_mode {client_mode!r}; "
+                             f"expected one of {CLIENT_MODES}")
         self.kernel = kernel
         self.server = server            # MinxServer / LittledServer-like
         self.path = path
         self.keepalive = keepalive
         self.host = host
+        self.client_mode = client_mode
+        #: slowloris shape: piece size and per-piece pacing delay.
+        self.drip_bytes = max(1, drip_bytes)
+        self.drip_delay_ns = drip_delay_ns
+        #: chunked-upload shape: honest chunk size, capped so head+body
+        #: always fit the server's one-recv request buffer (the benign
+        #: upload must not depend on multi-read body delivery).
+        self.chunk_bytes = max(1, min(chunk_bytes, 1400))
+        #: truncated-head aggressor connections fired before the run.
+        self.partial_preludes = partial_preludes
         #: how many empty recv+pump rounds to tolerate per read before
         #: declaring the request failed; fault-schedule runs (spurious
         #: EAGAIN, segmented deliveries) legitimately need more patience
@@ -104,6 +136,50 @@ class ApacheBench:
                 f"Accept: */*\r\n"
                 f"Connection: {connection}\r\n"
                 f"\r\n").encode()
+
+    def _chunked_request_bytes(self, path: Optional[str] = None) -> bytes:
+        """A benign chunked POST in the CVE-2013-2028 request shape —
+        headers, the chunk-size line, then exactly that many raw body
+        bytes — with an honest size, so the server's discard loop reads
+        precisely the body and nothing lingers on the socket."""
+        connection = "keep-alive" if self.keepalive else "close"
+        size = self.chunk_bytes
+        head = (f"POST {path or self.path} HTTP/1.1\r\n"
+                f"Host: {self.host}\r\n"
+                f"User-Agent: ab/2.3-repro\r\n"
+                f"Transfer-Encoding: chunked\r\n"
+                f"Connection: {connection}\r\n"
+                f"\r\n"
+                f"{size:x}\r\n").encode()
+        return head + b"B" * size
+
+    def _request_payload(self, path: Optional[str] = None) -> bytes:
+        if self.client_mode == "chunked":
+            return self._chunked_request_bytes(path)
+        return self._request_bytes(path)
+
+    def _send_request(self, sock, path: Optional[str] = None) -> None:
+        """Put one request on the wire in the configured client shape."""
+        data = self._request_payload(path)
+        if self.client_mode == "slowloris":
+            step = self.drip_bytes
+            for piece_index, offset in enumerate(range(0, len(data), step)):
+                sock.send(data[offset:offset + step],
+                          piece_index * self.drip_delay_ns)
+        else:
+            sock.send(data)
+
+    def _fire_partial_preludes(self) -> None:
+        """Aggressor connections: send a truncated request head, then
+        slam the connection shut.  The server must clean up the
+        half-read state without alarming or wedging the listener."""
+        for _ in range(self.partial_preludes):
+            sock = self.kernel.network.connect(self.server.port)
+            if isinstance(sock, int):
+                continue                # refused: nothing to clean up
+            head = self._request_bytes(self.path)
+            sock.send(head[:max(1, len(head) // 2)])
+            sock.close()
 
     def _recv_or_pump(self, sock, count: int) -> bytes:
         """Receive what's in flight; pump the server only when the pipe is
@@ -189,13 +265,14 @@ class ApacheBench:
                 result.failures = requests
                 return result
             sockets.append(sock)
+        self._fire_partial_preludes()
         # let the server accept them all: one pump is *not* enough in
         # general (each epoll_wait batch is bounded, and under a faulty
         # or high-latency schedule accepts trickle in), so pump until
         # the accept queue drains — bounded by the connection count so a
         # refusing server cannot stall the harness.
         listener = self.kernel.network.listener_at(self.server.port)
-        for _ in range(len(sockets) + 1):
+        for _ in range(len(sockets) + self.partial_preludes + 1):
             self.server.pump()
             if listener is None or not listener.pending_count():
                 break
@@ -203,7 +280,7 @@ class ApacheBench:
         for index in range(requests):
             sock = sockets[index % len(sockets)]
             path = paths[index % len(paths)] if paths else self.path
-            sock.send(self._request_bytes(path))
+            self._send_request(sock, path)
             self.server.pump()
             response = self._read_response(sock)
             if response is None:
@@ -245,6 +322,9 @@ class ApacheBench:
                   (1 if i < requests % n_clients else 0)
                   for i in range(n_clients)]
         self._run_seq += 1
+        # aggressor connections go in before the clients spawn; the
+        # workers wake on their readiness/FIN during the run proper
+        self._fire_partial_preludes()
 
         def make_client(index: int, quota: int):
             def client() -> None:
@@ -262,7 +342,7 @@ class ApacheBench:
                             sock = None    # refused: this shot fails
                             continue
                     path = paths[shot % len(paths)] if paths else self.path
-                    sock.send(self._request_bytes(path))
+                    self._send_request(sock, path)
                     response = self._read_response(sock,
                                                    fetch=self._sched_fetch)
                     if response is None:

@@ -212,3 +212,38 @@ def test_distributed_cve_recorded_alarm_in_leader_trace():
     mirror_trace = session["traces"][1]
     assert mirror_trace.footer["alarms"], \
         "mirror host kept no operational record of the divergence"
+
+
+def test_pump_hook_coexists_with_prior_idle_hook():
+    """Regression: DistributedSmvx used to skip registering its frame
+    pump when any idle hook was already installed (and, before that, the
+    single-slot ``idle_hook`` attribute silently clobbered one of the
+    two).  Both hooks must run: the observer sees idle points AND the
+    pump still drains verdict frames, so scheduled serving completes."""
+    from repro.cluster import Cluster
+    from repro.apps.littled import LittledServer
+    from repro.cluster.remote import DistributedSmvx
+    from repro.cluster.scenarios import LITTLED_PROTECT
+
+    cluster = Cluster(seed="hook-coexist", hosts=2)
+    kernel = cluster.host(0).kernel
+    leader = LittledServer(kernel, protect=LITTLED_PROTECT,
+                           smvx=False, workers=2)
+    observed = {"idle": 0}
+
+    def observer():
+        observed["idle"] += 1
+        return False
+
+    kernel.sched.add_idle_hook(observer)      # sim-style instrumentation
+    mirror = LittledServer(cluster.host(1).kernel,
+                           protect=LITTLED_PROTECT, smvx=True, workers=2)
+    dsmvx = DistributedSmvx(cluster, leader, mirror)
+    assert kernel.sched.idle_hooks == [observer, cluster.pump_one]
+
+    leader.start()
+    result = ApacheBench(kernel, leader).run(4, concurrency=2)
+    assert result.status_counts == {200: 4}
+    assert observed["idle"] >= 1
+    leader.shutdown()
+    dsmvx.settle()

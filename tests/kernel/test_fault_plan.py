@@ -1,0 +1,124 @@
+"""Explicit fault plans: validated specs, pinned injections, replay.
+
+A probabilistic schedule samples faults from (seed, name, counter); a
+*plan* schedule names exact events — ``{kind, nth}`` at the kind's
+nth opportunity — so a failing draw sequence can be re-expressed as a
+bisectable event list.  Contract under test:
+
+* unknown fault kinds / malformed entries fail at construction,
+* opportunity counters advance identically in both modes,
+* ``plan_from_events`` turns a probabilistic run's ``injected_events``
+  into a plan that replays the identical fault stream,
+* link-kind entries apply only to their named link.
+"""
+
+import pytest
+
+from repro.kernel.errno_codes import Errno
+from repro.kernel.faults import (
+    KNOWN_FAULT_KINDS,
+    FaultPlane,
+    FaultSchedule,
+)
+
+
+# -- construction-time validation (the ValueError gate) -----------------------
+
+def test_plan_with_unknown_kind_is_rejected():
+    with pytest.raises(ValueError, match="sigsegv"):
+        FaultSchedule(name="t", plan=[{"kind": "sigsegv", "nth": 1}])
+
+
+def test_plan_entry_without_nth_is_rejected():
+    with pytest.raises(ValueError, match="nth"):
+        FaultSchedule(name="t", plan=[{"kind": "eintr"}])
+
+
+def test_plan_entry_with_bad_nth_is_rejected():
+    for nth in (0, -3, "first", 1.5):
+        with pytest.raises(ValueError, match="nth"):
+            FaultSchedule(name="t",
+                          plan=[{"kind": "eintr", "nth": nth}])
+
+
+def test_from_dict_rejects_unknown_fields():
+    raw = FaultSchedule(name="t").to_dict()
+    raw["eintr_probability"] = 0.5          # typo'd field name
+    with pytest.raises(ValueError, match="eintr_probability"):
+        FaultSchedule.from_dict(raw)
+
+
+def test_known_kinds_cover_both_planes():
+    assert {"eintr", "short_read", "segment"} <= KNOWN_FAULT_KINDS
+    assert {"link_delay", "link_drop"} <= KNOWN_FAULT_KINDS
+
+
+def test_plan_schedule_round_trips_through_dict():
+    schedule = FaultSchedule(name="t", backlog_cap=4, plan=[
+        {"kind": "eintr", "nth": 2},
+        {"kind": "short_read", "nth": 1, "granted": 3},
+    ])
+    again = FaultSchedule.from_dict(schedule.to_dict())
+    assert again == schedule
+    # probabilistic schedules don't serialize a plan key at all
+    assert "plan" not in FaultSchedule(name="p").to_dict()
+
+
+# -- plan execution -----------------------------------------------------------
+
+def test_plan_injects_exactly_the_named_events():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", plan=[
+        {"kind": "eintr", "nth": 2},
+        {"kind": "short_read", "nth": 3, "granted": 4},
+    ]))
+    results = [plane.before_syscall("read") for _ in range(4)]
+    assert results == [None, -Errno.EINTR, None, None]
+    grants = [plane.clamp_io("read", 100) for _ in range(4)]
+    assert grants == [100, 100, 4, 100]
+    assert plane.injected_by_kind == {"eintr": 1, "short_read": 1}
+
+
+def test_plan_granted_never_forges_eof():
+    plane = FaultPlane(b"seed")
+    plane.install(FaultSchedule(name="t", plan=[
+        {"kind": "short_read", "nth": 1, "granted": 50},
+        {"kind": "short_read", "nth": 2, "granted": 0},
+    ]))
+    assert plane.clamp_io("read", 10) == 10   # clamped to the request
+    assert plane.clamp_io("read", 10) == 1    # never below one byte
+
+
+def test_plan_from_events_replays_the_probabilistic_stream():
+    schedule = FaultSchedule(name="t", eintr_p=0.3, short_read_p=0.4,
+                             short_read_cap=5)
+    original = FaultPlane(b"seed")
+    original.install(schedule)
+    trace = [(original.before_syscall("read"),
+              original.clamp_io("read", 64)) for _ in range(48)]
+    assert original.injected_total > 0
+
+    plan = FaultSchedule.plan_from_events(original.injected_events)
+    replay = FaultPlane(b"other-seed")       # the seed no longer matters
+    replay.install(plan)
+    replayed = [(replay.before_syscall("read"),
+                 replay.clamp_io("read", 64)) for _ in range(48)]
+    assert replayed == trace
+    assert replay.injected_by_kind == original.injected_by_kind
+
+
+def test_link_plan_entries_apply_only_to_their_link():
+    plan = FaultSchedule(name="t", plan=[
+        {"kind": "link_delay", "nth": 1, "target": "h0->h1",
+         "extra_ns": 7_000},
+    ])
+    mine, other = FaultPlane(b"a"), FaultPlane(b"b")
+    mine.install(plan)
+    other.install(plan)
+    assert mine.link_frame("h0->h1", 1, 100) == 7_000.0
+    assert other.link_frame("h1->h0", 1, 100) == 0.0
+    # a host plane sharing the plan never reaches link opportunities
+    host = FaultPlane(b"c")
+    host.install(plan)
+    assert host.before_syscall("read") is None
+    assert host.injected_total == 0

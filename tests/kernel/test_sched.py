@@ -355,3 +355,60 @@ def test_snapshot_shape(kernel, sched):
     assert snap["digest"] == sched.digest
     assert snap["tasks"] == [("t", "zombie")]
     assert len(snap["cores"]) == 2
+
+
+# -- idle hooks (chained, not clobbered) --------------------------------------
+
+
+def test_idle_hooks_chain_and_all_run(kernel, sched):
+    """Regression: registering a second idle hook must not silently
+    replace the first (DistributedSmvx + sim harness coexisting)."""
+    box = {"ready": None}
+    ran = {"pump": 0, "probe": 0}
+
+    def pump():                      # makes progress: wakes the sleeper
+        ran["pump"] += 1
+        box["ready"] = kernel.clock.monotonic_ns
+        return True
+
+    def probe():                     # observes idleness, no progress
+        ran["probe"] += 1
+        return False
+
+    sched.add_idle_hook(probe)
+    sched.add_idle_hook(pump)
+    task = sched.spawn(
+        "sleeper", lambda: sched.park(horizon=lambda: box["ready"]))
+    assert sched.run_until(lambda: task.done) == "done"
+    assert ran["pump"] >= 1
+    assert ran["probe"] >= 1         # the first hook still ran
+
+
+def test_legacy_idle_hook_property_appends_and_clears(kernel, sched):
+    first, second = (lambda: False), (lambda: False)
+    sched.idle_hook = first
+    sched.idle_hook = second         # old clobbering API now chains
+    assert sched.idle_hooks == [first, second]
+    assert sched.idle_hook is first
+    sched.idle_hook = second         # re-assignment stays idempotent
+    assert sched.idle_hooks == [first, second]
+    sched.idle_hook = None
+    assert sched.idle_hooks == []
+    assert sched.idle_hook is None
+
+
+def test_remove_idle_hook(kernel, sched):
+    hook = lambda: False
+    sched.add_idle_hook(hook)
+    sched.remove_idle_hook(hook)
+    sched.remove_idle_hook(hook)     # removing twice is a no-op
+    assert sched.idle_hooks == []
+
+
+def test_apply_clock_skew_offsets_cores(kernel, sched):
+    base = [core.local_ns for core in sched.cores]
+    sched.apply_clock_skew([0, 5_000])
+    assert sched.cores[0].local_ns == base[0]
+    assert sched.cores[1].local_ns == base[1] + 5_000
+    with pytest.raises(ValueError):
+        sched.apply_clock_skew([-1, 0])

@@ -1,0 +1,70 @@
+"""CLI surface: swarm / shrink / replay subcommands and exit codes."""
+
+import json
+
+import pytest
+
+from repro.sim.cli import main
+
+MASTER = "cli-suite"
+
+
+def test_swarm_strict_passes_on_healthy_seed(tmp_path, capsys):
+    report = tmp_path / "report.json"
+    code = main(["swarm", "--seed", MASTER, "--count", "8",
+                 "--strict", "--json", str(report)])
+    assert code == 0
+    data = json.loads(report.read_text())
+    assert data["ok"] is True
+    assert sum(data["histogram"].values()) == 8
+    assert len(data["outcomes"]) == 8
+    out = capsys.readouterr().out
+    assert "8 scenario(s)" in out
+
+
+def test_swarm_expect_failure_fails_on_healthy_seed():
+    assert main(["swarm", "--seed", MASTER, "--count", "4",
+                 "--expect-failure"]) == 1
+
+
+def test_mutation_swarm_shrinks_and_capsule_replays(tmp_path, capsys):
+    capsule_path = tmp_path / "capsule.json"
+    report = tmp_path / "report.json"
+    code = main(["swarm", "--seed", "mut-ci", "--count", "20",
+                 "--mutate", "zero-read", "--shrink",
+                 "--expect-failure", "--capsule", str(capsule_path),
+                 "--json", str(report)])
+    assert code == 0
+    data = json.loads(report.read_text())
+    assert data["ok"] is False
+    assert data["capsule"]["kind"] == "sim-scenario"
+    assert capsule_path.exists()
+
+    capsys.readouterr()
+    assert main(["replay", str(capsule_path)]) == 0
+    assert "bit-identical" in capsys.readouterr().out
+
+    # tampering with the pinned digest must fail the replay gate
+    raw = json.loads(capsule_path.read_text())
+    raw["digest"] = "0" * 64
+    capsule_path.write_text(json.dumps(raw))
+    assert main(["replay", str(capsule_path)]) == 1
+
+
+def test_shrink_subcommand_on_healthy_scenario_exits_1(capsys):
+    code = main(["shrink", "--seed", MASTER, "--index", "0"])
+    assert code == 1
+    assert "does not fail" in capsys.readouterr().out
+
+
+def test_strict_gate_fails_on_mutation(tmp_path):
+    # the 20-scenario mut-ci slice contains at least one failure
+    code = main(["swarm", "--seed", "mut-ci", "--count", "20",
+                 "--mutate", "zero-read", "--strict"])
+    assert code == 1
+
+
+def test_unknown_mutation_rejected():
+    with pytest.raises(SystemExit):
+        main(["swarm", "--seed", MASTER, "--count", "1",
+              "--mutate", "rm-rf"])

@@ -1,0 +1,119 @@
+"""The scenario matrix is a pure function of the master seed.
+
+Seed stability is the foundation everything else (swarm, shrink,
+capsule replay) stands on: same master seed → byte-identical matrix;
+different seeds → different matrices; every scenario re-derivable from
+(master_seed, index) alone.
+"""
+
+import pytest
+
+from repro.kernel.faults import FaultSchedule
+from repro.sim import OK_CLASSES, Scenario, generate_matrix, \
+    generate_scenario, schedule_palette
+from repro.sim.scenario import CLASSES, WORKLOADS, SeedStream
+
+
+def test_same_seed_same_matrix():
+    a = [s.to_dict() for s in generate_matrix("alpha", 40)]
+    b = [s.to_dict() for s in generate_matrix("alpha", 40)]
+    assert a == b
+
+
+def test_different_seed_different_matrix():
+    a = [s.to_dict() for s in generate_matrix("alpha", 40)]
+    b = [s.to_dict() for s in generate_matrix("bravo", 40)]
+    assert a != b
+
+
+def test_slices_compose():
+    whole = generate_matrix("alpha", 20)
+    front = generate_matrix("alpha", 10)
+    back = generate_matrix("alpha", 10, start=10)
+    assert [s.to_dict() for s in whole] \
+        == [s.to_dict() for s in front + back]
+
+
+def test_scenario_roundtrips_through_dict():
+    for scenario in generate_matrix("roundtrip", 25):
+        again = Scenario.from_dict(scenario.to_dict())
+        assert again.to_dict() == scenario.to_dict()
+        assert again.seed == scenario.seed
+
+
+def test_matrix_covers_the_axes():
+    matrix = generate_matrix("coverage", 120)
+    workloads = {s.workload for s in matrix}
+    assert workloads == set(WORKLOADS)
+    assert any(s.schedule is None for s in matrix)
+    assert any(s.schedule is not None for s in matrix)
+    assert any(s.client_mode == "slowloris" for s in matrix)
+    assert any(s.client_mode == "chunked" for s in matrix)
+    assert any(s.partial_preludes for s in matrix)
+    assert any(s.attack == "cve" for s in matrix)
+    assert any(s.worker_kill for s in matrix)
+    assert any(s.clock_skew_ns for s in matrix)
+    assert any(s.recheck for s in matrix)
+
+
+def test_axis_constraints_hold():
+    for scenario in generate_matrix("constraints", 150):
+        if scenario.attack != "none":
+            assert scenario.smvx and scenario.protect
+        if scenario.worker_kill:
+            assert scenario.workload == "littled"
+            assert scenario.workers >= 2
+        if scenario.clock_skew_ns:
+            assert scenario.workload != "minx"
+        if scenario.client_mode == "chunked":
+            assert scenario.workload != "littled"
+            schedule = scenario.schedule_obj()
+            if schedule is not None:
+                assert not schedule.segment_bytes
+                assert not schedule.short_read_p
+                assert not schedule.eagain_p
+        schedule = scenario.schedule_obj()
+        if schedule is not None and schedule.backlog_cap is not None:
+            assert scenario.concurrency < schedule.backlog_cap
+            assert scenario.partial_preludes == 0
+
+
+def test_unknown_fields_rejected():
+    raw = generate_scenario("x", 0).to_dict()
+    raw["bogus_axis"] = 1
+    with pytest.raises(ValueError, match="bogus_axis"):
+        Scenario.from_dict(raw)
+
+
+def test_unknown_workload_and_mutation_rejected():
+    raw = generate_scenario("x", 0).to_dict()
+    raw["workload"] = "kubernetes"
+    with pytest.raises(ValueError, match="workload"):
+        Scenario.from_dict(raw)
+    raw = generate_scenario("x", 0).to_dict()
+    raw["mutation"] = "rm-rf"
+    with pytest.raises(ValueError, match="mutation"):
+        Scenario.from_dict(raw)
+
+
+def test_seedstream_is_deterministic_and_keyed():
+    def draws(index):
+        stream = SeedStream("s", index)
+        return [stream.draw() for _ in range(5)]
+
+    a, b, c = draws(3), draws(3), draws(4)
+    assert a == b
+    assert a != c
+    assert len(set(a)) == 5              # the counter advances
+    assert all(0.0 <= x < 1.0 for x in a)
+
+
+def test_palette_schedules_are_valid_and_named():
+    names = [s.name for s in schedule_palette()]
+    assert len(names) == len(set(names))
+    for schedule in schedule_palette():
+        FaultSchedule.from_dict(schedule.to_dict())
+
+
+def test_ok_classes_subset_of_classes():
+    assert OK_CLASSES < set(CLASSES)

@@ -1,0 +1,88 @@
+"""Oracle classification table, driven with synthetic raw runs."""
+
+from repro.sim.oracle import classify
+from repro.sim.runner import RawRun
+from repro.sim.scenario import Scenario
+
+
+def _scenario(**kw):
+    base = dict(index=0, master_seed="oracle", requests=3)
+    base.update(kw)
+    return Scenario(**base)
+
+
+def _raw(**kw):
+    base = dict(completed=3, failures=0, status_counts={200: 3})
+    base.update(kw)
+    return RawRun(**base)
+
+
+def test_clean_run():
+    klass, _ = classify(_scenario(), _raw())
+    assert klass == "clean"
+
+
+def test_crash_wins_over_everything():
+    raw = _raw(error="boom", error_kind="RuntimeError",
+               alarms=[{"kind": "X", "libc_name": "read"}])
+    klass, detail = classify(_scenario(), raw)
+    assert klass == "crash"
+    assert "RuntimeError" in detail
+
+
+def test_alarm_without_attack_is_unexpected():
+    raw = _raw(alarms=[{"kind": "RETVAL_MISMATCH",
+                        "libc_name": "read"}])
+    klass, detail = classify(_scenario(), raw)
+    assert klass == "unexpected-alarm"
+    assert "RETVAL_MISMATCH" in detail
+
+
+def test_detected_attack_is_expected_alarm():
+    raw = _raw(attack={"directory_created": False,
+                       "divergence_detected": True, "alarm_count": 1},
+               alarms=[{"kind": "RETVAL_MISMATCH",
+                        "libc_name": "read"}])
+    klass, _ = classify(_scenario(attack="cve"), raw)
+    assert klass == "expected-alarm"
+
+
+def test_landed_attack_is_conformance_failure():
+    raw = _raw(attack={"directory_created": True,
+                       "divergence_detected": False, "alarm_count": 0})
+    klass, detail = classify(_scenario(attack="cve"), raw)
+    assert klass == "conformance-failure"
+    assert "payload landed" in detail
+
+
+def test_neutered_attack_is_clean():
+    raw = _raw(attack={"directory_created": False,
+                       "divergence_detected": False, "alarm_count": 0})
+    klass, detail = classify(_scenario(attack="cve"), raw)
+    assert klass == "clean"
+    assert "neutered" in detail
+
+
+def test_missing_completions_are_conformance_failure():
+    klass, _ = classify(_scenario(), _raw(completed=2))
+    assert klass == "conformance-failure"
+    klass, _ = classify(_scenario(), _raw(failures=1))
+    assert klass == "conformance-failure"
+
+
+def test_non_200_status_is_conformance_failure():
+    raw = _raw(status_counts={200: 2, 400: 1})
+    klass, detail = classify(_scenario(), raw)
+    assert klass == "conformance-failure"
+    assert "400" in detail
+
+
+def test_worker_kill_tolerates_partial_completion():
+    scenario = _scenario(workload="littled", workers=3,
+                         worker_kill=True, smvx=False, protect=None)
+    klass, _ = classify(scenario, _raw(completed=1, failures=2,
+                                       status_counts={200: 1}))
+    assert klass == "clean"
+    klass, _ = classify(scenario, _raw(completed=0, failures=3,
+                                       status_counts={}))
+    assert klass == "conformance-failure"

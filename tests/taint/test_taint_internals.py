@@ -107,3 +107,25 @@ def test_first_divergent_on_truncated_trace():
     success = [(1, "main"), (2, "work")]
     failure = [(1, "main")]
     assert first_divergent_function(success, failure) == "main"
+
+
+def test_record_site_tolerates_only_missing_symbols(rig):
+    """Regression: _record_site used to swallow *every* exception; only
+    SymbolNotFound (HL-only frames with no load address) is benign."""
+    from types import SimpleNamespace
+
+    proc, engine = rig
+    proc.active_thread = SimpleNamespace(
+        func_stack=["hl_only_frame"])
+    try:
+        engine._record_site()            # no symbol: name still recorded
+        assert "hl_only_frame" in engine.site_names
+
+        real_resolve = proc.resolve
+        proc.resolve = lambda name: (_ for _ in ()).throw(
+            RuntimeError("broken resolver"))
+        with pytest.raises(RuntimeError, match="broken resolver"):
+            engine._record_site()        # real faults must surface
+        proc.resolve = real_resolve
+    finally:
+        proc.active_thread = None
