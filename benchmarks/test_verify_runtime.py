@@ -9,7 +9,9 @@ benchmark measures, per app:
 * **offline** — ``verify_image`` (CFG recovery + wrpkru scan +
   interception coverage + divergence lint) on the unloaded image;
 * **live** — ``verify_process`` on a booted, monitor-attached process
-  (adds the W^X walk, gate dataflow, pkey audit, GOT audit).
+  (adds the W^X walk, gate dataflow, pkey audit, GOT audit);
+* **scope** — ``compute_scope`` (interprocedural taint dataflow deriving
+  the selected-code-path set, see ``repro.analysis.scope``).
 
 Sanity bounds rather than paper numbers: each pass must finish within a
 generous wall-clock budget and report zero findings on the clean apps.
@@ -19,6 +21,7 @@ import json
 import os
 import time
 
+from repro.analysis.scope import compute_scope
 from repro.analysis.verify import _bundled_apps, _live_report, verify_image
 
 BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
@@ -27,6 +30,7 @@ BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
 #: generous per-pass wall-clock budgets (seconds)
 OFFLINE_BUDGET_S = 10.0
 LIVE_BUDGET_S = 60.0
+SCOPE_BUDGET_S = 10.0
 
 
 def _timed(fn):
@@ -39,7 +43,8 @@ def test_verifier_runtime_and_emit_json(table):
     registry = _bundled_apps()
     rows = []
     payload = {"budget_s": {"offline": OFFLINE_BUDGET_S,
-                            "live": LIVE_BUDGET_S},
+                            "live": LIVE_BUDGET_S,
+                            "scope": SCOPE_BUDGET_S},
                "apps": {}}
 
     for app in sorted(registry):
@@ -48,12 +53,15 @@ def test_verifier_runtime_and_emit_json(table):
         offline, offline_s = _timed(
             lambda: verify_image(image, roots=roots))
         live, live_s = _timed(lambda: _live_report(app, roots))
+        scope, scope_s = _timed(lambda: compute_scope(image))
 
         assert offline.ok and live.ok, f"{app} not clean"
         assert offline_s < OFFLINE_BUDGET_S, \
             f"{app}: offline verify took {offline_s:.2f}s"
         assert live_s < LIVE_BUDGET_S, \
             f"{app}: live verify took {live_s:.2f}s"
+        assert scope_s < SCOPE_BUDGET_S, \
+            f"{app}: scope derivation took {scope_s:.2f}s"
 
         functions = len([s for s in image.function_symbols()
                          if s.section == ".text"])
@@ -62,11 +70,15 @@ def test_verifier_runtime_and_emit_json(table):
             "checks": list(live.checks),
             "offline_ms": round(offline_s * 1e3, 2),
             "live_ms": round(live_s * 1e3, 2),
+            "scope_ms": round(scope_s * 1e3, 2),
+            "scope_selected": len(scope.selected),
+            "scope_root": scope.derived_root,
             "findings": len(live.findings),
             "divergence_surface": len(live.divergence_surface),
         }
         rows.append((app, functions, f"{offline_s * 1e3:,.1f} ms",
                      f"{live_s * 1e3:,.1f} ms",
+                     f"{scope_s * 1e3:,.1f} ms",
                      len(live.findings)))
 
     with open(BENCH_JSON, "w") as fh:
@@ -74,5 +86,5 @@ def test_verifier_runtime_and_emit_json(table):
         fh.write("\n")
 
     table("Static verifier runtime (offline image pass vs live audit)",
-          ("app", "functions", "offline", "live", "findings"),
+          ("app", "functions", "offline", "live", "scope", "findings"),
           rows)

@@ -1,10 +1,16 @@
 """Analysis tooling: call graphs, CFG recovery, perf-style profiling,
-pmap-style RSS, alias analysis, the ROP gadget scanner, and the static
+pmap-style RSS, alias analysis, the ROP gadget scanner, the static
 MPK-isolation / interception-coverage / divergence-surface verifier
-(``python -m repro.analysis.verify``)."""
+(``python -m repro.analysis.verify``), and the automatic
+selected-code-path derivation (``python -m repro.analysis scope``)."""
 
 from repro.analysis.callgraph import INDIRECT, CallGraph, build_callgraph
-from repro.analysis.alias import AliasAnalysis, analyze_image_pointers
+from repro.analysis.alias import (
+    AliasAnalysis,
+    PointerTable,
+    analyze_image_pointers,
+    resolve_indirect_sites,
+)
 from repro.analysis.cfg import (
     BasicBlock,
     FunctionCFG,
@@ -13,6 +19,13 @@ from repro.analysis.cfg import (
     recover_cfg,
 )
 from repro.analysis.findings import Finding, Severity, VerifyReport
+from repro.analysis.scope import (
+    FunctionScope,
+    ScopeReport,
+    TaintClass,
+    compute_scope,
+    derive_root,
+)
 from repro.analysis.perf import FunctionProfiler, FlameNode
 from repro.analysis.pkru import GatePolicy, analyze_gate, verify_monitor_image
 from repro.analysis.pmap import rss_kb, rss_report
@@ -44,22 +57,29 @@ __all__ = [
     "FlameNode",
     "FunctionCFG",
     "FunctionProfiler",
+    "FunctionScope",
     "Gadget",
     "GatePolicy",
     "INDIRECT",
+    "PointerTable",
+    "ScopeReport",
     "Severity",
+    "TaintClass",
     "VerifyReport",
     "analyze_gate",
     "analyze_image_pointers",
     "audit_live_space",
     "build_callgraph",
     "classify_gadget",
+    "compute_scope",
+    "derive_root",
     "explain_alarm",
     "find_gadgets",
     "function_cfg",
     "gadget_census",
     "image_cfgs",
     "recover_cfg",
+    "resolve_indirect_sites",
     "rss_kb",
     "rss_report",
     "verify_image",

@@ -5,6 +5,9 @@ Subcommands mirror the external tools the paper leans on:
 * ``callgraph`` — the r2pipe-style protected-subtree dump (Figure 2);
 * ``gadgets``   — the Ropper/ROPGadget-style census over a booted app;
 * ``pmap``      — the RSS breakdown used for Table 3;
+* ``scope``     — the automatic selected-code-path derivation (static
+  taint analysis; the libdft-ahead-of-time leg of the paper's
+  selection pipeline);
 * ``verify``    — the static MPK/interception/divergence verifier
   (equivalent to ``python -m repro.analysis.verify``).
 
@@ -95,6 +98,48 @@ def _cmd_pmap(app: str) -> int:
     return 0
 
 
+def _cmd_scope(app: str, as_json: bool, strict: bool) -> int:
+    """Run the automatic path-selection analysis on one bundled image.
+
+    ``--strict`` is the derivation-consistency gate CI runs: a non-empty
+    selection must produce a derived root whose subtree covers it, and
+    linting the image against its *own* derived root must raise no
+    SCOPE001 (missed tainted function) findings.
+    """
+    from repro.analysis.callgraph import build_callgraph
+    from repro.analysis.findings import VerifyReport
+    from repro.analysis.scope import compute_scope
+    from repro.analysis.verify import check_scope_selection
+    build, _default_roots = _bundled_apps()[app]
+    image = build()
+    scope = compute_scope(image)
+    print(scope.to_json() if as_json else scope.format())
+    if not strict:
+        return 0
+    problems = []
+    if scope.selected and scope.derived_root is None:
+        problems.append("non-empty selection but no covering "
+                        "annotated root could be derived")
+    if scope.derived_root is not None:
+        subtree = build_callgraph(image).subtree(scope.derived_root)
+        missed = scope.selected - subtree
+        if missed:
+            problems.append(f"derived root {scope.derived_root!r} does "
+                            f"not cover: {', '.join(sorted(missed))}")
+        lint = VerifyReport(target=image.name)
+        check_scope_selection(image, (scope.derived_root,), lint,
+                              scope_report=scope)
+        for finding in lint.by_code("SCOPE001"):
+            problems.append(f"self-lint: {finding.message}")
+    for problem in problems:
+        print(f"scope {app}: STRICT FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"scope {app}: consistent "
+              f"(root={scope.derived_root or '-'}, "
+              f"{len(scope.selected)} selected)")
+    return 1 if problems else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     parser = argparse.ArgumentParser(
@@ -114,6 +159,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_p = sub.add_parser("pmap", help="RSS breakdown of a booted app")
     p_p.add_argument("app", choices=apps)
 
+    p_s = sub.add_parser("scope",
+                         help="automatic selected-code-path derivation")
+    p_s.add_argument("apps", nargs="*",
+                     help="bundled apps (default: all)")
+    p_s.add_argument("--json", action="store_true")
+    p_s.add_argument("--strict", action="store_true",
+                     help="exit non-zero unless the derivation is "
+                          "self-consistent (CI gate)")
+
     sub.add_parser("verify", add_help=False,
                    help="static verifier (args forwarded)")
 
@@ -126,6 +180,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_callgraph(args.app, args.root)
     if args.command == "gadgets":
         return _cmd_gadgets(args.app, args.max_len)
+    if args.command == "scope":
+        names = args.apps or apps
+        exit_code = 0
+        for name in names:
+            if name not in apps:
+                print(f"unknown app {name!r}; bundled: "
+                      f"{', '.join(apps)}", file=sys.stderr)
+                return 2
+            exit_code = max(exit_code,
+                            _cmd_scope(name, args.json, args.strict))
+        return exit_code
     return _cmd_pmap(args.app)
 
 

@@ -17,8 +17,11 @@ Libc imports appear as ``name@plt`` leaf nodes, so the graph also answers
 "which libc functions can this subtree reach".
 
 Register- and memory-target branches (``CALL_R``/``JMP_R``/``JMP_M``)
-cannot be resolved statically; they are recorded as edges to the
-:data:`INDIRECT` pseudo-callee instead of being dropped, so consumers
+are resolved through the alias analysis where possible: a site the
+pointer-table propagation proof (:mod:`repro.analysis.alias`) pins to a
+static code-pointer table contributes concrete edges to that table's
+entries.  Anything the proof cannot pin down is recorded as an edge to
+the :data:`INDIRECT` pseudo-callee instead of being dropped, so consumers
 (the interception-coverage verifier in particular) can be *conservative*
 — "this subtree contains a crossing I could not resolve" — rather than
 silently unsound.
@@ -27,12 +30,12 @@ silently unsound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import SymbolNotFound
 from repro.loader.image import ProgramImage, Symbol
 from repro.machine.disasm import disassemble_bytes
-from repro.machine.isa import Op
+from repro.machine.isa import INSTR_SIZE, Op
 
 #: Pseudo-callee marking a statically unresolvable branch target
 #: (``CALL_R``/``JMP_R``/``JMP_M``) inside a function body.
@@ -93,18 +96,31 @@ class CallGraph:
                 if INDIRECT in self.edges.get(func, ())}
 
 
-def _isa_call_targets(image: ProgramImage, sym: Symbol) -> Set[str]:
-    """Disassemble one ISA function and resolve direct branch targets."""
+def _isa_call_targets(image: ProgramImage, sym: Symbol,
+                      site_targets: Mapping[int, Tuple[str, ...]] = {},
+                      ) -> Set[str]:
+    """Disassemble one ISA function and resolve direct branch targets.
+
+    ``site_targets`` carries the alias analysis's per-site proof for
+    indirect branches; a site it resolves contributes concrete edges, an
+    unproven site falls back to the :data:`INDIRECT` pseudo-callee.
+    """
     text = image.sections[".text"]
     body = text[sym.offset:sym.offset + sym.size]
     targets: Set[str] = set()
     for addr, instr in disassemble_bytes(body, base=sym.offset):
         if instr.op in _INDIRECT_OPS:
-            targets.add(INDIRECT)
+            resolved_names = site_targets.get(addr)
+            if resolved_names:
+                targets.update(name for name in resolved_names
+                               if name != sym.name)
+            else:
+                targets.add(INDIRECT)
             continue
         if instr.op not in (Op.CALL, Op.JMP):
             continue
-        target_offset = addr + 16 + instr.imm   # next-instruction relative
+        # next-instruction relative displacement
+        target_offset = addr + INSTR_SIZE + instr.imm
         resolved = _symbol_containing(image, target_offset)
         if resolved is not None and resolved.name != sym.name:
             targets.add(resolved.name)
@@ -138,7 +154,19 @@ def _symbol_containing(image: ProgramImage,
     return None
 
 
-def build_callgraph(image: ProgramImage) -> CallGraph:
+def build_callgraph(image: ProgramImage, alias=None) -> CallGraph:
+    """Build the call graph, narrowing indirect sites through ``alias``.
+
+    ``alias`` is an :class:`~repro.analysis.alias.AliasAnalysis` (computed
+    on demand when omitted); its pointer-table proof replaces
+    ``<indirect>`` edges with concrete ones wherever a register call's
+    target set is statically known, upgrading every downstream
+    conservative claim (interception coverage, subtree membership) to an
+    exact one at those sites.
+    """
+    if alias is None:
+        from repro.analysis.alias import analyze_image_pointers
+        alias = analyze_image_pointers(image)
     graph = CallGraph(image.name)
     hl_by_name = {hl.name: hl for hl in image.hl_functions}
     for sym in image.function_symbols():
@@ -157,7 +185,8 @@ def build_callgraph(image: ProgramImage) -> CallGraph:
                     resolved.add(callee)
             graph.edges[sym.name] = resolved
         else:
-            graph.edges[sym.name] = _isa_call_targets(image, sym)
+            graph.edges[sym.name] = _isa_call_targets(
+                image, sym, alias.indirect_targets.get(sym.name, {}))
     return graph
 
 

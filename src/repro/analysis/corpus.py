@@ -127,6 +127,59 @@ def _case_open_ret_trampoline() -> VerifyReport:
     return report
 
 
+def _under_selected_image() -> ProgramImage:
+    """The hand-picked root protects the parser but not the function
+    that actually reads from the socket — network input flows through
+    ``net_read`` *unreplicated* before reaching the protected subtree."""
+    builder = ImageBuilder("broken_under_selected")
+    builder.import_libc("recv", "write")
+    builder.add_hl_function("log_line", _noop, 0, calls=("write",))
+    builder.add_hl_function("parse", _noop, 1, calls=("log_line",))
+    builder.add_hl_function("net_read", _noop, 2,
+                            calls=("recv", "parse"))
+    builder.add_hl_function("app_main", _noop, 3, calls=("net_read",))
+    return builder.build()
+
+
+def _case_under_selected() -> VerifyReport:
+    from repro.analysis.verify import verify_image
+    # root "parse" covers {parse, log_line} but misses the statically
+    # tainted socket reader: the scope lint must flag the gap
+    return verify_image(_under_selected_image(), roots=("parse",),
+                        scope=True)
+
+
+def _tainted_indirect_image() -> ProgramImage:
+    """A tainted dispatcher calls through a register the alias proof
+    cannot pin down: the scope pass must widen conservatively (select
+    the address-taken set) and say so."""
+    builder = ImageBuilder("broken_tainted_indirect")
+    builder.import_libc("recv")
+    builder.add_hl_function("plugin_handle", _noop, 0)
+    dispatch = Assembler()
+    dispatch.load("rax", "rdi")   # handler pointer from caller's struct
+    dispatch.call_r("rax")        # no table LEA on any path: unresolved
+    dispatch.ret()
+    builder.add_isa_function("dispatch", dispatch)
+    builder.add_hl_function("recv_loop", _noop, 1,
+                            calls=("recv", "dispatch"))
+    builder.add_pointer_table("handlers", ("plugin_handle",))
+    return builder.build()
+
+
+def _case_tainted_indirect() -> VerifyReport:
+    from repro.analysis.scope import compute_scope
+    from repro.analysis.verify import verify_image
+    image = _tainted_indirect_image()
+    report = verify_image(image, roots=("recv_loop",), scope=True)
+    # the lint must also have *acted* on the widening: the address-taken
+    # plugin has to end up in the selected set, not just be warned about
+    if "plugin_handle" not in compute_scope(image).selected:
+        report.findings = [f for f in report.findings
+                           if f.code != "SCOPE003"]
+    return report
+
+
 # ---------------------------------------------------------------------------
 # live-space cases (each boots its own throwaway process)
 # ---------------------------------------------------------------------------
@@ -192,6 +245,15 @@ CORPUS: List[CorpusCase] = [
         "open-ret-trampoline",
         "monitor trampoline returns with the monitor key still open",
         {"PKRU004"}, _case_open_ret_trampoline),
+    CorpusCase(
+        "under-selected",
+        "hand-picked root misses the statically tainted socket reader",
+        {"SCOPE001"}, _case_under_selected),
+    CorpusCase(
+        "tainted-indirect",
+        "tainted dispatcher with an unresolvable indirect call "
+        "(conservative widening must select the address-taken set)",
+        {"SCOPE003"}, _case_tainted_indirect),
     CorpusCase(
         "wx-page",
         "a page mapped writable and executable",

@@ -28,8 +28,22 @@ WXOR001   page mapped writable *and* executable
 MPK001    monitor memory not tagged with the monitor's protection key
 MPK002    monitor text not execute-only (readable or writable)
 GOT001    target ``.got.plt`` writable after interposition
+SCOPE001  hand-picked protected set misses a statically tainted
+          function (network input reaches code outside MVX) — warning
+SCOPE002  protected subtree contains a provably clean function
+          (wasted MVX replication overhead) — warning
+SCOPE003  tainted function contains an indirect call the alias proof
+          could not resolve; the selection was widened conservatively
+          to the address-taken set — warning
 VER001    verification could not run as configured (bad root, …)
 ========  ========================================================
+
+The ``SCOPE`` family lints the *selection itself* against the automatic
+scope analysis (:mod:`repro.analysis.scope`).  It is opt-in
+(``verify_image(..., scope=True)`` / ``--scope``) because the bundled
+default roots intentionally differ from the derived set in documented
+ways; the scope CLI (``python -m repro.analysis scope``) and the corpus
+run it explicitly.
 
 Divergence-surface entries for sources the monitor *neutralizes* (the
 leader executes; the result is replayed to the follower) are reported in
@@ -218,11 +232,62 @@ def check_divergence_surface(image: ProgramImage,
                 report.divergence_surface.append(entry)
 
 
+def check_scope_selection(image: ProgramImage,
+                          roots: Sequence[str],
+                          report: VerifyReport,
+                          scope_report=None) -> None:
+    """Lint the (hand-picked) protected set against the automatic scope
+    analysis: flag statically tainted functions the selection misses
+    (SCOPE001 — network input reaches unreplicated code), provably clean
+    functions it includes (SCOPE002 — pure MVX overhead), and sites where
+    the static selection itself had to widen conservatively (SCOPE003)."""
+    from repro.analysis.scope import TaintClass, compute_scope
+    report.ran("scope-selection")
+    if scope_report is None:
+        scope_report = compute_scope(image)
+    graph = build_callgraph(image)
+    covered: Set[str] = set()
+    for root in roots:
+        try:
+            covered |= graph.subtree(root)
+        except SymbolNotFound:
+            report.add("VER001", Severity.ERROR,
+                       f"protected root {root!r} is not a defined "
+                       f"function of the image", image=image.name,
+                       symbol=root)
+    for name in sorted(scope_report.selected - covered):
+        scope = scope_report.functions[name]
+        path = " -> ".join(scope.evidence) or scope.reason
+        report.add("SCOPE001", Severity.WARNING,
+                   f"statically tainted function {name!r} is outside "
+                   f"the protected set (roots "
+                   f"{', '.join(map(repr, roots)) or 'none'}): network "
+                   f"input reaches it unreplicated [{path}]",
+                   image=image.name, symbol=name)
+    for name in sorted(covered):
+        if scope_report.classification(name) is TaintClass.CLEAN:
+            report.add("SCOPE002", Severity.WARNING,
+                       f"protected set includes {name!r}, which the "
+                       f"scope analysis proves clean: replicating it is "
+                       f"pure MVX overhead "
+                       f"[{scope_report.functions[name].reason}]",
+                       image=image.name, symbol=name)
+    for func, detail in scope_report.conservative_sites:
+        report.add("SCOPE003", Severity.WARNING,
+                   f"tainted function {func!r}: {detail}",
+                   image=image.name, symbol=func)
+
+
 def verify_image(image: ProgramImage,
                  roots: Sequence[str] = (),
                  intercepted: Optional[Set[str]] = None,
-                 report: Optional[VerifyReport] = None) -> VerifyReport:
-    """Offline verification of one application image."""
+                 report: Optional[VerifyReport] = None,
+                 scope: bool = False) -> VerifyReport:
+    """Offline verification of one application image.
+
+    ``scope=True`` additionally lints the selection against the
+    automatic scope analysis (SCOPE00x; opt-in — see module docstring).
+    """
     if report is None:
         report = VerifyReport(target=image.name)
     if intercepted is None:
@@ -232,6 +297,8 @@ def verify_image(image: ProgramImage,
     if roots:
         check_interception_coverage(image, roots, intercepted, report)
         check_divergence_surface(image, roots, intercepted, report)
+    if scope:
+        check_scope_selection(image, roots, report)
     return report
 
 
@@ -471,6 +538,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="override the protected root(s)")
     parser.add_argument("--json", action="store_true",
                         help="emit one JSON report per target")
+    parser.add_argument("--scope", action="store_true",
+                        help="also lint the protected set against the "
+                             "automatic scope analysis (SCOPE00x)")
     parser.add_argument("--strict-warnings", action="store_true",
                         help="exit non-zero on warnings as well")
     parser.add_argument("--corpus", action="store_true",
@@ -508,7 +578,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = _live_report(name, roots)
             report.target = name
         else:
-            report = verify_image(build(), roots=roots)
+            report = verify_image(build(), roots=roots, scope=args.scope)
         print(report.to_json() if args.json else report.format())
         bad = not report.ok or (args.strict_warnings and report.warnings)
         if bad:

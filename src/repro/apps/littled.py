@@ -474,7 +474,8 @@ class LittledWorker:
                 self.process, self.loaded, alarm_log=server.alarms,
                 reuse_variants=config["reuse_variants"],
                 variant_strategy=config["variant_strategy"],
-                strict_verify=config["strict_verify"])
+                strict_verify=config["strict_verify"],
+                auto_scope=config.get("auto_scope", False))
         #: the scheduler task driving this worker (set by ``start()``).
         self.task = None
 
@@ -509,6 +510,7 @@ class LittledServer:
                  name: str = "littled", reuse_variants: bool = False,
                  variant_strategy: str = "shift",
                  strict_verify: bool = False,
+                 auto_scope: bool = False,
                  workers: int = 0, cores: Optional[int] = None,
                  quantum_ns: Optional[float] = None):
         from repro.core import AlarmLog, attach_smvx, build_smvx_stub_image
@@ -527,6 +529,7 @@ class LittledServer:
             "bss_kb": bss_kb, "reuse_variants": reuse_variants,
             "variant_strategy": variant_strategy,
             "strict_verify": strict_verify,
+            "auto_scope": auto_scope,
         }
 
         if self.workers_n:
@@ -561,7 +564,8 @@ class LittledServer:
                                        alarm_log=self.alarms,
                                        reuse_variants=reuse_variants,
                                        variant_strategy=variant_strategy,
-                                       strict_verify=strict_verify)
+                                       strict_verify=strict_verify,
+                                       auto_scope=auto_scope)
 
     def start(self) -> int:
         if not self.workers_n:

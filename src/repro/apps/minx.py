@@ -725,7 +725,8 @@ class MinxServer:
                  heap_pages: int = 256, bss_kb: int = 110,
                  name: str = "minx", reuse_variants: bool = False,
                  variant_strategy: str = "shift",
-                 strict_verify: bool = False):
+                 strict_verify: bool = False,
+                 auto_scope: bool = False):
         from repro.core import AlarmLog, attach_smvx, build_smvx_stub_image
         from repro.libc import build_libc_image
 
@@ -747,7 +748,8 @@ class MinxServer:
                                        alarm_log=self.alarms,
                                        reuse_variants=reuse_variants,
                                        variant_strategy=variant_strategy,
-                                       strict_verify=strict_verify)
+                                       strict_verify=strict_verify,
+                                       auto_scope=auto_scope)
 
     def start(self) -> int:
         return self.process.call_function("minx_main", self.port)

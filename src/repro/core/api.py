@@ -62,7 +62,8 @@ def attach_smvx(process: GuestProcess, target: LoadedImage,
                 alias_info=None,
                 reuse_variants: bool = False,
                 variant_strategy: str = "shift",
-                strict_verify: bool = False) -> SmvxMonitor:
+                strict_verify: bool = False,
+                auto_scope: bool = False) -> SmvxMonitor:
     """Preload the sMVX monitor into ``process`` (the LD_PRELOAD step).
 
     Must run after the target image is loaded (the monitor patches its
@@ -72,13 +73,37 @@ def attach_smvx(process: GuestProcess, target: LoadedImage,
     ``strict_verify`` runs the static verifier (``repro.analysis.verify``)
     over the live space at the end of setup and fails closed on any
     ERROR-severity finding.
+
+    ``auto_scope`` *derives* the protected set instead of trusting the
+    hand-picked one: the static taint analysis
+    (:func:`repro.analysis.scope.compute_scope`) selects the code paths
+    network input can reach, and ``process.app_config["protect"]`` is
+    overwritten with the derived root (or ``None`` when nothing is
+    tainted — the app then runs unprotected, which is the correct
+    selection for compute-only workloads).  Fails closed with
+    :class:`MvxSetupError` when something *is* tainted but no annotated
+    ``mvx_start`` region covers it.
     """
     if target is None:
         raise MvxSetupError("no target image to protect")
+    scope_report = None
+    if auto_scope:
+        from repro.analysis.scope import compute_scope
+        scope_report = compute_scope(target.image)
+        if scope_report.selected and scope_report.derived_root is None:
+            raise MvxSetupError(
+                f"auto_scope: {len(scope_report.selected)} function(s) "
+                f"are statically tainted but no annotated mvx_start "
+                f"region covers them (candidates: "
+                f"{', '.join(scope_report.root_candidates) or 'none'})")
+        config = dict(getattr(process, "app_config", None) or {})
+        config["protect"] = scope_report.derived_root
+        process.app_config = config
     monitor = SmvxMonitor(process, alarm_log=alarm_log,
                           alias_info=alias_info,
                           reuse_variants=reuse_variants,
                           variant_strategy=variant_strategy,
-                          strict_verify=strict_verify)
+                          strict_verify=strict_verify,
+                          scope_report=scope_report)
     monitor.setup(target, profile_path=profile_path)
     return monitor

@@ -99,10 +99,15 @@ class SmvxMonitor:
                  alarm_log: Optional[AlarmLog] = None,
                  alias_info=None, reuse_variants: bool = False,
                  variant_strategy: str = "shift",
-                 strict_verify: bool = False):
+                 strict_verify: bool = False,
+                 scope_report=None):
         if variant_strategy not in ("shift", "aligned"):
             raise MvxSetupError(
                 f"unknown variant strategy {variant_strategy!r}")
+        #: the static ScopeReport that derived the protected set, when
+        #: bring-up used ``attach_smvx(auto_scope=True)`` (None for a
+        #: hand-picked set); kept for explain_alarm-style tooling.
+        self.scope_report = scope_report
         #: fail-closed bring-up: run the static verifier over the live
         #: space at the end of setup() and refuse to serve on any ERROR.
         self.strict_verify = strict_verify

@@ -10,13 +10,21 @@
   execution traces of a successful vs failed login.
 """
 
-from repro.taint.engine import TaintEngine
-from repro.taint.report import TaintReport, functions_from_sites
+from repro.taint.engine import SiteRecord, TaintEngine
+from repro.taint.report import (
+    DynamicSite,
+    TaintReport,
+    diff_against_static,
+    functions_from_sites,
+)
 from repro.taint.authdiff import first_divergent_function, trace_diff
 
 __all__ = [
+    "DynamicSite",
+    "SiteRecord",
     "TaintEngine",
     "TaintReport",
+    "diff_against_static",
     "first_divergent_function",
     "functions_from_sites",
     "trace_diff",

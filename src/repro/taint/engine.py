@@ -21,7 +21,8 @@ known under-approximation shared with real DTA and noted in DESIGN.md.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Set, Tuple
 
 from repro.errors import SymbolNotFound
 from repro.process.process import GuestProcess
@@ -30,6 +31,27 @@ from repro.process.process import GuestProcess
 _RECENT_WINDOW = 48
 #: ignore giant buffers in substring matching (cost guard)
 _MAX_MATCH_LEN = 16384
+#: a tainted read must be at least this long to count as "embedded" in a
+#: longer write (concatenation propagation).  1–3 byte reads alias far
+#: too easily — a single tainted space or NUL byte otherwise re-taints
+#: any kernel-written struct that happens to contain that byte value.
+_MIN_EMBED_LEN = 4
+
+
+@dataclass(frozen=True)
+class SiteRecord:
+    """First observation of one guest function touching tainted bytes.
+
+    Carries the *virtual time* of the first access and the function's
+    entry address (None for HL-only frames with no load address), so a
+    dynamic site can be matched 1:1 against a static
+    :class:`~repro.analysis.scope.ScopeReport` entry and ordered on the
+    taint-propagation timeline by ``explain_alarm``-style tooling.
+    """
+
+    function: str
+    entry: Optional[int]
+    first_seen_ns: int
 
 
 class TaintEngine:
@@ -43,6 +65,8 @@ class TaintEngine:
         #: function names observed touching taint (resolved eagerly too,
         #: since sites are function entries in the hybrid model)
         self.site_names: Set[str] = set()
+        #: first-seen record per observed function, keyed by name
+        self.site_records: Dict[str, SiteRecord] = {}
         self._recent: Deque[Tuple[bytes, Tuple[bool, ...]]] = deque(
             maxlen=_RECENT_WINDOW)
         self._attached = False
@@ -111,6 +135,8 @@ class TaintEngine:
             else:
                 # a tainted read is embedded in the written bytes
                 # (concatenation: e.g. a header built around the URI)
+                if len(data) < _MIN_EMBED_LEN:
+                    continue
                 start = value.find(data)
                 if start >= 0 and any(mask):
                     for i, bit in enumerate(mask):
@@ -126,13 +152,18 @@ class TaintEngine:
             return
         name = thread.func_stack[-1]
         self.site_names.add(name)
+        entry: Optional[int] = None
         try:
-            self.access_sites.add(self.process.resolve(name))
+            entry = self.process.resolve(name)
+            self.access_sites.add(entry)
         except SymbolNotFound:
             # HL-only frames (synthetic function names with no load
             # address) legitimately have no symbol; the name set above
             # still records the access.  Anything else must surface.
             pass
+        if name not in self.site_records:
+            self.site_records[name] = SiteRecord(
+                name, entry, self.process.counter.total_ns)
 
     # -- queries ------------------------------------------------------------------------
 

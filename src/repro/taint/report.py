@@ -11,11 +11,28 @@ Reproduces the paper's two-stage post-processing (Figure 3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Set
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Set, Tuple
 
 from repro.loader.loader import LoadedImage
-from repro.taint.engine import TaintEngine
+from repro.taint.engine import SiteRecord, TaintEngine
+
+
+@dataclass(frozen=True)
+class DynamicSite:
+    """One dynamically observed tainted-access site, match-ready.
+
+    Mirrors a static ``ScopeReport`` entry 1:1 — same function-name key —
+    plus the two dynamic-only facts the engine records: the *virtual
+    time* the taint first reached the function and the function's entry
+    address.  ``statically_selected`` is filled in by
+    :func:`diff_against_static`.
+    """
+
+    function: str
+    entry: Optional[int]
+    first_seen_ns: int
+    statically_selected: Optional[bool] = None
 
 
 @dataclass
@@ -26,6 +43,8 @@ class TaintReport:
     sensitive_functions: Set[str] = field(default_factory=set)
     raw_site_count: int = 0
     tainted_bytes: int = 0
+    #: one entry per sensitive function, ordered by first-seen time
+    sites: Tuple[DynamicSite, ...] = ()
 
     @property
     def count(self) -> int:
@@ -34,6 +53,15 @@ class TaintReport:
     def dump_function_names(self) -> str:
         lines = [f"# sensitive-function candidates for {self.target}"]
         lines += sorted(self.sensitive_functions)
+        return "\n".join(lines) + "\n"
+
+    def timeline(self) -> str:
+        """First-seen propagation order (explain_alarm companion)."""
+        lines = [f"# taint propagation timeline for {self.target}"]
+        for site in self.sites:
+            entry = f"{site.entry:#x}" if site.entry is not None else "-"
+            lines.append(f"{site.first_seen_ns:>12d}ns  {entry:>10}  "
+                         f"{site.function}")
         return "\n".join(lines) + "\n"
 
 
@@ -51,10 +79,37 @@ def functions_from_sites(sites, target: LoadedImage) -> Set[str]:
 
 
 def build_report(engine: TaintEngine, target: LoadedImage) -> TaintReport:
+    sensitive = functions_from_sites(engine.access_sites, target)
+    records: List[SiteRecord] = [
+        record for name, record in engine.site_records.items()
+        if name in sensitive]
+    records.sort(key=lambda record: (record.first_seen_ns,
+                                     record.function))
     return TaintReport(
         target=target.image.name,
-        sensitive_functions=functions_from_sites(engine.access_sites,
-                                                 target),
+        sensitive_functions=sensitive,
         raw_site_count=len(engine.access_sites),
         tainted_bytes=engine.tainted_count(),
+        sites=tuple(DynamicSite(record.function, record.entry,
+                                record.first_seen_ns)
+                    for record in records),
     )
+
+
+def diff_against_static(report: TaintReport,
+                        scope_report) -> Tuple[Tuple[DynamicSite, ...],
+                                               Tuple[str, ...]]:
+    """Match dynamic sites 1:1 against a static ``ScopeReport``.
+
+    Returns ``(sites, missed)``: every dynamic site with its
+    ``statically_selected`` verdict filled in, and the names the static
+    selection *missed* — the differential soundness gate requires
+    ``missed`` to be empty (dynamic ⊆ static) for every covered workload.
+    """
+    selected = set(scope_report.selected)
+    sites = tuple(replace(site, statically_selected=site.function
+                          in selected)
+                  for site in report.sites)
+    missed = tuple(sorted(site.function for site in sites
+                          if not site.statically_selected))
+    return sites, missed

@@ -1,0 +1,367 @@
+"""Unit tests for the automatic selected-code-path derivation
+(`repro.analysis.scope`) and the pointer-table indirect-call resolution
+feeding it (`repro.analysis.alias` → `repro.analysis.callgraph`)."""
+
+import pytest
+
+from repro.analysis.alias import analyze_image_pointers
+from repro.analysis.callgraph import INDIRECT, build_callgraph
+from repro.analysis.findings import VerifyReport
+from repro.analysis.scope import (
+    NETWORK_INPUT_LIBC,
+    TaintClass,
+    compute_scope,
+)
+from repro.analysis.verify import check_scope_selection, verify_image
+from repro.apps.littled import build_littled_image
+from repro.apps.minx import build_minx_image
+from repro.apps.nbench.workloads import build_nbench_image
+from repro.errors import MvxSetupError
+from repro.loader.image import ImageBuilder
+from repro.machine.asm import Assembler
+
+
+def _noop(ctx):
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# alias: pointer tables and indirect-site resolution
+# ---------------------------------------------------------------------------
+
+def test_bundled_pointer_tables_collected():
+    alias = analyze_image_pointers(build_minx_image())
+    table = alias.pointer_tables["minx_phase_handlers"]
+    assert table.targets == (
+        "minx_http_process_request_line",
+        "minx_http_process_request_headers",
+        "minx_http_handler",
+        "minx_http_header_filter",
+        "minx_http_log_access")
+    assert table.all_functions
+    assert table.target_at(16) == "minx_http_handler"
+    assert table.target_at(17) is None          # unaligned
+    assert "minx_http_handler" in alias.address_taken
+
+
+def _table_dispatch_image(indexed: bool):
+    """An ISA dispatcher calling through a static pointer table: either
+    a fixed slot (exactly one possible target) or a runtime index
+    (resolves to the whole table)."""
+    builder = ImageBuilder("table_dispatch")
+    builder.add_hl_function("op_a", _noop, 0)
+    builder.add_hl_function("op_b", _noop, 0)
+    asm = Assembler()
+    asm.lea("rbx", "handlers")
+    if indexed:
+        asm.shl_ri("rdi", 3)        # runtime index -> byte offset
+        asm.add_rr("rbx", "rdi")
+        asm.load("rax", "rbx")
+    else:
+        asm.load("rax", "rbx", 8)   # second slot, statically known
+    asm.call_r("rax")
+    asm.ret()
+    builder.add_isa_function("dispatch", asm)
+    builder.add_hl_function("app_main", _noop, 1, calls=("dispatch",))
+    builder.add_pointer_table("handlers", ("op_a", "op_b"))
+    return builder.build()
+
+
+def test_fixed_slot_indirect_call_resolves_to_one_target():
+    image = _table_dispatch_image(indexed=False)
+    alias = analyze_image_pointers(image)
+    assert list(alias.indirect_targets["dispatch"].values()) == [("op_b",)]
+    graph = build_callgraph(image, alias)
+    assert graph.callees("dispatch") == {"op_b"}
+    assert INDIRECT not in graph.callees("dispatch")
+
+
+def test_runtime_indexed_call_resolves_to_whole_table():
+    image = _table_dispatch_image(indexed=True)
+    graph = build_callgraph(image)
+    assert graph.callees("dispatch") == {"op_a", "op_b"}
+
+
+def test_resolved_indirect_site_upgrades_icov_warning():
+    """A table-resolved dispatcher no longer trips the conservative
+    ICOV002 warning (the bare-register case in test_verify.py still
+    does)."""
+    image = _table_dispatch_image(indexed=True)
+    report = verify_image(image, roots=("app_main",))
+    assert not report.by_code("ICOV002")
+    assert build_callgraph(image).indirect_sites("app_main") == set()
+
+
+def test_unresolvable_register_call_stays_conservative():
+    builder = ImageBuilder("bare_dispatch")
+    asm = Assembler()
+    asm.load("rax", "rdi")          # pointer from caller: no table fact
+    asm.call_r("rax")
+    asm.ret()
+    builder.add_isa_function("dispatch", asm)
+    builder.add_hl_function("app_main", _noop, 0, calls=("dispatch",))
+    image = builder.build()
+    graph = build_callgraph(image)
+    assert INDIRECT in graph.callees("dispatch")
+    assert graph.indirect_sites("app_main") == {"dispatch"}
+
+
+# ---------------------------------------------------------------------------
+# scope: bundled-image classification
+# ---------------------------------------------------------------------------
+
+MINX_EXPECTED_SELECTED = {
+    "minx_http_wait_request_handler", "minx_http_process_request_line",
+    "minx_http_process_request_headers", "minx_http_handler",
+    "minx_http_auth_basic", "minx_http_admin_page",
+    "minx_http_static_handler", "minx_http_not_modified",
+    "minx_http_header_filter", "minx_http_special_response",
+    "minx_http_finalize_request", "minx_http_log_access",
+    "minx_http_close_connection", "minx_http_parse_chunked",
+    "minx_http_read_discarded_request_body",
+}
+
+
+def test_minx_scope_selection():
+    scope = compute_scope(build_minx_image())
+    assert scope.selected == MINX_EXPECTED_SELECTED
+    assert set(scope.sources) == {
+        ("minx_http_wait_request_handler", "recv"),
+        ("minx_http_read_discarded_request_body", "recv")}
+    assert scope.derived_root == "minx_http_wait_request_handler"
+    # the event loop may observe tainted returns: unknown, not clean
+    assert scope.classification("minx_process_events_and_timers") \
+        is TaintClass.UNKNOWN
+    assert scope.classification("minx_pump") is TaintClass.UNKNOWN
+    # accept/boot/counter helpers are provably outside every flow
+    for name in ("minx_main", "minx_event_accept", "minx_served_count",
+                 "minx_ctx_restore"):
+        assert scope.classification(name) is TaintClass.CLEAN, name
+
+
+def test_minx_evidence_paths_start_at_a_source():
+    scope = compute_scope(build_minx_image())
+    for name in scope.selected:
+        evidence = scope.functions[name].evidence
+        assert evidence[0] in {f"{n}@plt" for n in NETWORK_INPUT_LIBC}
+        assert evidence[-1] == name
+
+
+def test_littled_scope_selection():
+    scope = compute_scope(build_littled_image())
+    assert scope.derived_root == "server_main_loop"
+    assert len(scope.selected) == 8
+    assert "littled_connection_handle" in scope.selected
+    assert "littled_http_request_parse" in scope.selected
+    assert scope.classification("littled_connection_accept") \
+        is TaintClass.CLEAN
+    assert scope.classification("server_main_loop") is TaintClass.UNKNOWN
+
+
+def test_nbench_scope_empty():
+    scope = compute_scope(build_nbench_image())
+    assert scope.selected == frozenset()
+    assert scope.derived_root is None
+    assert not scope.sources
+    assert all(fs.classification is TaintClass.CLEAN
+               for fs in scope.functions.values())
+
+
+def test_scope_report_serializes():
+    scope = compute_scope(build_minx_image())
+    payload = scope.to_dict()
+    assert payload["derived_root"] == "minx_http_wait_request_handler"
+    assert set(payload["selected"]) == MINX_EXPECTED_SELECTED
+    assert "minx_http_wait_request_handler" in scope.to_json()
+    assert "TAINTED" in scope.format()
+
+
+# ---------------------------------------------------------------------------
+# scope: ISA dataflow (slots, purity, conservative widening)
+# ---------------------------------------------------------------------------
+
+def test_tainted_slot_flows_between_functions():
+    """A tainted ISA writer stores to a statically known .data slot; a
+    function with no call-graph connection loads that slot and must be
+    selected too (the memory leg of the interprocedural fixpoint)."""
+    builder = ImageBuilder("slot_flow")
+    builder.import_libc("recv")
+    builder.add_data("shared_state", b"\x00" * 16)
+
+    writer = Assembler()
+    writer.load("rax", "rdi")       # tainted in a tainted activation
+    writer.lea("rbx", "shared_state")
+    writer.store("rbx", "rax")
+    writer.ret()
+    builder.add_isa_function("stash", writer)
+
+    reader = Assembler()
+    reader.lea("rbx", "shared_state")
+    reader.load("rax", "rbx")
+    reader.ret()
+    builder.add_isa_function("poll_state", reader)
+
+    builder.add_hl_function("net_read", _noop, 1,
+                            calls=("recv", "stash"))
+    builder.add_hl_function("app_main", _noop, 0,
+                            calls=("net_read", "poll_state"))
+    scope = compute_scope(builder.build())
+    assert "stash" in scope.selected
+    assert "poll_state" in scope.selected
+    assert scope.tainted_slots
+    evidence = scope.functions["poll_state"].evidence
+    assert any(step.startswith("slot@") for step in evidence)
+
+
+def test_pure_register_callee_proven_clean():
+    """A callee that computes purely in registers cannot observe tainted
+    bytes even when called from tainted code: the refinement keeps it
+    out of the selection."""
+    builder = ImageBuilder("pure_callee")
+    builder.import_libc("recv")
+    pure = Assembler()
+    pure.mov_ri("rax", 40)
+    pure.add_ri("rax", 2)
+    pure.ret()
+    builder.add_isa_function("const42", pure)
+    builder.add_hl_function("net_read", _noop, 1,
+                            calls=("recv", "const42"))
+    scope = compute_scope(builder.build())
+    assert "net_read" in scope.selected
+    assert scope.classification("const42") is TaintClass.CLEAN
+
+
+def test_unresolved_indirect_in_tainted_code_widens():
+    builder = ImageBuilder("widen")
+    builder.import_libc("recv")
+    builder.add_hl_function("plugin", _noop, 0)
+    dispatch = Assembler()
+    dispatch.load("rax", "rdi")
+    dispatch.call_r("rax")
+    dispatch.ret()
+    builder.add_isa_function("dispatch", dispatch)
+    builder.add_hl_function("net_read", _noop, 1,
+                            calls=("recv", "dispatch"))
+    builder.add_pointer_table("handlers", ("plugin",))
+    scope = compute_scope(builder.build())
+    assert "dispatch" in scope.selected
+    assert "plugin" in scope.selected            # conservatively widened
+    assert scope.conservative_sites
+    assert scope.conservative_sites[0][0] == "dispatch"
+
+
+# ---------------------------------------------------------------------------
+# SCOPE00x verifier family
+# ---------------------------------------------------------------------------
+
+def test_scope_lint_flags_under_selection():
+    report = verify_image(build_minx_image(),
+                          roots=("minx_http_process_request_line",),
+                          scope=True)
+    flagged = {f.symbol for f in report.by_code("SCOPE001")}
+    # the request-line subtree misses the socket-reading entry function
+    # and the finalize/log/close tail of the tainted request lifecycle
+    assert flagged == {"minx_http_wait_request_handler",
+                       "minx_http_finalize_request",
+                       "minx_http_log_access",
+                       "minx_http_close_connection"}
+    assert report.ok                             # warnings, not errors
+
+
+def test_scope_lint_flags_wasted_overhead():
+    """Protecting the whole event loop replicates provably clean
+    functions (SCOPE002) while missing nothing reachable from it."""
+    report = verify_image(build_minx_image(),
+                          roots=("minx_process_events_and_timers",),
+                          scope=True)
+    wasted = {f.symbol for f in report.by_code("SCOPE002")}
+    assert wasted == {"minx_event_accept"}
+
+
+def test_scope_lint_clean_when_root_matches_derivation():
+    scope = compute_scope(build_minx_image())
+    report = VerifyReport(target="minx")
+    check_scope_selection(build_minx_image(), (scope.derived_root,),
+                          report, scope_report=scope)
+    assert not report.by_code("SCOPE001")
+
+
+def test_scope_lint_off_by_default():
+    report = verify_image(build_minx_image(),
+                          roots=("minx_http_process_request_line",))
+    assert not report.by_code("SCOPE001")
+    assert not report.by_code("SCOPE002")
+
+
+# ---------------------------------------------------------------------------
+# auto-scope bring-up
+# ---------------------------------------------------------------------------
+
+def test_attach_smvx_auto_scope_minx():
+    from repro.apps.minx import MinxServer
+    from repro.kernel import Kernel
+    server = MinxServer(Kernel(), smvx=True, auto_scope=True)
+    assert server.process.app_config["protect"] \
+        == "minx_http_wait_request_handler"
+    assert server.monitor.scope_report is not None
+    assert server.monitor.scope_report.derived_root \
+        == "minx_http_wait_request_handler"
+
+
+def test_attach_smvx_auto_scope_overrides_hand_picked():
+    from repro.apps.minx import MinxServer
+    from repro.kernel import Kernel
+    server = MinxServer(Kernel(), protect="minx_http_log_access",
+                        smvx=True, auto_scope=True)
+    assert server.process.app_config["protect"] \
+        == "minx_http_wait_request_handler"
+
+
+def test_attach_smvx_auto_scope_fails_closed_without_annotation():
+    """Tainted code but no mvx_start region covering it: refuse to boot
+    rather than silently serve unprotected."""
+    from repro.core import attach_smvx, build_smvx_stub_image
+    from repro.kernel import Kernel
+    from repro.libc import build_libc_image
+    from repro.process import GuestProcess
+
+    builder = ImageBuilder("unannotated")
+    builder.import_libc("recv")
+    builder.add_hl_function("net_read", _noop, 1, calls=("recv",))
+    builder.add_hl_function("app_main", _noop, 0, calls=("net_read",))
+    image = builder.build()
+    assert compute_scope(image).derived_root is None
+
+    process = GuestProcess(Kernel(), "unannotated", heap_pages=16)
+    process.load_image(build_libc_image(), tag="libc")
+    process.load_image(build_smvx_stub_image(), tag="libsmvx")
+    loaded = process.load_image(image, main=True)
+    with pytest.raises(MvxSetupError, match="auto_scope"):
+        attach_smvx(process, loaded, auto_scope=True)
+
+
+def test_attach_smvx_auto_scope_nbench_selects_nothing():
+    """Compute-only workload: the derived selection is empty, protect
+    stays None, and the app runs unreplicated (the correct choice)."""
+    from repro.apps.nbench import (
+        build_nbench_image,
+        provision_nbench_files,
+    )
+    from repro.core import attach_smvx, build_smvx_stub_image
+    from repro.kernel import Kernel
+    from repro.libc import build_libc_image
+    from repro.process import GuestProcess
+    from repro.process.context import to_signed
+
+    kernel = Kernel()
+    provision_nbench_files(kernel.vfs)
+    process = GuestProcess(kernel, "nbench", heap_pages=128)
+    process.load_image(build_libc_image(), tag="libc")
+    process.load_image(build_smvx_stub_image(), tag="libsmvx")
+    loaded = process.load_image(build_nbench_image(), main=True)
+    process.app_config = {"protect": "nb_numeric_sort"}
+    monitor = attach_smvx(process, loaded, auto_scope=True)
+    assert process.app_config["protect"] is None
+    assert monitor.scope_report.selected == frozenset()
+    assert to_signed(process.call_function("nb_main", 0)) != 0
+    assert monitor.stats.regions_entered == 0
