@@ -77,9 +77,20 @@ def itoa(value: int) -> bytes:
 
 def header_value(ctx: GuestContext, buf: int, length: int,
                  name: bytes) -> Optional[bytes]:
-    """Find a header's value (case-insensitive name match)."""
+    """Find a header's value (case-insensitive name match).
+
+    The search is bounded to the header block — everything before the
+    first blank line.  A request body (or a pipelined follow-up request)
+    may legally contain header-shaped bytes like ``\\r\\nConnection:
+    close``; matching those would let a POST body flip connection state.
+    """
     data = ctx.read(buf, length)
     ctx.charge(max(1, length // 8))
+    head_end = data.find(b"\r\n\r\n")
+    if head_end >= 0:
+        # keep the CRLF that terminates the last header line so its
+        # value still ends at a CRLF, not at the buffer edge
+        data = data[:head_end + 2]
     lower = data.lower()
     needle = b"\r\n" + name.lower() + b":"
     index = lower.find(needle)
@@ -88,7 +99,7 @@ def header_value(ctx: GuestContext, buf: int, length: int,
     start = index + len(needle)
     end = lower.find(b"\r\n", start)
     if end < 0:
-        end = length
+        end = len(data)
     return data[start:end].strip()
 
 

@@ -42,6 +42,10 @@ G_LISTEN_FD = 0
 G_EPFD = 8
 G_LOG_FD = 16
 G_SERVED = 24
+G_DRAIN = 32              # set by the control plane: finish + exit
+G_NCONN = 40              # open connections (admission control / drain)
+G_CONN_CAP = 48           # admission cap (0 = unlimited)
+G_GATED = 56              # listener currently removed from the epoll set
 
 PROTECTABLE = (
     "server_main_loop",
@@ -108,7 +112,10 @@ def littled_main(ctx: GuestContext, port: int) -> int:
     log_fd = to_signed(ctx.libc("open", path, O_WRONLY | O_CREAT | O_APPEND))
     ctx.write_word(g + G_LOG_FD, log_fd & _MASK64)
 
-    listen_fd = to_signed(ctx.libc("listen_on", port, 64))
+    # backlog 511, the production convention (nginx/redis): at C=1000
+    # the accept queue must absorb a connect stampede without refusing
+    # half the fleet into SYN-retransmit storms
+    listen_fd = to_signed(ctx.libc("listen_on", port, 511))
     if listen_fd < 0:
         return -1
     ctx.write_word(g + G_LISTEN_FD, listen_fd)
@@ -118,6 +125,8 @@ def littled_main(ctx: GuestContext, port: int) -> int:
     event = ctx.stack_alloc(16)
     ctx.write_words(event, [EPOLLIN, listen_fd])
     ctx.libc("epoll_ctl", epfd, EPOLL_CTL_ADD, listen_fd, event)
+    config = getattr(ctx.process, "app_config", None) or {}
+    ctx.write_word(g + G_CONN_CAP, int(config.get("conn_cap") or 0))
     ctx.charge(1_800_000)              # config parse + plugin init (once)
     return 0
 
@@ -146,6 +155,8 @@ def littled_worker_main(ctx: GuestContext, port: int,
     event = ctx.stack_alloc(16)
     ctx.write_words(event, [EPOLLIN, listen_fd])
     ctx.libc("epoll_ctl", epfd, EPOLL_CTL_ADD, listen_fd, event)
+    config = getattr(ctx.process, "app_config", None) or {}
+    ctx.write_word(g + G_CONN_CAP, int(config.get("conn_cap") or 0))
     ctx.charge(250_000)               # post-fork re-init (config inherited)
     return 0
 
@@ -160,8 +171,19 @@ def server_main_loop(ctx: GuestContext) -> int:
     epfd = to_signed(ctx.read_word(g + G_EPFD))
     listen_fd = to_signed(ctx.read_word(g + G_LISTEN_FD))
     served = 0
+    # one events array for the function's lifetime: a worker lives inside
+    # a single main-loop invocation, so allocating per wake would walk the
+    # stack pointer into the guard page under sustained load
+    events = ctx.stack_alloc(16 * 16)
     while True:
-        events = ctx.stack_alloc(16 * 16)
+        if ctx.read_word(g + G_DRAIN):
+            # graceful drain: stop accepting (once), keep serving the
+            # connections we already own, exit when the last one closes
+            if not ctx.read_word(g + G_GATED):
+                ctx.libc("epoll_ctl", epfd, EPOLL_CTL_DEL, listen_fd, 0)
+                ctx.write_word(g + G_GATED, 1)
+            if to_signed(ctx.read_word(g + G_NCONN)) <= 0:
+                break
         n = to_signed(ctx.libc("epoll_wait", epfd, events, 16, -1))
         if n <= 0:
             break
@@ -192,10 +214,26 @@ def littled_connection_accept(ctx: GuestContext) -> int:
     event = ctx.stack_alloc(16)
     ctx.write_words(event, [EPOLLIN, conn])
     ctx.libc("epoll_ctl", epfd, EPOLL_CTL_ADD, fd, event)
+    nconn = to_signed(ctx.read_word(g + G_NCONN)) + 1
+    ctx.write_word(g + G_NCONN, nconn)
+    cap = to_signed(ctx.read_word(g + G_CONN_CAP))
+    if cap and nconn >= cap and not ctx.read_word(g + G_GATED):
+        # admission control: at the cap, stop accepting until a
+        # connection closes (backpressure lands on the shared listener
+        # backlog, and from there on connecting clients)
+        ctx.libc("epoll_ctl", epfd, EPOLL_CTL_DEL, listen_fd, 0)
+        ctx.write_word(g + G_GATED, 1)
     return fd
 
 
 def littled_connection_handle(ctx: GuestContext, conn: int) -> int:
+    """Serve every complete request currently buffered on ``conn``.
+
+    Pipelining-correct: each iteration consumes exactly one request —
+    head plus ``Content-Length`` body — and shifts the remainder to the
+    front of the buffer, so back-to-back requests in one segment are each
+    parsed against their own bytes (and a POST body is never re-scanned
+    as if it were headers)."""
     fd = to_signed(ctx.read_word(conn + CONN_FD))
     reqbuf = ctx.read_word(conn + CONN_REQBUF)
     reqlen = to_signed(ctx.read_word(conn + CONN_REQLEN))
@@ -207,18 +245,36 @@ def littled_connection_handle(ctx: GuestContext, conn: int) -> int:
         return 0
     reqlen += n
     ctx.write_word(conn + CONN_REQLEN, reqlen)
-    if httputil.find_bytes(ctx, reqbuf, reqlen, b"\r\n\r\n") < 0:
-        return 0
-    ctx.charge(70_000)                 # fdevent + connection state machine
-    status = to_signed(ctx.call("littled_http_request_parse", conn))
-    ctx.call("littled_http_response_prepare", conn, status)
-    ctx.call("littled_accesslog_write", conn)
-    g = _globals(ctx)
-    ctx.write_word(g + G_SERVED, ctx.read_word(g + G_SERVED) + 1)
-    ctx.write_word(conn + CONN_REQLEN, 0)
-    if not ctx.read_word(conn + CONN_KEEPALIVE):
-        ctx.call("littled_connection_close", conn)
-    return 1
+    served = 0
+    while True:
+        head_end = httputil.find_bytes(ctx, reqbuf, reqlen, b"\r\n\r\n")
+        if head_end < 0:
+            break                      # head still incomplete
+        clen = httputil.header_value(ctx, reqbuf, reqlen, b"Content-Length")
+        body_len = httputil.parse_decimal(ctx, clen) if clen else 0
+        total = head_end + 4 + max(body_len, 0)
+        if total > reqlen:
+            break                      # body still in flight
+        ctx.charge(70_000)             # fdevent + connection state machine
+        # parse against exactly this request's bytes
+        ctx.write_word(conn + CONN_REQLEN, total)
+        status = to_signed(ctx.call("littled_http_request_parse", conn))
+        ctx.call("littled_http_response_prepare", conn, status)
+        ctx.call("littled_accesslog_write", conn)
+        g = _globals(ctx)
+        ctx.write_word(g + G_SERVED, ctx.read_word(g + G_SERVED) + 1)
+        served += 1
+        remaining = reqlen - total
+        if remaining:
+            tail = ctx.read(reqbuf + total, remaining)
+            ctx.write(reqbuf, tail)
+            ctx.charge(remaining)
+        reqlen = remaining
+        ctx.write_word(conn + CONN_REQLEN, reqlen)
+        if not ctx.read_word(conn + CONN_KEEPALIVE):
+            ctx.call("littled_connection_close", conn)
+            return served
+    return served
 
 
 def littled_http_request_parse(ctx: GuestContext, conn: int) -> int:
@@ -246,6 +302,8 @@ def littled_http_request_parse(ctx: GuestContext, conn: int) -> int:
     connection = httputil.header_value(ctx, reqbuf, reqlen, b"Connection")
     if connection is not None and connection.lower() == b"close":
         keepalive = 0
+    if ctx.read_word(_globals(ctx) + G_DRAIN):
+        keepalive = 0                  # draining: answer, then close
     ctx.write_word(conn + CONN_KEEPALIVE, keepalive)
 
     # lighttpd tokenizes every common header into buffers
@@ -367,6 +425,19 @@ def littled_connection_close(ctx: GuestContext, conn: int) -> int:
         ctx.libc("free", uri_buf)
     ctx.libc("free", ctx.read_word(conn + CONN_REQBUF))
     ctx.libc("free", conn)
+    nconn = to_signed(ctx.read_word(g + G_NCONN)) - 1
+    if nconn < 0:
+        nconn = 0
+    ctx.write_word(g + G_NCONN, nconn)
+    if ctx.read_word(g + G_GATED) and not ctx.read_word(g + G_DRAIN):
+        cap = to_signed(ctx.read_word(g + G_CONN_CAP))
+        if not cap or nconn < cap:
+            # back below the admission cap: resume accepting
+            listen_fd = to_signed(ctx.read_word(g + G_LISTEN_FD))
+            event = ctx.stack_alloc(16)
+            ctx.write_words(event, [EPOLLIN, listen_fd])
+            ctx.libc("epoll_ctl", epfd, EPOLL_CTL_ADD, listen_fd, event)
+            ctx.write_word(g + G_GATED, 0)
     return 0
 
 
@@ -448,7 +519,8 @@ class LittledWorker:
     when sMVX is on — its own in-process monitor.  All workers share the
     master's listener and one :class:`~repro.core.divergence.AlarmLog`."""
 
-    def __init__(self, server: "LittledServer", index: int, core: int):
+    def __init__(self, server: "LittledServer", index: int, core: int,
+                 generation: int = 0):
         from repro.core import attach_smvx, build_smvx_stub_image
         from repro.libc import build_libc_image
 
@@ -456,8 +528,12 @@ class LittledWorker:
         self.server = server
         self.index = index
         self.core = core
+        #: restart/reload generation (0 = original pre-forked worker)
+        self.generation = generation
+        name = f"{server.name}-w{index}" + \
+            (f"g{generation}" if generation else "")
         self.process = GuestProcess(
-            server.kernel, f"{server.name}-w{index}",
+            server.kernel, name,
             heap_pages=config["heap_pages"],
             parent_pid=server.master_pid)
         # bind the worker's cycle counter to its virtual core *before*
@@ -467,7 +543,8 @@ class LittledWorker:
         self.process.load_image(build_smvx_stub_image(), tag="libsmvx")
         self.image = build_littled_image(bss_kb=config["bss_kb"])
         self.loaded = self.process.load_image(self.image, main=True)
-        self.process.app_config = {"protect": config["protect"]}
+        self.process.app_config = {"protect": config["protect"],
+                                   "conn_cap": config.get("conn_cap", 0)}
         self.monitor = None
         if config["smvx"]:
             self.monitor = attach_smvx(
@@ -480,13 +557,59 @@ class LittledWorker:
         self.task = None
 
     def run_loop(self) -> None:
-        """Task body: serve until cancelled.  ``littled_pump`` blocks in
-        ``epoll_wait`` between events; on cancellation the park reports
-        "nothing ready", ``epoll_wait`` returns 0, the guest unwinds
-        normally (closing any open sMVX region in lockstep), and the
-        loop exits here."""
-        while not self.task.cancelled:
-            self.process.call_function("littled_pump")
+        """Task body: serve until cancelled or drained.  ``littled_pump``
+        blocks in ``epoll_wait`` between events; on cancellation the park
+        reports "nothing ready", ``epoll_wait`` returns 0, the guest
+        unwinds normally (closing any open sMVX region in lockstep), and
+        the loop exits here.  A draining worker (graceful reload) exits
+        once its last connection closes."""
+        try:
+            while not self.task.cancelled:
+                self.process.call_function("littled_pump")
+                if self.draining and self.active_connections <= 0:
+                    break
+        finally:
+            # process exit: the kernel sweeps whatever fds are still
+            # open — a crashed worker's connections FIN their clients,
+            # and the shared listener drops one reference
+            self.server.kernel.release_process_fds(self.process.pid)
+
+    # -- control-plane surface (privileged peeks: no guest execution, so
+    # they are safe from the supervisor task and under the recorder) ----------
+
+    @property
+    def globals_addr(self) -> int:
+        return self.loaded.symbol_address("littled_globals")
+
+    def request_drain(self) -> None:
+        """Flag the guest to stop accepting and exit once idle.  Written
+        with a privileged (kernel-mode) store, exactly like a real master
+        signalling a worker.  Under sMVX every follower keeps its own
+        copy of ``littled_globals``; the store is mirrored into each so
+        leader and variant take the drain branch in lockstep."""
+        self.process.space.write_word(self.globals_addr + G_DRAIN, 1,
+                                      privileged=True)
+        if self.monitor is not None:
+            self.monitor.broadcast_privileged_word(
+                "littled_globals", G_DRAIN, 1)
+
+    @property
+    def draining(self) -> bool:
+        return bool(self.process.space.read_word(
+            self.globals_addr + G_DRAIN, privileged=True))
+
+    @property
+    def active_connections(self) -> int:
+        return to_signed(self.process.space.read_word(
+            self.globals_addr + G_NCONN, privileged=True))
+
+    @property
+    def served_snapshot(self) -> int:
+        """G_SERVED via a privileged read — unlike :attr:`served` this
+        runs no guest code, so metrics sampling never perturbs the
+        recorded execution."""
+        return self.process.space.read_word(
+            self.globals_addr + G_SERVED, privileged=True)
 
     @property
     def served(self) -> int:
@@ -512,7 +635,8 @@ class LittledServer:
                  strict_verify: bool = False,
                  auto_scope: bool = False,
                  workers: int = 0, cores: Optional[int] = None,
-                 quantum_ns: Optional[float] = None):
+                 quantum_ns: Optional[float] = None,
+                 conn_cap: int = 0):
         from repro.core import AlarmLog, attach_smvx, build_smvx_stub_image
         from repro.libc import build_libc_image
 
@@ -530,7 +654,12 @@ class LittledServer:
             "variant_strategy": variant_strategy,
             "strict_verify": strict_verify,
             "auto_scope": auto_scope,
+            "conn_cap": max(0, conn_cap),
         }
+        #: retired workers (drained generations, crashed processes kept
+        #: for post-mortem accounting) and the attached control plane
+        self.retired: list = []
+        self.supervisor = None
 
         if self.workers_n:
             from repro.kernel.sched import DEFAULT_QUANTUM_NS, Scheduler
@@ -567,35 +696,43 @@ class LittledServer:
                                        strict_verify=strict_verify,
                                        auto_scope=auto_scope)
 
+    def boot_worker(self, worker: LittledWorker) -> int:
+        """Fork-style bring-up for a (re)spawned worker: the shared
+        Listener lands in the worker's own fd table, the worker pays the
+        Table-2 fork cost on its core, then re-initializes.  Used by
+        ``start()`` for workers past the first and by the control plane
+        for restarts/reloads."""
+        from repro.kernel.fds import ListenerFD
+
+        listener = self.kernel.network.listener_at(self.port)
+        pcb = self.kernel.state_of(worker.process.pid)
+        fd = pcb.alloc_fd(ListenerFD(listener))
+        pages = worker.process.space.resident_bytes() // 4096
+        worker.process.counter.charge(
+            self.kernel.tasks.fork_cost_ns(pages), "fork")
+        return to_signed(worker.process.call_function(
+            "littled_worker_main", self.port, fd))
+
+    def spawn_worker_task(self, worker: LittledWorker) -> None:
+        worker.task = self.sched.spawn(
+            worker.process.name, worker.run_loop,
+            core=worker.core, pid=worker.process.pid)
+
     def start(self) -> int:
         if not self.workers_n:
             return self.process.call_function("littled_main", self.port)
-
-        from repro.kernel.fds import ListenerFD
 
         first = self.workers[0]
         rc = to_signed(first.process.call_function("littled_main",
                                                    self.port))
         if rc < 0:
             return rc
-        listener = self.kernel.network.listener_at(self.port)
         for worker in self.workers[1:]:
-            # fork-style listener inheritance: the shared Listener lands
-            # in the worker's own fd table, and the worker pays the
-            # Table-2 fork cost on its core before re-initializing
-            pcb = self.kernel.state_of(worker.process.pid)
-            fd = pcb.alloc_fd(ListenerFD(listener))
-            pages = worker.process.space.resident_bytes() // 4096
-            worker.process.counter.charge(
-                self.kernel.tasks.fork_cost_ns(pages), "fork")
-            rc_worker = to_signed(worker.process.call_function(
-                "littled_worker_main", self.port, fd))
+            rc_worker = self.boot_worker(worker)
             if rc_worker < 0:
                 return rc_worker
         for worker in self.workers:
-            worker.task = self.sched.spawn(
-                worker.process.name, worker.run_loop,
-                core=worker.core, pid=worker.process.pid)
+            self.spawn_worker_task(worker)
         return rc
 
     def pump(self) -> int:
@@ -610,7 +747,12 @@ class LittledServer:
         drop), then reap every zombie so the task table ends clean."""
         if not self.workers_n:
             return
-        live = [w.task for w in self.workers if w.task is not None]
+        if self.supervisor is not None:
+            # the supervisor must stand down first, or it would read the
+            # shutdown cancellations as crashes and restart the fleet
+            self.supervisor.stop()
+        live = [w.task for w in self.workers + self.retired
+                if w.task is not None]
         for task in live:
             self.sched.cancel(task)
         if live:
@@ -622,5 +764,9 @@ class LittledServer:
     @property
     def served(self) -> int:
         if self.workers_n:
-            return sum(w.served for w in self.workers)
+            # retired workers (drained generations, crashed processes)
+            # still count what they served; their processes have exited,
+            # so read the counter with a privileged peek, not guest code
+            return (sum(w.served for w in self.workers)
+                    + sum(w.served_snapshot for w in self.retired))
         return self.process.call_function("littled_served_count")

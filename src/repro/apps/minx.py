@@ -160,8 +160,10 @@ def minx_process_events_and_timers(ctx: GuestContext) -> int:
     epfd = to_signed(ctx.read_word(g + G_EPFD))
     listen_fd = to_signed(ctx.read_word(g + G_LISTEN_FD))
     served = 0
+    # one events array for the loop's lifetime — allocating per wake
+    # would leak stack on every iteration of a long-lived event loop
+    events = ctx.stack_alloc(16 * 16)
     while True:
-        events = ctx.stack_alloc(16 * 16)
         n = to_signed(ctx.libc("epoll_wait", epfd, events, 16, -1))
         if n <= 0:
             break
@@ -215,9 +217,16 @@ def minx_event_accept(ctx: GuestContext) -> int:
 # ---------------------------------------------------------------------------
 
 def minx_http_wait_request_handler(ctx: GuestContext, conn: int) -> int:
-    """Read the request head; once complete, run the request path.
+    """Read from the socket; serve every complete buffered request.
 
-    Returns 1 when a request was fully served, 0 otherwise.
+    Pipelining-correct: each pass consumes exactly one request — head
+    plus ``Content-Length`` body — and carries the remainder over to the
+    next pass, instead of letting ``finalize_request``'s buffer reset
+    throw away pipelined follow-up requests.  A chunked request still
+    consumes the whole buffer: its body is drained (and discarded)
+    straight off the socket by the CVE-2013-2028 discard path.
+
+    Returns the number of requests fully served (0 if more data needed).
     """
     fd = to_signed(ctx.read_word(conn + CONN_FD))
     buf = ctx.read_word(conn + CONN_BUF)
@@ -233,15 +242,41 @@ def minx_http_wait_request_handler(ctx: GuestContext, conn: int) -> int:
     buf_len += n
     ctx.write_word(conn + CONN_BUF_LEN, buf_len)
 
-    headers_end = httputil.find_bytes(ctx, buf, buf_len, b"\r\n\r\n")
-    if headers_end < 0:
-        return 0                       # need more data
-    ctx.write_word(conn + CONN_HEADERS_END, headers_end + 4)
-    ctx.charge(48_000)                 # connection/request pool setup
+    served = 0
+    while True:
+        headers_end = httputil.find_bytes(ctx, buf, buf_len, b"\r\n\r\n")
+        if headers_end < 0:
+            break                      # need more data
+        ctx.write_word(conn + CONN_HEADERS_END, headers_end + 4)
+        ctx.charge(48_000)             # connection/request pool setup
 
-    _maybe_protect(ctx, "minx_http_process_request_line", conn)
-    _maybe_protect(ctx, "minx_http_finalize_request", conn)
-    return 1
+        _maybe_protect(ctx, "minx_http_process_request_line", conn)
+
+        # measure this request's footprint *before* finalize wipes the
+        # connection state for keep-alive reuse
+        chunked = ctx.read_word(conn + CONN_CHUNKED)
+        clen = to_signed(ctx.read_word(conn + CONN_CONTENT_LEN))
+        cur_len = to_signed(ctx.read_word(conn + CONN_BUF_LEN))
+        if chunked:
+            consumed = cur_len
+        else:
+            consumed = min(cur_len, headers_end + 4 + max(clen, 0))
+        keep = ctx.read_word(conn + CONN_KEEPALIVE)
+        remainder = ctx.read(buf + consumed, max(cur_len - consumed, 0)) \
+            if keep else b""
+
+        _maybe_protect(ctx, "minx_http_finalize_request", conn)
+        served += 1
+        if not keep:
+            return served              # finalize closed the connection
+        if remainder:
+            ctx.write(buf, remainder)
+            ctx.charge(len(remainder))
+        buf_len = len(remainder)
+        ctx.write_word(conn + CONN_BUF_LEN, buf_len)
+        if not buf_len:
+            break
+    return served
 
 
 def minx_http_process_request_line(ctx: GuestContext, conn: int) -> int:
@@ -562,6 +597,7 @@ def minx_http_finalize_request(ctx: GuestContext, conn: int) -> int:
     ctx.libc("time", 0)                # refresh the keep-alive timer
     ctx.write_word(conn + CONN_BUF_LEN, 0)
     ctx.write_word(conn + CONN_CHUNKED, 0)
+    ctx.write_word(conn + CONN_CONTENT_LEN, 0)
     if not ctx.read_word(conn + CONN_KEEPALIVE):
         ctx.call("minx_http_close_connection", conn)
     return 0

@@ -412,6 +412,35 @@ class SmvxMonitor:
             cached.variant.destroy(self.process)
         self._cached_variants.clear()
 
+    def broadcast_privileged_word(self, symbol: str, offset: int,
+                                  value: int) -> int:
+        """Mirror a control-plane store into every follower copy of
+        ``symbol``: the active region's variant and any parked reusable
+        ones.  Privileged writes bypass the page observers, so the reuse
+        ``DirtyTracker`` never records them — without this mirror a
+        drain flag written into the leader's globals leaves the follower
+        copies stale, and the very next protected region diverges on the
+        drain branch (CALL_NAME at the first call past it).  Returns the
+        number of copies written; aligned-strategy variants share the
+        leader's view and need none."""
+        if self.target is None:
+            return 0
+        base = self.target.symbol_address(symbol)
+        views = []
+        if self.region is not None:
+            views.append(self.region.variant.loaded)
+        views.extend(cached.variant.loaded
+                     for cached in self._cached_variants.values())
+        written = 0
+        for view in views:
+            addr = view.symbol_address(symbol)
+            if addr == base:
+                continue
+            self.process.space.write_word(addr + offset, value,
+                                          privileged=True)
+            written += 1
+        return written
+
     # ------------------------------------------------------------------
     # the gate: every intercepted libc call lands here
     # ------------------------------------------------------------------

@@ -53,6 +53,14 @@ class FileDescription:
     def seek_set(self, offset: int) -> int:
         return -Errno.ESPIPE
 
+    def add_watcher(self, fn) -> None:
+        """Register a readiness watcher (epoll ready lists).  The default
+        description has no delivery events, so this is a no-op: such fds
+        stay on the armed list only while actually ready."""
+
+    def remove_watcher(self, fn) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
@@ -154,6 +162,12 @@ class SocketFD(FileDescription):
     def next_ready_at(self) -> Optional[float]:
         return self.sock.next_ready_at()
 
+    def add_watcher(self, fn) -> None:
+        self.sock.add_watcher(fn)
+
+    def remove_watcher(self, fn) -> None:
+        self.sock.remove_watcher(fn)
+
     def close(self) -> None:
         self.sock.close()
 
@@ -163,6 +177,11 @@ class ListenerFD(FileDescription):
 
     def __init__(self, listener: Listener):
         self.listener = listener
+        # pre-forked workers share one open file description: the
+        # underlying listener closes when the *last* fd drops, not when
+        # any one worker exits
+        listener.refs = getattr(listener, "refs", 0) + 1
+        self._closed = False
 
     def readable(self, now: float) -> bool:
         return self.listener.readable(now)
@@ -170,8 +189,19 @@ class ListenerFD(FileDescription):
     def next_ready_at(self) -> Optional[float]:
         return self.listener.next_ready_at()
 
+    def add_watcher(self, fn) -> None:
+        self.listener.add_watcher(fn)
+
+    def remove_watcher(self, fn) -> None:
+        self.listener.remove_watcher(fn)
+
     def close(self) -> None:
-        self.listener.close()
+        if self._closed:
+            return
+        self._closed = True
+        self.listener.refs -= 1
+        if self.listener.refs <= 0:
+            self.listener.close()
 
 
 class EpollFD(FileDescription):
@@ -179,3 +209,6 @@ class EpollFD(FileDescription):
 
     def __init__(self) -> None:
         self.instance = EpollInstance()
+
+    def close(self) -> None:
+        self.instance.close()

@@ -143,6 +143,27 @@ class Kernel:
     def syscall_count(self, pid: int) -> int:
         return self.state_of(pid).total_syscalls
 
+    def release_process_fds(self, pid: int) -> int:
+        """Process-exit fd sweep: close every description the process
+        still holds, exactly as the real kernel does when a process dies.
+        Sockets FIN their peers (a crashed worker's clients see the reset
+        instead of hanging), shared listeners drop one reference, epoll
+        instances detach their watchers.  Returns the number closed."""
+        pcb = self._procs.get(pid)
+        if pcb is None:
+            return 0
+        closed = 0
+        for fd in list(pcb.fds):
+            description = pcb.fds.pop(fd, None)
+            if description is None:
+                continue
+            for other in pcb.fds.values():
+                if isinstance(other, EpollFD):
+                    other.instance.forget(fd)
+            description.close()
+            closed += 1
+        return closed
+
     def syscall_breakdown(self, pid: int) -> Dict[str, int]:
         return dict(self.state_of(pid).syscall_counts)
 
@@ -530,7 +551,10 @@ class Kernel:
         if event_addr:
             events = proc.space.read_word(event_addr, privileged=True)
             data = proc.space.read_word(event_addr + 8, privileged=True)
-        return instance.ctl(op, fd, events, data)
+        # The description is handed over as the re-arm channel: its
+        # watcher puts the fd back on the instance's armed list whenever
+        # a delivery/FIN/enqueue event targets it.
+        return instance.ctl(op, fd, events, data, channel=pcb.fds[fd])
 
     def _epoll_probe(self, pcb):
         now = self.clock.monotonic_ns
@@ -539,8 +563,10 @@ class Kernel:
             description = pcb.fds.get(fd)
             if description is None:
                 return None
+            # 4-tuple probe: the trailing next_ready_at lets the armed
+            # list disarm idle fds with nothing in flight (O(ready) poll).
             return (description.readable(now), description.writable(now),
-                    description.hup(now))
+                    description.hup(now), description.next_ready_at())
         return probe
 
     def _sys_epoll_wait(self, proc, pcb, epfd: int, events_addr: int,
@@ -550,6 +576,11 @@ class Kernel:
             return instance
         if maxevents <= 0:
             return -Errno.EINVAL
+        if self._sched_task_active() and self.sched.current.cancelled:
+            # a kill interrupts at the syscall boundary (EINTR-style):
+            # the cancelled worker must not keep pulling ready events
+            # off a loaded epoll set, it must unwind now
+            return 0
         ready = instance.poll(self.clock.monotonic_ns,
                               self._epoll_probe(pcb), maxevents)
         if not ready and self._sched_task_active():

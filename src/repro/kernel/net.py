@@ -14,7 +14,7 @@ client-side sockets are used directly by host-level workload generators
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.kernel.clock import VirtualClock
 from repro.kernel.errno_codes import Errno
@@ -43,11 +43,32 @@ class Socket:
         self.fin_at: Optional[float] = None
         #: latest scheduled arrival in this direction (FIN ordering).
         self.last_delivery_at: float = 0.0
+        #: local half-close: ``shutdown(SHUT_WR)`` was issued here, so
+        #: further sends must fail with EPIPE even though the socket
+        #: itself is still open for reading.
+        self.write_shutdown = False
         self.bytes_sent = 0
         self.bytes_received = 0
         self.options: Dict[Tuple[int, int], int] = {}
+        #: readiness watchers (epoll ready lists): zero-arg callables
+        #: fired whenever this end *may* have become readable — a segment
+        #: or FIN was scheduled toward it.  Watchers only arm a ready
+        #: list; actual readability is still probed against the clock.
+        self._watchers: List[Callable[[], None]] = []
 
     # -- plumbing -------------------------------------------------------------
+
+    def add_watcher(self, fn: Callable[[], None]) -> None:
+        if fn not in self._watchers:
+            self._watchers.append(fn)
+
+    def remove_watcher(self, fn: Callable[[], None]) -> None:
+        if fn in self._watchers:
+            self._watchers.remove(fn)
+
+    def _notify(self) -> None:
+        for fn in tuple(self._watchers):
+            fn()
 
     def _deliver(self, data: bytes, ready_at: float) -> None:
         self._inbox.append((ready_at, bytearray(data)))
@@ -55,6 +76,7 @@ class Socket:
             self.last_delivery_at = ready_at
         if self._network.ingress_hook is not None:
             self._network.ingress_hook(self, data, ready_at)
+        self._notify()
 
     def fin_visible(self, now: float) -> bool:
         """Has the peer's FIN arrived by ``now``?"""
@@ -80,7 +102,8 @@ class Socket:
         return self.fin_visible(now) and not self._inbox
 
     def writable(self, now: float) -> bool:
-        return not self.closed and not self.fin_visible(now)
+        return (not self.closed and not self.write_shutdown
+                and not self.fin_visible(now))
 
     # -- I/O -------------------------------------------------------------------
 
@@ -93,6 +116,8 @@ class Socket:
         """
         if self.closed:
             return -Errno.EBADF
+        if self.write_shutdown:
+            return -Errno.EPIPE   # POSIX: no sends after SHUT_WR
         now = self._network.clock.monotonic_ns
         if self.peer is None or self.fin_visible(now):
             return -Errno.EPIPE
@@ -159,10 +184,12 @@ class Socket:
         """Send FIN: it rides the same latency path as data and is
         sequenced after every segment already in flight toward the peer,
         so the peer never observes EOF/HUP before causally earlier data."""
+        self.write_shutdown = True
         if self.peer is not None and self.peer.fin_at is None:
             now = self._network.clock.monotonic_ns
             self.peer.fin_at = max(now + self._network.latency_ns,
                                    self.peer.last_delivery_at)
+            self.peer._notify()
 
     def close(self) -> None:
         if self.closed:
@@ -181,6 +208,20 @@ class Listener:
         self._pending: Deque[Tuple[float, Socket]] = deque()
         self.closed = False
         self.accepted_total = 0
+        #: readiness watchers — see :meth:`Socket.add_watcher`.
+        self._watchers: List[Callable[[], None]] = []
+
+    def add_watcher(self, fn: Callable[[], None]) -> None:
+        if fn not in self._watchers:
+            self._watchers.append(fn)
+
+    def remove_watcher(self, fn: Callable[[], None]) -> None:
+        if fn in self._watchers:
+            self._watchers.remove(fn)
+
+    def _notify(self) -> None:
+        for fn in tuple(self._watchers):
+            fn()
 
     def enqueue(self, server_end: Socket, ready_at: float) -> int:
         backlog = self.backlog
@@ -190,6 +231,7 @@ class Listener:
         if len(self._pending) >= backlog:
             return -Errno.ECONNREFUSED
         self._pending.append((ready_at, server_end))
+        self._notify()
         return 0
 
     def next_ready_at(self) -> Optional[float]:
@@ -217,8 +259,16 @@ class Listener:
         return sock
 
     def close(self) -> None:
+        if self.closed:
+            return
         self.closed = True
         self._network.release_port(self.port)
+        # Tear down every queued, never-accepted connection: closing the
+        # server end sends FIN back to the mid-connect client, which
+        # would otherwise park on a socket nobody will ever service.
+        while self._pending:
+            _ready_at, server_end = self._pending.popleft()
+            server_end.close()
 
 
 class Network:

@@ -324,6 +324,20 @@ class Scheduler:
         if task.state is RunState.BLOCKED:
             self._wake(task, value=False, instant=self.clock.monotonic_ns)
 
+    def kick(self, task: SchedTask) -> bool:
+        """Signal-style nudge: wake a BLOCKED task with False so its
+        blocking syscall reports "nothing ready" and the guest unwinds to
+        its control-plane checks (drain flags, cancellation) — without
+        marking the task cancelled.  The control plane uses this to get a
+        worker out of ``epoll_wait(-1)`` after flagging it to drain.
+
+        Returns True if the task was actually woken."""
+        if task.done or task.state is not RunState.BLOCKED:
+            return False
+        self._decision("kick", task)
+        self._wake(task, value=False, instant=self.clock.monotonic_ns)
+        return True
+
     def join(self, timeout: float = 10.0) -> None:
         """Join finished task threads (host hygiene; no virtual cost)."""
         for task in self.tasks:

@@ -211,6 +211,15 @@ def _execute_littled(scenario: Scenario) -> RawRun:
             [i * scenario.clock_skew_ns
              for i in range(len(sched.cores))])
 
+    supervisor = None
+    if scenario.supervise and server.workers_n and sched is not None:
+        from repro.apps.control import Supervisor
+        supervisor = Supervisor(
+            server,
+            reload_at_ns=(kernel.clock.monotonic_ns + 4_000_000
+                          if scenario.reload else None))
+        supervisor.start()
+
     chaos_task = None
     if scenario.worker_kill and server.workers_n >= 2 \
             and sched is not None:
@@ -237,6 +246,11 @@ def _execute_littled(scenario: Scenario) -> RawRun:
     if chaos_task is not None and not chaos_task.done:
         sched.cancel(chaos_task)
         sched.run_until(lambda: chaos_task.done)
+    if supervisor is not None:
+        # pin the whole control-plane history (restarts, reload,
+        # final served counts) into the digests the oracle compares
+        raw.digests["supervisor"] = json.dumps(supervisor.snapshot(),
+                                               sort_keys=True)
     server.shutdown()
     raw.alarms = _alarm_dicts(server.alarms)
     _snapshot_plane(raw, kernel.faults, "fault")

@@ -113,6 +113,11 @@ class Scenario:
     chunk_bytes: int = 256
     attack: str = "none"             # "none" | "cve"
     worker_kill: bool = False
+    #: run under the production control plane (supervisor restarts
+    #: crashed workers); littled multi-worker only.
+    supervise: bool = False
+    #: schedule a graceful reload mid-run (requires ``supervise``).
+    reload: bool = False
     clock_skew_ns: int = 0
     #: run the scenario twice and require bit-identical digests.
     recheck: bool = False
@@ -163,6 +168,10 @@ class Scenario:
             bits.append(self.attack)
         if self.worker_kill:
             bits.append("kill")
+        if self.supervise:
+            bits.append("supervised")
+        if self.reload:
+            bits.append("reload")
         if self.clock_skew_ns:
             bits.append(f"skew{self.clock_skew_ns}")
         if self.recheck:
@@ -225,6 +234,12 @@ def generate_scenario(master_seed: str, index: int) -> Scenario:
         # classic minx has no scheduler or peer host to skew
         scenario.clock_skew_ns = stream.randint(50_000, 500_000)
     scenario.recheck = stream.chance(0.25)
+    if workload == "littled" and scenario.workers >= 2:
+        # production control plane: a supervisor watches the fleet (and
+        # restarts a killed worker); half the supervised runs also take
+        # a graceful reload mid-load
+        scenario.supervise = stream.chance(0.35)
+        scenario.reload = scenario.supervise and stream.chance(0.5)
     return scenario
 
 

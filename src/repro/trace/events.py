@@ -33,6 +33,7 @@ class EventKind(enum.Enum):
     FAULT = "fault"                  # the fault plane injected a fault
     WIRE = "wire"                    # a cluster wire frame sent/delivered
     STIMULUS = "stimulus"            # host-boundary input (the record script)
+    METRIC = "metric"                # control-plane metrics sample
     MARK = "mark"                    # free-form annotation
 
 

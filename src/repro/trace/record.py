@@ -116,6 +116,7 @@ class Recorder:
         self.capsule_window = capsule_window
         self.server = None
         self.process = None
+        self.supervisor = None
 
         self.script: List[Dict] = []
         self.urandom_chunks: List[bytes] = []
@@ -187,6 +188,32 @@ class Recorder:
         self._wrap_entry(server, "start")
         self._wrap_entry(server, "pump")
         self._tap_scheduler()
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Tap the production control plane: every metrics sample the
+        supervisor takes becomes a METRIC event, and every worker it
+        provisions (crash restart, alarm restart, reload generation) is
+        tapped exactly like the original fleet — libc observers on the
+        new process, the rendezvous stream of its monitor."""
+        self.supervisor = supervisor
+
+        def on_sample(sample: Dict) -> None:
+            self.ring.emit(EventKind.METRIC, self._now, "control-plane",
+                           **sample)
+
+        def on_worker(worker) -> None:
+            process = worker.process
+            if process is not self.process \
+                    and process not in self._extra_procs:
+                process.libc_call_observers.append(self._on_libc)
+                self._extra_procs.append(process)
+            monitor = worker.monitor
+            if monitor is not None \
+                    and self._on_rendezvous not in monitor.call_taps:
+                monitor.call_taps.append(self._on_rendezvous)
+
+        supervisor.metrics_hook = on_sample
+        supervisor.worker_hooks.append(on_worker)
 
     def attach_process(self, process) -> None:
         self.process = process
@@ -473,6 +500,8 @@ class Recorder:
             footer["worker_pids"] = [w.process.pid for w in server.workers]
             footer["workers_busy_ns"] = sum(
                 w.process.counter.total_ns for w in server.workers)
+        if self.supervisor is not None:
+            footer["supervisor"] = self.supervisor.snapshot()
         if server is not None and getattr(server, "alarms", None):
             footer["alarms"] = [
                 {"kind": report.kind.name, "seq": report.seq,
@@ -547,14 +576,45 @@ def drive_littled_workload(kernel, server, workload: Dict):
         path=workload.get("path", "/index.html"),
         keepalive=workload.get("keepalive", True),
         max_stalls=workload.get("max_stalls", 2),
-        timeout_ns=workload.get("timeout_ns", 50_000_000))
+        timeout_ns=workload.get("timeout_ns", 50_000_000),
+        pipeline=workload.get("pipeline", 1),
+        connect_retries=workload.get("connect_retries", 20))
     return bench.run(workload.get("requests", 8),
                      paths=workload.get("paths"),
                      concurrency=workload.get("concurrency", 1))
 
 
+def apply_control_plane(kernel, server, control: Optional[Dict],
+                        recorder: Optional[Recorder] = None):
+    """Arm the scenario's production control plane from its trace
+    description: a supervisor (restart budgets, restart-on-alarm, a
+    scheduled graceful reload) plus any chaos worker kills.  Shared by
+    the record and replay sides, so a supervised run replays *by
+    reproduction* — the same control dict re-derives the same restarts
+    and reload from the same machine state.  Returns the started
+    :class:`~repro.apps.control.Supervisor` (or None).
+    """
+    if not control:
+        return None
+    from repro.apps.control import Supervisor, spawn_worker_kill
+
+    supervisor = Supervisor(
+        server,
+        restart_budget=control.get("restart_budget", 2),
+        tick_ns=control.get("tick_ns", 1_000_000),
+        restart_on_alarm=control.get("restart_on_alarm", False),
+        reload_at_ns=control.get("reload_at_ns"))
+    if recorder is not None:
+        recorder.attach_supervisor(supervisor)
+    supervisor.start()
+    for kill in control.get("worker_kills") or []:
+        spawn_worker_kill(server, kill["slot"], kill["at_ns"])
+    return supervisor
+
+
 def record_littled(seed: str = "smvx-repro", capacity: int = 4096,
                    workload: Optional[Dict] = None,
+                   control: Optional[Dict] = None,
                    trace_instructions: bool = False,
                    capsule_window: int = DEFAULT_CAPSULE_WINDOW,
                    fault_schedule=None,
@@ -565,6 +625,12 @@ def record_littled(seed: str = "smvx-repro", capacity: int = 4096,
     parameters: requests / concurrency / path / ...), the workload has
     already been driven — call ``recorder.finish()`` *before*
     ``server.shutdown()`` so the footer matches what replay rebuilds.
+
+    ``control`` arms the production control plane before the workload
+    (see :func:`apply_control_plane`): ``{"restart_budget": 2,
+    "restart_on_alarm": bool, "reload_at_ns": t, "worker_kills":
+    [{"slot": s, "at_ns": t}, ...]}``.  It is stored in the scenario so
+    replay re-arms the identical supervisor.
     """
     from repro.apps.littled import LittledServer
     from repro.kernel.kernel import Kernel
@@ -575,6 +641,8 @@ def record_littled(seed: str = "smvx-repro", capacity: int = 4096,
                 "kwargs": dict(littled_kwargs)}
     if workload is not None:
         scenario["workload"] = dict(workload)
+    if control is not None:
+        scenario["control"] = dict(control)
     if fault_schedule is not None:
         scenario["faults"] = fault_schedule.to_dict()
         kernel.faults.install(fault_schedule)
@@ -584,6 +652,7 @@ def record_littled(seed: str = "smvx-repro", capacity: int = 4096,
         capsule_window=capsule_window)
     recorder.attach_server(server)
     server.start()
+    apply_control_plane(kernel, server, control, recorder)
     if workload is not None:
         drive_littled_workload(kernel, server, workload)
     return kernel, server, recorder

@@ -32,7 +32,7 @@ _FOOTER_KEYS = (
     "task_spawns", "task_exits", "accept_order", "alarms",
     "faults", "faults_by_kind", "fault_digest",
     "sched_decisions", "sched_digest", "sched_stats",
-    "worker_pids", "workers_busy_ns",
+    "worker_pids", "workers_busy_ns", "supervisor",
     "host_id", "wire_frames", "wire_bytes", "wire_digest", "lamport_max",
 )
 
@@ -241,9 +241,15 @@ def replay_trace(trace: Trace, keep_server: bool = False) -> ReplayResult:
     kernel, server, recorder, replay_urandom = _build_scenario(trace)
     scenario = trace.meta.get("scenario", {})
     workload = scenario.get("workload")
+    control = scenario.get("control")
     if workload is not None:
-        from repro.trace.record import drive_littled_workload
+        from repro.trace.record import (apply_control_plane,
+                                        drive_littled_workload)
         server.start()
+        # re-arm the recorded control plane before the workload, exactly
+        # as the record side did: the supervisor's restarts/reload are
+        # replayed by reproduction, and its snapshot must re-pin
+        apply_control_plane(kernel, server, control, recorder)
         drive_littled_workload(kernel, server, workload)
         mismatches = []
     else:

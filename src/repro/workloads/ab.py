@@ -97,7 +97,8 @@ class ApacheBench:
                  max_stalls: int = 2, timeout_ns: float = 50_000_000,
                  client_mode: str = "normal", drip_bytes: int = 16,
                  drip_delay_ns: int = 200_000, chunk_bytes: int = 256,
-                 partial_preludes: int = 0):
+                 partial_preludes: int = 0, pipeline: int = 1,
+                 connect_retries: int = 20, think_ns: float = 0):
         if client_mode not in CLIENT_MODES:
             raise ValueError(f"unknown client_mode {client_mode!r}; "
                              f"expected one of {CLIENT_MODES}")
@@ -125,6 +126,22 @@ class ApacheBench:
         #: ab-style request timeout that turns a dead server into failed
         #: requests instead of a stalled run.
         self.timeout_ns = timeout_ns
+        #: pipelined burst depth for scheduled keep-alive clients: send
+        #: up to this many requests back-to-back, then read the matching
+        #: responses in order.  1 = classic request/response lockstep.
+        self.pipeline = max(1, pipeline)
+        #: scheduled mode: SYN-retransmit budget.  When the accept queue
+        #: is full (``ab -c 1000`` against a backlog-128 listener, or a
+        #: conn-cap-gated worker fleet) connect returns ECONNREFUSED;
+        #: like a TCP client retransmitting its SYN, the client task
+        #: backs off (exponential, deterministic) and retries up to this
+        #: many times before charging a failure.
+        self.connect_retries = max(0, connect_retries)
+        #: scheduled mode: idle time a keep-alive client parks between
+        #: bursts while holding its connection open (wrk-style think
+        #: time).  This is what builds a large *resident* connection set
+        #: — the case the O(ready) epoll exists for.
+        self.think_ns = max(0, think_ns)
         self._run_seq = 0
 
     def _request_bytes(self, path: Optional[str] = None,
@@ -205,11 +222,22 @@ class ApacheBench:
         chunk = sock.recv_wait(count)
         return chunk if isinstance(chunk, bytes) else b""
 
-    def _read_response(self, sock,
-                       fetch=None) -> "tuple[int, bytes] | None":
-        """Read exactly one HTTP response; returns (status, body)."""
+    def _read_response(self, sock, fetch=None,
+                       carry=None) -> "tuple[int, bytes, bool] | None":
+        """Read exactly one HTTP response.
+
+        Returns ``(status, body, keep)`` — ``keep`` is False when the
+        server announced ``Connection: close`` (a draining worker during
+        graceful reload, or an honoured close request), in which case the
+        client must not reuse the connection.
+
+        ``carry`` is a one-element list used as a cross-call buffer for
+        pipelined connections: bytes of response N+1 that arrived in the
+        same segment as response N are parked there instead of lost."""
         fetch = fetch or self._recv_or_pump
-        raw = b""
+        raw = bytes(carry[0]) if carry and carry[0] else b""
+        if carry:
+            carry[0] = b""
         stalls = 0
         while b"\r\n\r\n" not in raw:
             chunk = fetch(sock, 4096)
@@ -222,9 +250,12 @@ class ApacheBench:
         head, _, rest = raw.partition(b"\r\n\r\n")
         status = int(head.split(b" ", 2)[1])
         content_length = 0
+        keep = True
         for line in head.split(b"\r\n")[1:]:
             if line.lower().startswith(b"content-length:"):
                 content_length = int(line.split(b":", 1)[1])
+            elif line.lower().startswith(b"connection:"):
+                keep = line.split(b":", 1)[1].strip().lower() != b"close"
         body = rest
         stalls = 0
         while len(body) < content_length:
@@ -236,7 +267,10 @@ class ApacheBench:
                 continue
             stalls = 0
             body += chunk
-        return status, body
+        if carry is not None:
+            carry[0] = body[content_length:]
+        body = body[:content_length]
+        return status, body, keep
 
     def run(self, requests: int, paths: Optional[List[str]] = None,
             concurrency: int = 1) -> AbResult:
@@ -286,7 +320,7 @@ class ApacheBench:
             if response is None:
                 result.failures += 1
                 continue
-            status, body = response
+            status, body, _keep = response
             result.requests_completed += 1
             result.bytes_received += len(body)
             result.status_counts[status] = \
@@ -326,10 +360,17 @@ class ApacheBench:
         # workers wake on their readiness/FIN during the run proper
         self._fire_partial_preludes()
 
+        can_pipeline = self.keepalive and self.client_mode == "normal"
+
         def make_client(index: int, quota: int):
             def client() -> None:
                 sock = None
-                for shot in range(quota):
+                carry = [b""]
+                served_on_conn = 0
+                shot = 0
+                syn_tries = 0
+                dead_retries = 3
+                while shot < quota:
                     me = sched.current
                     if me is not None and me.cancelled:
                         break
@@ -338,20 +379,86 @@ class ApacheBench:
                         if sock is not None:
                             sock.close()
                         sock = self.kernel.network.connect(self.server.port)
+                        carry[0] = b""
+                        served_on_conn = 0
                         if isinstance(sock, int):
-                            sock = None    # refused: this shot fails
+                            # accept queue full (backlog cap / gated
+                            # admission): retransmit the SYN after an
+                            # exponential backoff, like a TCP client
+                            sock = None
+                            if syn_tries < self.connect_retries:
+                                backoff = min(200_000 << syn_tries,
+                                              6_400_000)
+                                syn_tries += 1
+                                sched.park(deadline_ns=now + backoff)
+                                continue
+                            syn_tries = 0
+                            shot += 1      # retries exhausted: failure
                             continue
-                    path = paths[shot % len(paths)] if paths else self.path
-                    self._send_request(sock, path)
-                    response = self._read_response(sock,
-                                                   fetch=self._sched_fetch)
-                    if response is None:
+                        syn_tries = 0
+                    burst = min(self.pipeline, quota - shot) \
+                        if can_pipeline else 1
+                    for j in range(burst):
+                        path = paths[(shot + j) % len(paths)] \
+                            if paths else self.path
+                        self._send_request(sock, path)
+                    done_in_burst = 0
+                    dropped = False
+                    for j in range(burst):
+                        response = self._read_response(
+                            sock, fetch=self._sched_fetch, carry=carry)
+                        if response is None:
+                            dropped = True
+                            break
+                        status, body, keep = response
+                        result.requests_completed += 1
+                        result.bytes_received += len(body)
+                        result.status_counts[status] = \
+                            result.status_counts.get(status, 0) + 1
+                        done_in_burst += 1
+                        served_on_conn += 1
+                        if not keep:
+                            # the server is closing (e.g. draining for a
+                            # reload): any unanswered pipelined requests
+                            # must be replayed on a fresh connection
+                            dropped = j + 1 < burst
+                            sock.close()
+                            sock = None
+                            break
+                    shot += done_in_burst
+                    if not dropped:
+                        if self.think_ns and shot < quota:
+                            # hold the keep-alive connection open, idle
+                            sched.park(
+                                deadline_ns=self.kernel.clock.monotonic_ns
+                                + self.think_ns)
                         continue
-                    status, body = response
-                    result.requests_completed += 1
-                    result.bytes_received += len(body)
-                    result.status_counts[status] = \
-                        result.status_counts.get(status, 0) + 1
+                    now = self.kernel.clock.monotonic_ns
+                    conn_died = (sock is None or not sock.writable(now)
+                                 or sock.fin_visible(now))
+                    retry = False
+                    if self.keepalive and conn_died:
+                        if served_on_conn > 0:
+                            # RFC 7230 §6.3.1: a request sent on a
+                            # *reused* connection that died before
+                            # responding is safe to retry on a fresh
+                            # one; progress on the old connection
+                            # bounds the retries
+                            retry = True
+                        elif self.client_mode == "normal" \
+                                and dead_retries > 0:
+                            # idempotent GETs may also retry a
+                            # connection that died before its first
+                            # response (a crashed worker), under a
+                            # small per-client budget
+                            dead_retries -= 1
+                            retry = True
+                    if retry:
+                        if sock is not None:
+                            sock.close()
+                        sock = None
+                        continue           # re-send the unanswered shots
+                    shot += burst - done_in_burst   # genuine failures
                 if sock is not None:
                     sock.close()
             return client

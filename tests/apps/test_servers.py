@@ -210,3 +210,29 @@ def test_littled_aligned_strategy(kernel):
     assert result.status_counts == {200: 4}
     assert not server.alarms.triggered
     assert server.monitor.last_variant_report.shift == 0
+
+
+def test_minx_keepalive_post_body_with_fake_headers(kernel):
+    """Regression: ``header_value`` must bound its search to the header
+    block.  A keep-alive POST whose *body* contains header-shaped bytes
+    (``\\r\\nConnection: close``) must neither flip the connection state
+    nor have the fake bytes parsed as headers — the follow-up request on
+    the same connection still gets served."""
+    server = MinxServer(kernel)
+    server.start()
+    sock = kernel.network.connect(server.port)
+    body = b"field=x\r\nConnection: close\r\nContent-Length: 99999\r\n\r\n"
+    sock.send(b"POST /index.html HTTP/1.1\r\nHost: x\r\n"
+              b"Content-Length: " + b"%d" % len(body) + b"\r\n\r\n" + body)
+    server.pump()
+    first = sock.recv_wait(8192)
+    while not first.endswith(b"</html>"):       # drain headers + body
+        first += sock.recv_wait(8192)
+    assert first.startswith(b"HTTP/1.1 200")
+    assert b"Connection: close" not in first    # body bytes ignored
+    # connection stayed open: pipeline a second request over it
+    sock.send(b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+    server.pump()
+    second = sock.recv_wait(8192)
+    assert second.startswith(b"HTTP/1.1 200")
+    assert server.served == 2

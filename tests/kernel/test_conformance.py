@@ -236,3 +236,31 @@ def test_libc_short_read_is_posix_legal_partial(guest):
                                               short_read_cap=5))
     assert guest.run(probe) == 16               # drained across partials
     assert guest.kernel.faults.injected_by_kind.get("short_read", 0) >= 2
+
+
+# -- local SHUT_WR and listener teardown (serving-path fixes) --------------------
+
+def test_send_after_local_shutdown_write_is_epipe(kernel):
+    """POSIX: after shutdown(fd, SHUT_WR) *our own* sends fail with
+    EPIPE immediately — no waiting for the peer's FIN to come back."""
+    client, server_end = _connected_pair(kernel, 9210)
+    client.shutdown_write()
+    assert client.send(b"x") == -Errno.EPIPE    # local, instant
+    # the read half stays open: the peer can still talk to us
+    server_end.send(b"reply")
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    assert client.recv(16) == b"reply"
+
+
+def test_listener_close_fins_queued_unaccepted_connects(kernel):
+    """A client mid-connect when the listener closes (graceful reload
+    racing an accept) must see a FIN, not park forever on a connection
+    nobody will ever service."""
+    listener = kernel.network.listen(9211)
+    client = kernel.network.connect(9211)
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    assert listener.pending_count() == 1        # queued, never accepted
+    listener.close()
+    kernel.clock.advance_ns(kernel.network.latency_ns)
+    assert client.peer_closed                   # FIN delivered
+    assert client.recv(16) == b""               # clean EOF, client retries

@@ -124,3 +124,126 @@ def test_epoll_forget_on_close():
     ep.forget(7)
     assert ep.watched_fds == []
     ep.forget(7)                               # idempotent
+
+
+# -- O(ready) armed list: disarm, re-arm, fairness, staleness --------------------
+
+class _FakeChannel:
+    """Minimal re-arm channel (the Socket/Listener watcher protocol)."""
+
+    def __init__(self):
+        self.watchers = []
+
+    def add_watcher(self, fn):
+        if fn not in self.watchers:
+            self.watchers.append(fn)
+
+    def remove_watcher(self, fn):
+        if fn in self.watchers:
+            self.watchers.remove(fn)
+
+    def fire(self):
+        for fn in tuple(self.watchers):
+            fn()
+
+
+_IDLE = (False, False, False, None)             # idle, nothing in flight
+
+
+def test_epoll_idle_four_tuple_probe_disarms():
+    ep = EpollInstance()
+    ch = _FakeChannel()
+    ep.ctl(EPOLL_CTL_ADD, 3, EPOLLIN, 3, channel=ch)
+    assert ep.armed_fds == [3]                  # ADD arms (level-triggered)
+    assert ep.poll(0, lambda fd: _IDLE, 16) == []
+    assert ep.armed_fds == []                   # idle + nothing in flight
+    before = ep.probes
+    ep.poll(0, lambda fd: _IDLE, 16)
+    assert ep.probes == before                  # disarmed fds cost nothing
+
+
+def test_epoll_channel_watcher_rearms_disarmed_fd():
+    ep = EpollInstance()
+    ch = _FakeChannel()
+    ep.ctl(EPOLL_CTL_ADD, 3, EPOLLIN, 3, channel=ch)
+    ep.poll(0, lambda fd: _IDLE, 16)            # disarms
+    ch.fire()                                   # delivery: channel re-arms
+    assert ep.armed_fds == [3]
+    assert ep.poll(0, lambda fd: (True, False, False, 0), 16) == \
+        [(EPOLLIN, 3)]
+
+
+def test_epoll_epollout_interest_never_disarms():
+    # writability has no delivery event to re-arm on, so EPOLLOUT
+    # interests must stay armed even when a probe reports idle
+    ep = EpollInstance()
+    ep.ctl(EPOLL_CTL_ADD, 4, EPOLLIN | EPOLLOUT, 4, channel=_FakeChannel())
+    ep.poll(0, lambda fd: _IDLE, 16)
+    assert ep.armed_fds == [4]
+
+
+def test_epoll_three_tuple_probe_keeps_legacy_interest_scan():
+    # 3-tuple probes carry no in-flight info: never disarm (direct
+    # EpollInstance users keep O(interest) semantics unchanged)
+    ep = EpollInstance()
+    ep.ctl(EPOLL_CTL_ADD, 5, EPOLLIN, 5)
+    ep.poll(0, lambda fd: (False, False, False), 16)
+    assert ep.armed_fds == [5]
+
+
+def test_epoll_rotation_is_fair_over_armed_list():
+    # saturated polls rotate the scan start over the *armed* list, so a
+    # busy prefix cannot starve later armed fds — same guarantee the old
+    # interest-list scan gave, preserved under O(ready)
+    ep = EpollInstance()
+    ch = _FakeChannel()
+    for fd in (3, 4, 5, 6):
+        ep.ctl(EPOLL_CTL_ADD, fd, EPOLLIN, fd, channel=ch)
+    probe = lambda fd: (True, False, False, 0)  # all ready, data in flight
+    served = []
+    for _ in range(2):
+        batch = ep.poll(0, probe, 2)
+        assert len(batch) == 2
+        served += [data for _, data in batch]
+    assert sorted(served) == [3, 4, 5, 6]       # every fd served once
+    assert served == [3, 4, 5, 6]               # in deterministic order
+
+
+def test_epoll_forget_detaches_watcher_and_disarms():
+    ep = EpollInstance()
+    ch = _FakeChannel()
+    ep.ctl(EPOLL_CTL_ADD, 7, EPOLLIN, 7, channel=ch)
+    assert len(ch.watchers) == 1
+    ep.forget(7)
+    assert ch.watchers == []                    # no leak into the channel
+    assert ep.armed_fds == []
+    ch.fire()                                   # stale delivery after close
+    assert ep.armed_fds == []                   # cannot resurrect the fd
+
+
+def test_epoll_stale_armed_fd_dropped_once():
+    # an fd closed while armed: the next poll sees probe -> None, drops
+    # it, and never probes it again
+    ep = EpollInstance()
+    ep.ctl(EPOLL_CTL_ADD, 8, EPOLLIN, 8)
+    assert ep.poll(0, lambda fd: None, 16) == []
+    assert ep.armed_fds == []
+    before = ep.probes
+    ep.poll(0, lambda fd: None, 16)
+    assert ep.probes == before
+
+
+def test_epoll_probe_cost_tracks_ready_not_interest():
+    # the O(ready) contract: with N watched keep-alive connections and
+    # only K active, a poll probes ~K fds, not N
+    ep = EpollInstance()
+    ch = _FakeChannel()
+    for fd in range(3, 103):                    # 100 watched fds
+        ep.ctl(EPOLL_CTL_ADD, fd, EPOLLIN, fd, channel=ch)
+    active = {3, 57}
+    probe = lambda fd: (True, False, False, 0) if fd in active else _IDLE
+    ep.poll(0, probe, 128)                      # first poll: full sweep
+    assert sorted(ep.armed_fds) == [3, 57]      # 98 idle fds disarmed
+    before = ep.probes
+    ep.poll(0, probe, 128)
+    assert ep.probes - before == 2              # O(ready), not O(100)
